@@ -1,0 +1,57 @@
+//! Criterion ablation benches for the design choices DESIGN.md calls out:
+//! lock-sorting vs backoff, read-set locking, coalesced set layout, the
+//! write-set Bloom filter, the hash-table lock-log, and pre-commit VBV.
+//!
+//! Criterion times the host-side simulation; the `ablations` *binary*
+//! prints the simulated-cycle comparison, which is the architectural
+//! metric. Both run the same configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::LaunchConfig;
+use gpu_stm::StmConfig;
+use workloads::ra::{self, RaParams};
+use workloads::{RunConfig, Variant};
+
+fn params() -> (RaParams, LaunchConfig) {
+    (
+        RaParams {
+            shared_words: 1 << 12,
+            actions_per_tx: 8,
+            txs_per_thread: 2,
+            write_pct: 50,
+            seed: 31,
+        },
+        LaunchConfig::new(8, 64),
+    )
+}
+
+fn cfg_with(f: impl FnOnce(&mut StmConfig)) -> RunConfig {
+    let mut cfg = RunConfig::with_memory(1 << 18).with_locks(1 << 10);
+    f(&mut cfg.stm);
+    cfg
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let (p, grid) = params();
+    let mut g = c.benchmark_group("ablations_ra");
+    g.sample_size(10);
+
+    let cases: Vec<(&str, RunConfig, Variant)> = vec![
+        ("baseline-hv-sorting", cfg_with(|_| {}), Variant::HvSorting),
+        ("locking-backoff", cfg_with(|_| {}), Variant::HvBackoff),
+        ("write-only-locking", cfg_with(|s| s.lock_read_set = false), Variant::HvSorting),
+        ("uncoalesced-sets", cfg_with(|s| s.coalesced_sets = false), Variant::HvSorting),
+        ("no-bloom-filter", cfg_with(|s| s.write_set_bloom = false), Variant::HvSorting),
+        ("flat-locklog", cfg_with(|s| s.locklog_buckets = 1), Variant::HvSorting),
+        ("pre-commit-vbv", cfg_with(|s| s.pre_commit_vbv = true), Variant::HvSorting),
+    ];
+    for (name, cfg, variant) in cases {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(cfg, variant), |b, (cfg, v)| {
+            b.iter(|| ra::run(&p, *v, grid, cfg).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(ablations, bench_ablations);
+criterion_main!(ablations);

@@ -1,0 +1,139 @@
+//! Criterion benches wrapping one representative configuration of every
+//! table and figure in the paper's evaluation. `cargo bench -p bench`
+//! therefore exercises the full reproduction pipeline; the `--bin`
+//! harnesses print the complete paper-shaped tables.
+//!
+//! Criterion measures *host* time of the simulation; the reproduced
+//! metric (simulated cycles) is printed by the harness binaries.
+
+use bench::runner::{run_workload, Workload};
+use bench::Suite;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use workloads::eigenbench::{self, EbParams};
+use workloads::{genome, kmeans, labyrinth, RunConfig, Variant};
+
+fn quick_suite() -> Suite {
+    Suite { data_scale: 1024, thread_scale: 64, only: None }
+}
+
+/// Table 1: workload characterisation run (STM-Optimized over each workload).
+fn bench_table1(c: &mut Criterion) {
+    let suite = quick_suite();
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    for w in [Workload::Ra, Workload::Ht, Workload::Km] {
+        g.bench_with_input(BenchmarkId::from_parameter(w.label()), &w, |b, w| {
+            b.iter(|| run_workload(&suite, *w, Variant::Optimized, Some(256)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+/// Figure 2: variant comparison on the random-array workload.
+fn bench_fig2(c: &mut Criterion) {
+    let suite = quick_suite();
+    let mut g = c.benchmark_group("fig2_ra");
+    g.sample_size(10);
+    for v in [
+        Variant::Cgl,
+        Variant::Egpgv,
+        Variant::Vbv,
+        Variant::TbvSorting,
+        Variant::HvBackoff,
+        Variant::HvSorting,
+        Variant::Optimized,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(v.label()), &v, |b, v| {
+            b.iter(|| run_workload(&suite, Workload::Ra, *v, Some(256)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+/// Figure 3: thread scaling of STM-HV-Sorting.
+fn bench_fig3(c: &mut Criterion) {
+    let suite = quick_suite();
+    let mut g = c.benchmark_group("fig3_scaling");
+    g.sample_size(10);
+    for t in [64u64, 256, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, t| {
+            b.iter(|| run_workload(&suite, Workload::Ht, Variant::HvSorting, Some(*t)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+/// Figure 4: HV vs TBV on EigenBench at one shared-data/lock point.
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_eigenbench");
+    g.sample_size(10);
+    let params = EbParams { hot_words: 1 << 12, txs_per_thread: 2, ..EbParams::default() };
+    let grid = gpu_sim::LaunchConfig::new(8, 32);
+    for v in [Variant::HvSorting, Variant::TbvSorting] {
+        g.bench_with_input(BenchmarkId::from_parameter(v.label()), &v, |b, v| {
+            let cfg = RunConfig::with_memory(1 << 18).with_locks(1 << 8);
+            b.iter(|| eigenbench::run(&params, *v, grid, &cfg).unwrap());
+        });
+    }
+    g.finish();
+}
+
+/// Figure 5: single-warp breakdown runs (GN, LB, KM under STM-Optimized).
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_breakdown");
+    g.sample_size(10);
+    g.bench_function("gn", |b| {
+        let params = genome::GnParams {
+            n_segments: 32,
+            value_space: 28,
+            table_words: 1 << 9,
+            seed: 4,
+        };
+        let grid = gpu_sim::LaunchConfig::new(1, 32);
+        let cfg = RunConfig::with_memory(1 << 16).with_locks(1 << 8);
+        b.iter(|| genome::run(&params, Variant::Optimized, grid, grid, &cfg).unwrap());
+    });
+    g.bench_function("lb", |b| {
+        let params = labyrinth::LbParams {
+            width: 64,
+            height: 64,
+            n_paths: 16,
+            max_span: 8,
+            seed: 4,
+        };
+        let grid = gpu_sim::LaunchConfig::new(1, 32);
+        let cfg = RunConfig::with_memory(1 << 16).with_locks(1 << 8);
+        b.iter(|| labyrinth::run(&params, Variant::Optimized, grid, &cfg).unwrap());
+    });
+    g.bench_function("km", |b| {
+        let params = kmeans::KmParams::default();
+        let grid = gpu_sim::LaunchConfig::new(8, 2);
+        let cfg = RunConfig::with_memory(1 << 16).with_locks(1 << 8);
+        b.iter(|| kmeans::run(&params, Variant::Optimized, grid, &cfg).unwrap());
+    });
+    g.finish();
+}
+
+/// Table 2: a single autotune probe (grid-shape sensitivity).
+fn bench_table2(c: &mut Criterion) {
+    let suite = quick_suite();
+    let mut g = c.benchmark_group("table2_autotune");
+    g.sample_size(10);
+    for t in [64u64, 512] {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, t| {
+            b.iter(|| run_workload(&suite, Workload::Ra, Variant::Optimized, Some(*t)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    paper,
+    bench_table1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_table2
+);
+criterion_main!(paper);

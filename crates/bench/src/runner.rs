@@ -1,0 +1,218 @@
+//! Uniform workload execution used by the table/figure binaries.
+
+use crate::{square_grid, Suite};
+use gpu_sim::LaunchConfig;
+use gpu_stm::TxStats;
+use workloads::{eigenbench, genome, ht, kmeans, labyrinth, ra, RunError, Variant};
+
+/// The five figure-2 workloads plus EigenBench.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// Random array.
+    Ra,
+    /// Hashtable.
+    Ht,
+    /// EigenBench.
+    Eb,
+    /// Genome (two kernels).
+    Gn,
+    /// Labyrinth.
+    Lb,
+    /// K-means.
+    Km,
+}
+
+impl Workload {
+    /// The paper's Figure 2 workloads, in its order.
+    pub const FIGURE2: [Workload; 5] =
+        [Workload::Ra, Workload::Ht, Workload::Gn, Workload::Lb, Workload::Km];
+
+    /// Short lower-case name for `--only` filtering.
+    pub fn short(self) -> &'static str {
+        match self {
+            Workload::Ra => "ra",
+            Workload::Ht => "ht",
+            Workload::Eb => "eb",
+            Workload::Gn => "gn",
+            Workload::Lb => "lb",
+            Workload::Km => "km",
+        }
+    }
+
+    /// Paper display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::Ra => "RA",
+            Workload::Ht => "HT",
+            Workload::Eb => "EB",
+            Workload::Gn => "GN",
+            Workload::Lb => "LB",
+            Workload::Km => "KM",
+        }
+    }
+}
+
+/// Metrics from one workload × variant execution.
+#[derive(Clone, Debug)]
+pub struct WlOutcome {
+    /// Total simulated cycles (sum over kernels).
+    pub cycles: u64,
+    /// Per-kernel cycles (genome has two).
+    pub kernel_cycles: Vec<u64>,
+    /// Aggregate transactional statistics (genome: both kernels).
+    pub tx: TxStats,
+    /// The launch geometry used.
+    pub grid: LaunchConfig,
+}
+
+fn merge_tx(a: &TxStats, b: &TxStats) -> TxStats {
+    let mut out = a.clone();
+    out.commits += b.commits;
+    out.read_only_commits += b.read_only_commits;
+    out.aborts += b.aborts;
+    out.aborts_read_validation += b.aborts_read_validation;
+    out.aborts_commit_tbv += b.aborts_commit_tbv;
+    out.aborts_commit_vbv += b.aborts_commit_vbv;
+    out.aborts_pre_vbv += b.aborts_pre_vbv;
+    out.aborts_lock_busy += b.aborts_lock_busy;
+    out.lock_retries += b.lock_retries;
+    out.false_conflicts_filtered += b.false_conflicts_filtered;
+    out.reads_committed += b.reads_committed;
+    out.writes_committed += b.writes_committed;
+    out.breakdown.merge(&b.breakdown);
+    out
+}
+
+/// Runs `workload` under `variant` with roughly `threads` threads, using
+/// the suite's scaled data sizes.
+///
+/// # Errors
+///
+/// Propagates workload errors ([`RunError::Unsupported`] marks
+/// configurations a variant cannot run, e.g. EGPGV at scale).
+pub fn run_workload(
+    suite: &Suite,
+    workload: Workload,
+    variant: Variant,
+    threads: Option<u64>,
+) -> Result<WlOutcome, RunError> {
+    match workload {
+        Workload::Ra => {
+            let (params, grid) = suite.ra();
+            let grid = threads.map_or(grid, square_grid);
+            let cfg = suite.run_config(params.shared_words as u64, grid.total_threads());
+            let out = ra::run(&params, variant, grid, &cfg)?;
+            Ok(WlOutcome {
+                cycles: out.cycles(),
+                kernel_cycles: out.kernel_cycles(),
+                tx: out.tx,
+                grid,
+            })
+        }
+        Workload::Ht => {
+            let (mut params, mut grid) = suite.ht();
+            if let Some(t) = threads {
+                grid = square_grid(t);
+                params.table_words =
+                    ((grid.total_threads() * params.inserts_per_tx as u64 * 8) as u32)
+                        .next_power_of_two();
+            }
+            let cfg = suite.run_config(params.table_words as u64, grid.total_threads());
+            let out = ht::run(&params, variant, grid, &cfg)?;
+            Ok(WlOutcome {
+                cycles: out.cycles(),
+                kernel_cycles: out.kernel_cycles(),
+                tx: out.tx,
+                grid,
+            })
+        }
+        Workload::Eb => {
+            let (params, grid) = suite.eb();
+            let grid = threads.map_or(grid, square_grid);
+            let data = params.hot_words as u64
+                + grid.total_threads() * (params.mild_words + params.cold_words) as u64;
+            let cfg = suite.run_config(data, grid.total_threads());
+            let out = eigenbench::run(&params, variant, grid, &cfg)?;
+            Ok(WlOutcome {
+                cycles: out.cycles(),
+                kernel_cycles: out.kernel_cycles(),
+                tx: out.tx,
+                grid,
+            })
+        }
+        Workload::Gn => {
+            let (mut params, mut g1, mut g2) = suite.gn();
+            if let Some(t) = threads {
+                g1 = square_grid(t);
+                params.n_segments = g1.total_threads() as u32;
+                params.value_space = (params.n_segments / 2).max(32);
+                params.table_words = (params.n_segments * 8).next_power_of_two();
+                g2 = square_grid((params.n_segments / 2).max(32) as u64);
+            }
+            let cfg = suite.run_config(params.table_words as u64, g1.total_threads());
+            let out = genome::run(&params, variant, g1, g2, &cfg)?;
+            Ok(WlOutcome {
+                cycles: out.k1.cycles() + out.k2.cycles(),
+                kernel_cycles: vec![out.k1.cycles(), out.k2.cycles()],
+                tx: merge_tx(&out.k1.tx, &out.k2.tx),
+                grid: g1,
+            })
+        }
+        Workload::Lb => {
+            let (params, grid) = suite.lb();
+            let grid = threads.map_or(grid, |t| {
+                LaunchConfig::new((t as u32 / 32).max(1), 32)
+            });
+            let cells = (params.width * params.height) as u64;
+            let cfg = suite.run_config(cells, grid.total_threads());
+            let out = labyrinth::run(&params, variant, grid, &cfg)?;
+            Ok(WlOutcome {
+                cycles: out.base.cycles(),
+                kernel_cycles: out.base.kernel_cycles(),
+                tx: out.base.tx,
+                grid,
+            })
+        }
+        Workload::Km => {
+            let (params, grid) = suite.km();
+            let grid = threads.map_or(grid, |t| {
+                LaunchConfig::new((t as u32 / 2).max(1), 2)
+            });
+            let cfg = suite.run_config(params.shared_words() as u64, grid.total_threads());
+            let out = kmeans::run(&params, variant, grid, &cfg)?;
+            Ok(WlOutcome {
+                cycles: out.cycles(),
+                kernel_cycles: out.kernel_cycles(),
+                tx: out.tx,
+                grid,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_suite() -> Suite {
+        Suite { data_scale: 1024, thread_scale: 256, only: None }
+    }
+
+    #[test]
+    fn every_workload_runs_hv_sorting() {
+        let suite = quick_suite();
+        for w in [Workload::Ra, Workload::Ht, Workload::Eb, Workload::Gn, Workload::Lb, Workload::Km]
+        {
+            let out = run_workload(&suite, w, Variant::HvSorting, Some(64)).unwrap();
+            assert!(out.tx.commits > 0, "{w:?}");
+            assert!(out.cycles > 0, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn genome_reports_two_kernels() {
+        let suite = quick_suite();
+        let out = run_workload(&suite, Workload::Gn, Variant::TbvSorting, Some(64)).unwrap();
+        assert_eq!(out.kernel_cycles.len(), 2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Criterion microbenchmarks of the simulator's primitives: how fast the
+//! host simulates coalesced vs. strided memory traffic, contended vs.
+//! uncontended atomics, and warp scheduling at various occupancies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::{LaunchConfig, Sim, SimConfig};
+
+fn bench_memory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_memory");
+    g.sample_size(20);
+    for (name, stride) in [("coalesced", 1u32), ("strided", 32u32)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &stride, |b, stride| {
+            let stride = *stride;
+            b.iter(|| {
+                let mut sim = Sim::new(SimConfig::with_memory(1 << 20));
+                let buf = sim.alloc(32 * 32 * stride).unwrap();
+                sim.launch(LaunchConfig::new(4, 64), move |ctx| async move {
+                    let mask = ctx.id().launch_mask;
+                    for round in 0..8u32 {
+                        let addrs = std::array::from_fn(|l| {
+                            buf.offset((l as u32 * stride + round * 32) % (32 * 32 * stride))
+                        });
+                        let _ = ctx.load(mask, &addrs).await;
+                    }
+                })
+                .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_atomics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_atomics");
+    g.sample_size(20);
+    for (name, n_words) in [("contended", 1u32), ("spread", 1024u32)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &n_words, |b, n| {
+            let n = *n;
+            b.iter(|| {
+                let mut sim = Sim::new(SimConfig::with_memory(1 << 16));
+                let buf = sim.alloc(n).unwrap();
+                sim.launch(LaunchConfig::new(4, 64), move |ctx| async move {
+                    let mask = ctx.id().launch_mask;
+                    for _ in 0..8u32 {
+                        let addrs = std::array::from_fn(|l| buf.offset(l as u32 % n));
+                        let ones = [1u32; 32];
+                        let _ = ctx
+                            .atomic_rmw(mask, gpu_sim::AtomicOp::Add, &addrs, &ones)
+                            .await;
+                    }
+                })
+                .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_occupancy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_occupancy");
+    g.sample_size(20);
+    for warps in [16u32, 256, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(warps), &warps, |b, warps| {
+            let blocks = *warps / 4;
+            b.iter(|| {
+                let mut sim = Sim::new(SimConfig::with_memory(1 << 16));
+                let counter = sim.alloc(64).unwrap();
+                sim.launch(LaunchConfig::new(blocks.max(1), 128), move |ctx| async move {
+                    let mask = ctx.id().launch_mask;
+                    for i in 0..4u32 {
+                        ctx.atomic_add_uniform(
+                            mask,
+                            counter.offset(ctx.id().block % 64),
+                            i,
+                        )
+                        .await;
+                    }
+                })
+                .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(primitives, bench_memory, bench_atomics, bench_occupancy);
+criterion_main!(primitives);

@@ -1,0 +1,170 @@
+//! Set-associative L2 cache model (tags only).
+//!
+//! On Fermi GPUs the L2 is the coherence point: the paper stores GPU-STM's
+//! global metadata so that it is cached at L2 only (the non-coherent L1 is
+//! bypassed with `volatile`). The simulator therefore routes every global
+//! memory transaction through this L2 model to decide between the L2-hit
+//! and DRAM latencies. Data correctness is unaffected — the backing
+//! [`GlobalMemory`](crate::memory::GlobalMemory) is always authoritative —
+//! so only tags are tracked.
+
+/// Configuration of the L2 model.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets. Must be a power of two.
+    pub sets: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Fermi C2070-like 768 KiB L2 with 128-byte lines, 16-way:
+    /// 768 KiB / 128 B / 16 ways = 384 sets (rounded to 512 for power of 2).
+    pub fn fermi_l2() -> Self {
+        CacheConfig { sets: 512, ways: 16 }
+    }
+
+    /// A tiny cache, useful to exercise eviction paths in tests.
+    pub fn tiny() -> Self {
+        CacheConfig { sets: 2, ways: 2 }
+    }
+
+    /// Total lines (capacity / line size).
+    pub fn lines(&self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig::fermi_l2()
+    }
+}
+
+/// Outcome of a cache access.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Line present in L2.
+    Hit,
+    /// Line fetched from DRAM (and now resident).
+    Miss,
+}
+
+/// LRU set-associative tag store over 128-byte segments.
+#[derive(Clone, Debug)]
+pub struct L2Cache {
+    cfg: CacheConfig,
+    /// `tags[set * ways + way]`: segment id + 1, or 0 for invalid.
+    tags: Vec<u64>,
+    /// LRU stamps, parallel to `tags`.
+    stamps: Vec<u64>,
+    tick: u64,
+}
+
+impl L2Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.sets` is not a power of two or `cfg.ways == 0`.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(cfg.ways > 0, "ways must be nonzero");
+        L2Cache {
+            cfg,
+            tags: vec![0; cfg.lines()],
+            stamps: vec![0; cfg.lines()],
+            tick: 0,
+        }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Accesses `segment` (a 128-byte line id), updating LRU state and
+    /// allocating on miss.
+    pub fn access(&mut self, segment: u32) -> CacheOutcome {
+        self.tick += 1;
+        let set = (segment as usize) & (self.cfg.sets - 1);
+        let base = set * self.cfg.ways;
+        let key = segment as u64 + 1;
+        let mut victim = base;
+        let mut victim_stamp = u64::MAX;
+        for i in base..base + self.cfg.ways {
+            if self.tags[i] == key {
+                self.stamps[i] = self.tick;
+                return CacheOutcome::Hit;
+            }
+            if self.stamps[i] < victim_stamp {
+                victim_stamp = self.stamps[i];
+                victim = i;
+            }
+        }
+        self.tags[victim] = key;
+        self.stamps[victim] = self.tick;
+        CacheOutcome::Miss
+    }
+
+    /// Drops all cached lines.
+    pub fn clear(&mut self) {
+        self.tags.fill(0);
+        self.stamps.fill(0);
+        self.tick = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = L2Cache::new(CacheConfig::tiny());
+        assert_eq!(c.access(3), CacheOutcome::Miss);
+        assert_eq!(c.access(3), CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        // tiny: 2 sets, 2 ways. Segments 0, 2, 4 all map to set 0.
+        let mut c = L2Cache::new(CacheConfig::tiny());
+        assert_eq!(c.access(0), CacheOutcome::Miss);
+        assert_eq!(c.access(2), CacheOutcome::Miss);
+        // Touch 0 so 2 becomes LRU.
+        assert_eq!(c.access(0), CacheOutcome::Hit);
+        assert_eq!(c.access(4), CacheOutcome::Miss); // evicts 2
+        assert_eq!(c.access(0), CacheOutcome::Hit);
+        assert_eq!(c.access(2), CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = L2Cache::new(CacheConfig::tiny());
+        assert_eq!(c.access(0), CacheOutcome::Miss); // set 0
+        assert_eq!(c.access(1), CacheOutcome::Miss); // set 1
+        assert_eq!(c.access(0), CacheOutcome::Hit);
+        assert_eq!(c.access(1), CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let mut c = L2Cache::new(CacheConfig::tiny());
+        c.access(7);
+        c.clear();
+        assert_eq!(c.access(7), CacheOutcome::Miss);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        let _ = L2Cache::new(CacheConfig { sets: 3, ways: 1 });
+    }
+
+    #[test]
+    fn fermi_config_capacity() {
+        let cfg = CacheConfig::fermi_l2();
+        assert_eq!(cfg.lines(), 512 * 16);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error types for simulator construction and kernel execution.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the simulator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A device allocation did not fit in configured memory.
+    OutOfMemory {
+        /// Words requested.
+        requested: usize,
+    },
+    /// The watchdog limit was reached before all warps finished — the
+    /// kernel deadlocked, livelocked, or simply needs a larger budget.
+    Watchdog {
+        /// Simulated cycle at which the run was abandoned.
+        cycle: u64,
+        /// Warps that had not finished.
+        unfinished_warps: usize,
+    },
+    /// An invalid launch configuration.
+    BadLaunch(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfMemory { requested } => {
+                write!(f, "device allocation of {requested} words does not fit")
+            }
+            SimError::Watchdog { cycle, unfinished_warps } => write!(
+                f,
+                "watchdog fired at cycle {cycle} with {unfinished_warps} warps unfinished \
+                 (deadlock, livelock, or budget too small)"
+            ),
+            SimError::BadLaunch(msg) => write!(f, "invalid launch configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_nonempty_and_lowercase() {
+        let errs = [
+            SimError::OutOfMemory { requested: 8 },
+            SimError::Watchdog { cycle: 100, unfinished_warps: 2 },
+            SimError::BadLaunch("zero blocks".into()),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("device"));
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn takes_err(_: &dyn Error) {}
+        takes_err(&SimError::BadLaunch("x".into()));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

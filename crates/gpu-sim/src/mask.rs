@@ -1,0 +1,349 @@
+//! Lane masks: the fundamental SIMT activity predicate.
+//!
+//! A warp executes one instruction for all of its 32 lanes in lockstep; a
+//! [`LaneMask`] records which lanes participate. All warp-wide operations in
+//! this crate take a mask, mirroring how real SIMT hardware masks off lanes
+//! on divergence.
+
+use std::fmt;
+
+/// Number of lanes in a warp (matches NVIDIA hardware and the paper).
+pub const WARP_SIZE: usize = 32;
+
+/// A set of active lanes within a warp, one bit per lane.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::LaneMask;
+///
+/// let m = LaneMask::lane(0) | LaneMask::lane(3);
+/// assert_eq!(m.count(), 2);
+/// assert!(m.contains(3));
+/// assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 3]);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub struct LaneMask(u32);
+
+impl LaneMask {
+    /// Mask with every lane active.
+    pub const FULL: LaneMask = LaneMask(u32::MAX);
+    /// Mask with no lane active.
+    pub const EMPTY: LaneMask = LaneMask(0);
+
+    /// Creates a mask from a raw 32-bit lane bitmap.
+    #[inline]
+    pub const fn from_bits(bits: u32) -> Self {
+        LaneMask(bits)
+    }
+
+    /// Returns the raw lane bitmap.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Mask containing only `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= WARP_SIZE`.
+    #[inline]
+    pub fn lane(lane: usize) -> Self {
+        assert!(lane < WARP_SIZE, "lane {lane} out of range");
+        LaneMask(1 << lane)
+    }
+
+    /// Mask of the first `n` lanes (lanes `0..n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > WARP_SIZE`.
+    #[inline]
+    pub fn first_n(n: usize) -> Self {
+        assert!(n <= WARP_SIZE, "lane count {n} out of range");
+        if n == WARP_SIZE {
+            LaneMask::FULL
+        } else {
+            LaneMask((1u32 << n) - 1)
+        }
+    }
+
+    /// Whether any lane is active.
+    #[inline]
+    pub const fn any(self) -> bool {
+        self.0 != 0
+    }
+
+    /// Whether no lane is active.
+    #[inline]
+    pub const fn none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether all 32 lanes are active.
+    #[inline]
+    pub const fn all(self) -> bool {
+        self.0 == u32::MAX
+    }
+
+    /// Number of active lanes (the SIMT "ballot population count").
+    #[inline]
+    pub const fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether `lane` is active.
+    #[inline]
+    pub const fn contains(self, lane: usize) -> bool {
+        self.0 & (1 << lane) != 0
+    }
+
+    /// Returns the mask with `lane` added.
+    #[inline]
+    pub fn with(self, lane: usize) -> Self {
+        self | LaneMask::lane(lane)
+    }
+
+    /// Returns the mask with `lane` removed.
+    #[inline]
+    pub fn without(self, lane: usize) -> Self {
+        self & !LaneMask::lane(lane)
+    }
+
+    /// Lowest active lane, if any (the conventional "warp leader").
+    #[inline]
+    pub fn leader(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Iterates over active lane indices in ascending order.
+    #[inline]
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+
+    /// Builds a mask from a per-lane predicate, restricted to `self`.
+    ///
+    /// This is the software analogue of a predicated SIMT branch: each active
+    /// lane evaluates `pred` and the result is the sub-mask of lanes for
+    /// which it held.
+    #[inline]
+    pub fn filter(self, mut pred: impl FnMut(usize) -> bool) -> Self {
+        let mut out = 0u32;
+        for lane in self.iter() {
+            if pred(lane) {
+                out |= 1 << lane;
+            }
+        }
+        LaneMask(out)
+    }
+}
+
+/// Iterator over the active lanes of a [`LaneMask`], produced by
+/// [`LaneMask::iter`].
+#[derive(Clone, Debug)]
+pub struct Iter(u32);
+
+impl Iterator for Iter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let lane = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(lane)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl IntoIterator for LaneMask {
+    type Item = usize;
+    type IntoIter = Iter;
+
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+impl std::ops::BitOr for LaneMask {
+    type Output = LaneMask;
+    #[inline]
+    fn bitor(self, rhs: LaneMask) -> LaneMask {
+        LaneMask(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitOrAssign for LaneMask {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: LaneMask) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl std::ops::BitAnd for LaneMask {
+    type Output = LaneMask;
+    #[inline]
+    fn bitand(self, rhs: LaneMask) -> LaneMask {
+        LaneMask(self.0 & rhs.0)
+    }
+}
+
+impl std::ops::BitAndAssign for LaneMask {
+    #[inline]
+    fn bitand_assign(&mut self, rhs: LaneMask) {
+        self.0 &= rhs.0;
+    }
+}
+
+impl std::ops::BitXor for LaneMask {
+    type Output = LaneMask;
+    #[inline]
+    fn bitxor(self, rhs: LaneMask) -> LaneMask {
+        LaneMask(self.0 ^ rhs.0)
+    }
+}
+
+impl std::ops::Not for LaneMask {
+    type Output = LaneMask;
+    #[inline]
+    fn not(self) -> LaneMask {
+        LaneMask(!self.0)
+    }
+}
+
+impl fmt::Debug for LaneMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LaneMask({:#010x})", self.0)
+    }
+}
+
+impl fmt::Display for LaneMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl fmt::Binary for LaneMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for LaneMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl FromIterator<usize> for LaneMask {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut m = LaneMask::EMPTY;
+        for lane in iter {
+            m |= LaneMask::lane(lane);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        assert!(LaneMask::EMPTY.none());
+        assert!(!LaneMask::EMPTY.any());
+        assert!(LaneMask::FULL.all());
+        assert_eq!(LaneMask::FULL.count(), 32);
+        assert_eq!(LaneMask::EMPTY.count(), 0);
+    }
+
+    #[test]
+    fn single_lane() {
+        let m = LaneMask::lane(7);
+        assert!(m.contains(7));
+        assert!(!m.contains(6));
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.leader(), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn lane_out_of_range_panics() {
+        let _ = LaneMask::lane(32);
+    }
+
+    #[test]
+    fn first_n() {
+        assert_eq!(LaneMask::first_n(0), LaneMask::EMPTY);
+        assert_eq!(LaneMask::first_n(32), LaneMask::FULL);
+        let m = LaneMask::first_n(5);
+        assert_eq!(m.count(), 5);
+        assert!(m.contains(4));
+        assert!(!m.contains(5));
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let m = LaneMask::lane(31) | LaneMask::lane(0) | LaneMask::lane(16);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 16, 31]);
+        assert_eq!(m.iter().len(), 3);
+    }
+
+    #[test]
+    fn bit_operations() {
+        let a = LaneMask::first_n(4);
+        let b = LaneMask::lane(3) | LaneMask::lane(10);
+        assert_eq!((a & b).iter().collect::<Vec<_>>(), vec![3]);
+        assert_eq!((a | b).count(), 5);
+        assert_eq!((a ^ b).iter().collect::<Vec<_>>(), vec![0, 1, 2, 10]);
+        assert!((!a).contains(10));
+        assert!(!(!a).contains(2));
+    }
+
+    #[test]
+    fn with_without() {
+        let m = LaneMask::EMPTY.with(4).with(9).without(4);
+        assert_eq!(m, LaneMask::lane(9));
+    }
+
+    #[test]
+    fn filter_predicate() {
+        let m = LaneMask::FULL.filter(|lane| lane % 2 == 0);
+        assert_eq!(m.count(), 16);
+        assert!(m.contains(0) && m.contains(30) && !m.contains(1));
+    }
+
+    #[test]
+    fn leader_of_empty() {
+        assert_eq!(LaneMask::EMPTY.leader(), None);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let m: LaneMask = [1usize, 2, 2, 30].into_iter().collect();
+        assert_eq!(m.count(), 3);
+        assert!(m.contains(30));
+    }
+
+    #[test]
+    fn display_and_debug_nonempty() {
+        assert!(!format!("{:?}", LaneMask::EMPTY).is_empty());
+        assert_eq!(format!("{}", LaneMask::lane(0)), "0x00000001");
+    }
+}

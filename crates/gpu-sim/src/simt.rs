@@ -1,0 +1,118 @@
+//! Structured SIMT divergence helpers.
+//!
+//! Warp-synchronous code manipulates [`LaneMask`]s directly; these helpers
+//! capture the common patterns — predicated branching with reconvergence
+//! (the hardware's SIMT stack) and intra-warp serialisation (Scheme #2 of
+//! the paper's Algorithm 1).
+
+use crate::mask::LaneMask;
+
+/// A software model of the hardware SIMT reconvergence stack.
+///
+/// `push` records the mask to restore at the reconvergence point; `pop`
+/// reconverges. This mirrors how the hardware handles nested divergent
+/// branches, and is what GPU-STM *cannot* touch from software — the reason
+/// each transaction carries an explicit opacity flag (Section 3.2.2).
+#[derive(Clone, Debug, Default)]
+pub struct SimtStack {
+    stack: Vec<LaneMask>,
+}
+
+impl SimtStack {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        SimtStack::default()
+    }
+
+    /// Current nesting depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Enters a divergent branch: saves `reconverge` (the mask to restore)
+    /// and returns the pair `(taken, not_taken)` of sub-masks for a
+    /// predicate evaluated per lane.
+    pub fn branch(
+        &mut self,
+        active: LaneMask,
+        taken: LaneMask,
+    ) -> (LaneMask, LaneMask) {
+        self.stack.push(active);
+        let t = active & taken;
+        (t, active & !t)
+    }
+
+    /// Reconverges: restores the mask active before the matching
+    /// [`branch`](Self::branch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is empty (unmatched reconvergence).
+    pub fn reconverge(&mut self) -> LaneMask {
+        self.stack.pop().expect("reconverge without matching branch")
+    }
+}
+
+/// Iterator that yields one single-lane mask per active lane, in ascending
+/// lane order — intra-warp serialisation, Scheme #2 of Algorithm 1.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::{simt::serialize_lanes, LaneMask};
+///
+/// let turns: Vec<_> = serialize_lanes(LaneMask::first_n(3)).collect();
+/// assert_eq!(turns.len(), 3);
+/// assert_eq!(turns[1], LaneMask::lane(1));
+/// ```
+pub fn serialize_lanes(mask: LaneMask) -> impl Iterator<Item = LaneMask> {
+    mask.iter().map(LaneMask::lane)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_splits_and_reconverges() {
+        let mut st = SimtStack::new();
+        let active = LaneMask::first_n(8);
+        let pred = LaneMask::from_bits(0b1010_1010);
+        let (t, e) = st.branch(active, pred);
+        assert_eq!(t.bits(), 0b1010_1010 & 0xff);
+        assert_eq!(e.bits(), 0b0101_0101);
+        assert_eq!((t | e), active);
+        assert_eq!((t & e), LaneMask::EMPTY);
+        assert_eq!(st.depth(), 1);
+        assert_eq!(st.reconverge(), active);
+        assert_eq!(st.depth(), 0);
+    }
+
+    #[test]
+    fn nested_branches() {
+        let mut st = SimtStack::new();
+        let (t1, _) = st.branch(LaneMask::FULL, LaneMask::first_n(16));
+        let (t2, _) = st.branch(t1, LaneMask::first_n(4));
+        assert_eq!(t2, LaneMask::first_n(4));
+        assert_eq!(st.reconverge(), t1);
+        assert_eq!(st.reconverge(), LaneMask::FULL);
+    }
+
+    #[test]
+    #[should_panic(expected = "without matching branch")]
+    fn unmatched_reconverge_panics() {
+        SimtStack::new().reconverge();
+    }
+
+    #[test]
+    fn serialization_order() {
+        let m = LaneMask::lane(5) | LaneMask::lane(1) | LaneMask::lane(31);
+        let turns: Vec<_> = serialize_lanes(m).collect();
+        assert_eq!(turns, vec![LaneMask::lane(1), LaneMask::lane(5), LaneMask::lane(31)]);
+    }
+
+    #[test]
+    fn serialize_empty_is_empty() {
+        assert_eq!(serialize_lanes(LaneMask::EMPTY).count(), 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Execution statistics collected by the simulator.
+
+/// Counters accumulated over a kernel launch.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Warp instructions issued (every awaited operation).
+    pub instructions: u64,
+    /// Warp load instructions.
+    pub loads: u64,
+    /// Warp store instructions.
+    pub stores: u64,
+    /// Warp atomic instructions.
+    pub atomics: u64,
+    /// `threadfence` instructions.
+    pub fences: u64,
+    /// Coalesced memory transactions issued (after merging).
+    pub mem_transactions: u64,
+    /// Memory transactions that would have been issued had no coalescing
+    /// occurred (one per active lane). `mem_transactions /
+    /// uncoalesced_transactions` measures coalescing effectiveness.
+    pub uncoalesced_transactions: u64,
+    /// L2 hits among memory transactions.
+    pub l2_hits: u64,
+    /// L2 misses (DRAM accesses).
+    pub l2_misses: u64,
+    /// Warp instructions that executed with a partial (non-full,
+    /// non-empty relative to launch width) active mask — a proxy for
+    /// SIMT divergence.
+    pub divergent_instructions: u64,
+    /// Total active-lane slots across all instructions.
+    pub active_lanes: u64,
+    /// Total lane slots (instructions × warp width) — `active_lanes /
+    /// lane_slots` is SIMT efficiency.
+    pub lane_slots: u64,
+    /// Explicit idle/backoff cycles charged via `WarpCtx::idle`.
+    pub idle_cycles: u64,
+    /// Thread blocks that completed.
+    pub blocks_completed: u64,
+}
+
+impl SimStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        SimStats::default()
+    }
+
+    /// Fraction of lane slots that were active, in `[0, 1]`.
+    /// Returns 1.0 for an empty run.
+    pub fn simt_efficiency(&self) -> f64 {
+        if self.lane_slots == 0 {
+            1.0
+        } else {
+            self.active_lanes as f64 / self.lane_slots as f64
+        }
+    }
+
+    /// L2 hit rate in `[0, 1]`. Returns 0.0 when no transactions occurred.
+    pub fn l2_hit_rate(&self) -> f64 {
+        let total = self.l2_hits + self.l2_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l2_hits as f64 / total as f64
+        }
+    }
+
+    /// Average transactions saved by coalescing (1.0 = nothing saved).
+    pub fn coalescing_ratio(&self) -> f64 {
+        if self.uncoalesced_transactions == 0 {
+            1.0
+        } else {
+            self.mem_transactions as f64 / self.uncoalesced_transactions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_rates_are_sane() {
+        let s = SimStats::new();
+        assert_eq!(s.simt_efficiency(), 1.0);
+        assert_eq!(s.l2_hit_rate(), 0.0);
+        assert_eq!(s.coalescing_ratio(), 1.0);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let s = SimStats {
+            active_lanes: 16,
+            lane_slots: 32,
+            l2_hits: 3,
+            l2_misses: 1,
+            mem_transactions: 2,
+            uncoalesced_transactions: 8,
+            ..SimStats::default()
+        };
+        assert!((s.simt_efficiency() - 0.5).abs() < 1e-12);
+        assert!((s.l2_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((s.coalescing_ratio() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,463 @@
+//! The warp-wide kernel programming interface.
+//!
+//! Kernels are written in *warp-synchronous* style, the same discipline CUDA
+//! warp-level programming uses: one [`WarpCtx`] represents a whole warp, and
+//! every operation takes a [`LaneMask`] naming the active lanes. Each
+//! `await` is one warp instruction executed in lockstep by those lanes —
+//! exactly the granularity at which the paper's Algorithm 3 is specified.
+//!
+//! Lane-divergent control flow is expressed by narrowing masks (see
+//! [`crate::simt`] for structured helpers); because a masked-off lane simply
+//! does not participate in subsequent instructions until its sub-mask is
+//! re-activated, the model reproduces SIMT pathologies such as the
+//! spin-lock deadlock and multi-lock livelock of the paper's Section 2.2.
+
+use crate::coalesce::{atomic_conflict_depth, coalesce, coalesce_uniform, Coalesced};
+use crate::exec::{SimState, WarpId};
+use crate::mask::{LaneMask, WARP_SIZE};
+use crate::memory::{Addr, AtomicOp};
+use std::cell::{Cell, RefCell};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+/// Per-lane values for one warp instruction (one slot per lane).
+pub type LaneVals = [u32; WARP_SIZE];
+/// Per-lane addresses for one warp instruction.
+pub type LaneAddrs = [Addr; WARP_SIZE];
+
+/// Handle through which a warp issues instructions to the simulator.
+///
+/// Obtained as the argument of the kernel closure passed to
+/// [`Sim::launch`](crate::Sim::launch). Cheap to clone (it is a pair of
+/// reference-counted pointers).
+#[derive(Clone)]
+pub struct WarpCtx {
+    st: Rc<RefCell<SimState>>,
+    id: WarpId,
+    pending_cost: Rc<Cell<u64>>,
+}
+
+impl std::fmt::Debug for WarpCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarpCtx").field("id", &self.id).finish_non_exhaustive()
+    }
+}
+
+enum MemKind {
+    Load,
+    Store,
+    Atomic,
+}
+
+impl WarpCtx {
+    pub(crate) fn new(st: Rc<RefCell<SimState>>, id: WarpId, pending_cost: Rc<Cell<u64>>) -> Self {
+        WarpCtx { st, id, pending_cost }
+    }
+
+    /// This warp's identity (block, warp index, launch mask, thread ids).
+    pub fn id(&self) -> WarpId {
+        self.id
+    }
+
+    /// Current simulated cycle (the issue time of the next instruction).
+    pub fn now(&self) -> u64 {
+        self.st.borrow().now
+    }
+
+    fn note_instruction(&self, mask: LaneMask) {
+        let st = &mut *self.st.borrow_mut();
+        st.stats.instructions += 1;
+        st.stats.active_lanes += mask.count() as u64;
+        st.stats.lane_slots += WARP_SIZE as u64;
+        if mask != self.id.launch_mask && mask.any() {
+            st.stats.divergent_instructions += 1;
+        }
+    }
+
+    fn charge(&self, cost: u64) -> YieldOnce {
+        self.pending_cost.set(self.pending_cost.get() + cost);
+        YieldOnce(false)
+    }
+
+    fn mem_access(&self, kind: MemKind, mask: LaneMask, co: &Coalesced, depth: u32) -> u64 {
+        let st = &mut *self.st.borrow_mut();
+        let outcomes: Vec<_> = co.segments.iter().map(|s| st.cache.access(*s)).collect();
+        st.stats.mem_transactions += co.transactions() as u64;
+        st.stats.uncoalesced_transactions += mask.count() as u64;
+        for o in &outcomes {
+            match o {
+                crate::cache::CacheOutcome::Hit => st.stats.l2_hits += 1,
+                crate::cache::CacheOutcome::Miss => st.stats.l2_misses += 1,
+            }
+        }
+        match kind {
+            MemKind::Load => st.stats.loads += 1,
+            MemKind::Store => st.stats.stores += 1,
+            MemKind::Atomic => st.stats.atomics += 1,
+        }
+        match kind {
+            MemKind::Atomic => st.timing.atomic_cost(co.transactions(), depth),
+            _ => st.timing.memory_cost(&outcomes),
+        }
+    }
+
+    /// Warp load: each active lane reads its address. Returns per-lane
+    /// values (inactive lanes read 0).
+    pub async fn load(&self, mask: LaneMask, addrs: &LaneAddrs) -> LaneVals {
+        self.note_instruction(mask);
+        let mut out = [0u32; WARP_SIZE];
+        let cost = {
+            let co = coalesce(mask, addrs);
+            let cost = self.mem_access(MemKind::Load, mask, &co, 0);
+            let st = self.st.borrow();
+            for lane in mask.iter() {
+                out[lane] = st.mem.read(addrs[lane]);
+            }
+            cost
+        };
+        self.charge(cost).await;
+        out
+    }
+
+    /// Warp load where every active lane reads the same address
+    /// (a hardware broadcast). Returns the value.
+    pub async fn load_uniform(&self, mask: LaneMask, addr: Addr) -> u32 {
+        self.note_instruction(mask);
+        let cost = {
+            let co = coalesce_uniform(mask, addr);
+            self.mem_access(MemKind::Load, mask, &co, 0)
+        };
+        let v = self.st.borrow().mem.read(addr);
+        self.charge(cost).await;
+        v
+    }
+
+    /// Warp store: each active lane writes its value to its address.
+    /// If several active lanes target the same word, the highest lane wins
+    /// (hardware leaves the winner unspecified; we fix lane order for
+    /// determinism).
+    pub async fn store(&self, mask: LaneMask, addrs: &LaneAddrs, vals: &LaneVals) {
+        self.note_instruction(mask);
+        let cost = {
+            let co = coalesce(mask, addrs);
+            let cost = self.mem_access(MemKind::Store, mask, &co, 0);
+            let st = &mut *self.st.borrow_mut();
+            for lane in mask.iter() {
+                st.mem.write(addrs[lane], vals[lane]);
+            }
+            cost
+        };
+        self.charge(cost).await;
+    }
+
+    /// Warp compare-and-swap: per lane, if `*addr == cmp` store `new`.
+    /// Returns per-lane old values. Same-word lanes serialise in lane
+    /// order within the instruction.
+    pub async fn atomic_cas(
+        &self,
+        mask: LaneMask,
+        addrs: &LaneAddrs,
+        cmps: &LaneVals,
+        news: &LaneVals,
+    ) -> LaneVals {
+        self.note_instruction(mask);
+        let mut out = [0u32; WARP_SIZE];
+        let cost = {
+            let co = coalesce(mask, addrs);
+            let depth = atomic_conflict_depth(mask, addrs);
+            let cost = self.mem_access(MemKind::Atomic, mask, &co, depth);
+            let st = &mut *self.st.borrow_mut();
+            for lane in mask.iter() {
+                out[lane] = st.mem.atomic_cas(addrs[lane], cmps[lane], news[lane]);
+            }
+            cost
+        };
+        self.charge(cost).await;
+        out
+    }
+
+    /// Warp atomic read-modify-write. Returns per-lane old values.
+    pub async fn atomic_rmw(
+        &self,
+        mask: LaneMask,
+        op: AtomicOp,
+        addrs: &LaneAddrs,
+        vals: &LaneVals,
+    ) -> LaneVals {
+        self.note_instruction(mask);
+        let mut out = [0u32; WARP_SIZE];
+        let cost = {
+            let co = coalesce(mask, addrs);
+            let depth = atomic_conflict_depth(mask, addrs);
+            let cost = self.mem_access(MemKind::Atomic, mask, &co, depth);
+            let st = &mut *self.st.borrow_mut();
+            for lane in mask.iter() {
+                out[lane] = st.mem.atomic_rmw(op, addrs[lane], vals[lane]);
+            }
+            cost
+        };
+        self.charge(cost).await;
+        out
+    }
+
+    /// Uniform-address atomic add: every active lane adds `v` to `addr`.
+    /// Returns the old value seen by the *first* active lane.
+    pub async fn atomic_add_uniform(&self, mask: LaneMask, addr: Addr, v: u32) -> u32 {
+        let addrs = [addr; WARP_SIZE];
+        let vals = [v; WARP_SIZE];
+        let old = self.atomic_rmw(mask, AtomicOp::Add, &addrs, &vals).await;
+        mask.leader().map_or(0, |l| old[l])
+    }
+
+    /// Single-lane load convenience wrapper.
+    pub async fn load_one(&self, lane: usize, addr: Addr) -> u32 {
+        let mut addrs = [Addr::NULL; WARP_SIZE];
+        addrs[lane] = addr;
+        self.load(LaneMask::lane(lane), &addrs).await[lane]
+    }
+
+    /// Single-lane store convenience wrapper.
+    pub async fn store_one(&self, lane: usize, addr: Addr, v: u32) {
+        let mut addrs = [Addr::NULL; WARP_SIZE];
+        let mut vals = [0u32; WARP_SIZE];
+        addrs[lane] = addr;
+        vals[lane] = v;
+        self.store(LaneMask::lane(lane), &addrs, &vals).await;
+    }
+
+    /// Single-lane CAS convenience wrapper. Returns the old value.
+    pub async fn atomic_cas_one(&self, lane: usize, addr: Addr, cmp: u32, new: u32) -> u32 {
+        let mut addrs = [Addr::NULL; WARP_SIZE];
+        addrs[lane] = addr;
+        let mut cmps = [0u32; WARP_SIZE];
+        cmps[lane] = cmp;
+        let mut news = [0u32; WARP_SIZE];
+        news[lane] = new;
+        self.atomic_cas(LaneMask::lane(lane), &addrs, &cmps, &news).await[lane]
+    }
+
+    /// `threadfence()`: orders this warp's prior memory accesses before its
+    /// later ones. The simulator's global instruction order is already
+    /// sequentially consistent, so the fence only costs time — but STM code
+    /// issues it wherever the paper's algorithm does, so fence traffic is
+    /// faithfully accounted.
+    pub async fn fence(&self, mask: LaneMask) {
+        self.note_instruction(mask);
+        let cost = {
+            let st = &mut *self.st.borrow_mut();
+            st.stats.fences += 1;
+            st.timing.fence
+        };
+        self.charge(cost).await;
+    }
+
+    /// Charges `cycles` of busy/idle time (pipeline work, backoff delays).
+    pub async fn idle(&self, cycles: u64) {
+        {
+            let st = &mut *self.st.borrow_mut();
+            st.stats.idle_cycles += cycles;
+        }
+        self.charge(cycles).await;
+    }
+
+    /// Charges the cost of an arithmetic warp instruction.
+    pub async fn alu(&self, mask: LaneMask) {
+        self.note_instruction(mask);
+        let cost = self.st.borrow().timing.alu;
+        self.charge(cost).await;
+    }
+
+    /// Charges `ops` accesses to thread-local (L1-cached) metadata, such as
+    /// read-/write-set entries. With GPU-STM's coalesced set organisation a
+    /// warp-wide set append is one such access; uncoalesced layouts charge
+    /// one per lane (see the ablation benches).
+    pub async fn local_access(&self, mask: LaneMask, ops: u32) {
+        self.note_instruction(mask);
+        let cost = self.st.borrow().timing.local_access * ops as u64;
+        self.charge(cost).await;
+    }
+}
+
+/// A future that yields control to the scheduler exactly once.
+struct YieldOnce(bool);
+
+impl Future for YieldOnce {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _: &mut Context<'_>) -> Poll<()> {
+        if self.0 {
+            Poll::Ready(())
+        } else {
+            self.0 = true;
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{LaunchConfig, Sim, SimConfig};
+
+    fn sim() -> Sim {
+        Sim::new(SimConfig::with_memory(1 << 16))
+    }
+
+    #[test]
+    fn load_returns_stored_values() {
+        let mut s = sim();
+        let buf = s.alloc(32).unwrap();
+        for i in 0..32 {
+            s.write(buf.offset(i), i * 7);
+        }
+        let out = s.alloc(32).unwrap();
+        s.launch(LaunchConfig::new(1, 32), move |ctx| async move {
+            let mask = ctx.id().launch_mask;
+            let addrs = std::array::from_fn(|l| buf.offset(l as u32));
+            let vals = ctx.load(mask, &addrs).await;
+            let oaddrs = std::array::from_fn(|l| out.offset(l as u32));
+            ctx.store(mask, &oaddrs, &vals).await;
+        })
+        .unwrap();
+        for i in 0..32 {
+            assert_eq!(s.read(out.offset(i)), i * 7);
+        }
+    }
+
+    #[test]
+    fn masked_lanes_do_not_access_memory() {
+        let mut s = sim();
+        let buf = s.alloc(32).unwrap();
+        s.launch(LaunchConfig::new(1, 32), move |ctx| async move {
+            let addrs = std::array::from_fn(|l| buf.offset(l as u32));
+            let vals = [9u32; 32];
+            ctx.store(LaneMask::first_n(4), &addrs, &vals).await;
+        })
+        .unwrap();
+        assert_eq!(s.read(buf.offset(3)), 9);
+        assert_eq!(s.read(buf.offset(4)), 0);
+    }
+
+    #[test]
+    fn cas_same_word_lane_order() {
+        let mut s = sim();
+        let word = s.alloc(1).unwrap();
+        let winners = s.alloc(32).unwrap();
+        s.launch(LaunchConfig::new(1, 32), move |ctx| async move {
+            let mask = ctx.id().launch_mask;
+            let addrs = [word; 32];
+            let cmps = [0u32; 32];
+            let news: [u32; 32] = std::array::from_fn(|l| l as u32 + 1);
+            let old = ctx.atomic_cas(mask, &addrs, &cmps, &news).await;
+            // Exactly lane 0 should have won (old value 0).
+            let waddrs = std::array::from_fn(|l| winners.offset(l as u32));
+            let flags: [u32; 32] = std::array::from_fn(|l| u32::from(old[l] == 0));
+            ctx.store(mask, &waddrs, &flags).await;
+        })
+        .unwrap();
+        assert_eq!(s.read(word), 1); // lane 0's value
+        assert_eq!(s.read(winners.offset(0)), 1);
+        for l in 1..32 {
+            assert_eq!(s.read(winners.offset(l)), 0, "lane {l}");
+        }
+    }
+
+    #[test]
+    fn coalesced_access_is_cheaper_than_strided() {
+        let run = |stride: u32| {
+            let mut s = sim();
+            let buf = s.alloc(32 * stride.max(1)).unwrap();
+            let report = s
+                .launch(LaunchConfig::new(1, 32), move |ctx| async move {
+                    let mask = ctx.id().launch_mask;
+                    let addrs = std::array::from_fn(|l| buf.offset(l as u32 * stride));
+                    let _ = ctx.load(mask, &addrs).await;
+                })
+                .unwrap();
+            (report.cycles, report.stats.mem_transactions)
+        };
+        let (coalesced_cycles, coalesced_tx) = run(1);
+        let (strided_cycles, strided_tx) = run(32);
+        assert_eq!(coalesced_tx, 1);
+        assert_eq!(strided_tx, 32);
+        assert!(strided_cycles > coalesced_cycles);
+    }
+
+    #[test]
+    fn l2_hit_faster_than_miss() {
+        let mut s = sim();
+        let buf = s.alloc(32).unwrap();
+        let report = s
+            .launch(LaunchConfig::new(1, 32), move |ctx| async move {
+                let mask = ctx.id().launch_mask;
+                let addrs = std::array::from_fn(|l| buf.offset(l as u32));
+                let t0 = ctx.now();
+                let _ = ctx.load(mask, &addrs).await;
+                let t1 = ctx.now();
+                let _ = ctx.load(mask, &addrs).await;
+                let t2 = ctx.now();
+                assert!(t2 - t1 < t1 - t0, "hit {} vs miss {}", t2 - t1, t1 - t0);
+            })
+            .unwrap();
+        assert_eq!(report.stats.l2_hits, 1);
+        assert_eq!(report.stats.l2_misses, 1);
+    }
+
+    #[test]
+    fn single_lane_helpers() {
+        let mut s = sim();
+        let a = s.alloc(4).unwrap();
+        s.launch(LaunchConfig::new(1, 32), move |ctx| async move {
+            ctx.store_one(3, a, 11).await;
+            let v = ctx.load_one(3, a).await;
+            ctx.store_one(3, a.offset(1), v + 1).await;
+            let old = ctx.atomic_cas_one(5, a.offset(2), 0, 99).await;
+            ctx.store_one(5, a.offset(3), old).await;
+        })
+        .unwrap();
+        assert_eq!(s.read(a), 11);
+        assert_eq!(s.read(a.offset(1)), 12);
+        assert_eq!(s.read(a.offset(2)), 99);
+        assert_eq!(s.read(a.offset(3)), 0);
+    }
+
+    #[test]
+    fn stats_count_instruction_mix() {
+        let mut s = sim();
+        let a = s.alloc(64).unwrap();
+        let report = s
+            .launch(LaunchConfig::new(1, 32), move |ctx| async move {
+                let mask = ctx.id().launch_mask;
+                let addrs = std::array::from_fn(|l| a.offset(l as u32));
+                let vals = [1u32; 32];
+                ctx.store(mask, &addrs, &vals).await;
+                let _ = ctx.load(mask, &addrs).await;
+                ctx.fence(mask).await;
+                ctx.atomic_add_uniform(mask, a, 1).await;
+                ctx.alu(mask).await;
+                ctx.local_access(mask, 2).await;
+            })
+            .unwrap();
+        assert_eq!(report.stats.stores, 1);
+        assert_eq!(report.stats.loads, 1);
+        assert_eq!(report.stats.fences, 1);
+        assert_eq!(report.stats.atomics, 1);
+        assert!(report.stats.instructions >= 6);
+    }
+
+    #[test]
+    fn divergence_counted() {
+        let mut s = sim();
+        let a = s.alloc(32).unwrap();
+        let report = s
+            .launch(LaunchConfig::new(1, 32), move |ctx| async move {
+                let addrs = std::array::from_fn(|l| a.offset(l as u32));
+                let _ = ctx.load(LaneMask::first_n(7), &addrs).await;
+            })
+            .unwrap();
+        assert_eq!(report.stats.divergent_instructions, 1);
+        assert!(report.stats.simt_efficiency() < 1.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! GPU-STM runtime configuration.
+
+/// Configuration shared by all lock-based STM variants.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StmConfig {
+    /// Number of global version locks (the paper's default is 2^20 = 1M).
+    /// Must be a power of two.
+    pub n_locks: u32,
+    /// Run the optional value-based validation *before* acquiring commit
+    /// locks (Algorithm 3 line 71) to shed doomed transactions early and
+    /// reduce lock contention.
+    pub pre_commit_vbv: bool,
+    /// Organise read-/write-sets in the coalesced warp-merged layout
+    /// (Section 3.1). Disabling models a naive per-thread layout and
+    /// charges one local transaction per active lane instead of one per
+    /// warp — used by the ablation benches.
+    pub coalesced_sets: bool,
+    /// Buckets in the order-preserving lock-log hash table. `1` degrades
+    /// to the flat O(n²) sorted list the paper describes as the
+    /// unoptimised baseline.
+    pub locklog_buckets: u32,
+    /// Lock *read* stripes at commit as well as written ones. GPU-STM
+    /// requires this under lockstep execution (Section 3.2.2's T1/T2
+    /// starvation example); disabling reproduces the CPU-STM convention
+    /// (TL2-style write-only locking) and is used by the ablation benches
+    /// and the starvation test.
+    pub lock_read_set: bool,
+    /// Use the per-lane Bloom filter for the read barrier's write-set
+    /// lookup (Algorithm 3 line 22). Disabling falls back to a full
+    /// write-set scan, charged accordingly.
+    pub write_set_bloom: bool,
+}
+
+impl StmConfig {
+    /// Paper defaults, scaled: 2^20 global version locks, hash-table
+    /// lock-log, coalesced sets, no pre-commit validation.
+    pub fn new(n_locks: u32) -> Self {
+        assert!(n_locks.is_power_of_two(), "n_locks must be a power of two");
+        StmConfig {
+            n_locks,
+            pre_commit_vbv: false,
+            coalesced_sets: true,
+            locklog_buckets: 16,
+            lock_read_set: true,
+            write_set_bloom: true,
+        }
+    }
+}
+
+impl Default for StmConfig {
+    fn default() -> Self {
+        StmConfig::new(1 << 20)
+    }
+}
+
+/// Which conflict-detection strategy a [`LockStm`](crate::variants::LockStm)
+/// uses (Section 3.1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Validation {
+    /// Timestamp-based validation only (TL2-style): a stale snapshot
+    /// aborts the transaction, so stripe aliasing causes false conflicts.
+    Tbv,
+    /// Hierarchical validation: timestamps first, falling back to
+    /// value-based validation to filter false conflicts.
+    Hv,
+}
+
+/// How commit-time locks are acquired without livelocking under lockstep
+/// execution.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Locking {
+    /// Encounter-time lock-sorting: all transactions acquire locks in
+    /// ascending global lock-id order (Section 3.1).
+    Sorted,
+    /// GPU-specific backoff: warp lanes first try in parallel in encounter
+    /// order; lanes that fail retry one at a time while the rest of the
+    /// warp waits (Section 4.2's STM-HV-Backoff).
+    Backoff,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = StmConfig::default();
+        assert_eq!(c.n_locks, 1 << 20);
+        assert!(c.coalesced_sets);
+        assert!(!c.pre_commit_vbv);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_locks_rejected() {
+        let _ = StmConfig::new(1000);
+    }
+}

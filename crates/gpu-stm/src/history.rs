@@ -1,0 +1,102 @@
+//! Transactional history recording, consumed by the `tm-check` crate's
+//! opacity/serializability checker.
+//!
+//! When a [`Recorder`] is attached to an STM variant, every committed
+//! transaction logs its full read- and write-set together with the commit
+//! version it obtained from the global clock, and every abort is counted.
+//! The log is totally ordered by recording time, which in the simulator's
+//! single-threaded event loop is a legal linear extension of real time.
+
+use gpu_sim::Addr;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One read or write observed by a committed transaction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// Data address.
+    pub addr: Addr,
+    /// Value read (for reads) or published (for writes).
+    pub val: u32,
+}
+
+/// A committed transaction, as recorded at its commit point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommittedTx {
+    /// Global thread id that ran the transaction.
+    pub tid: u32,
+    /// Commit version drawn from the global clock; `None` for read-only
+    /// transactions (which linearise at their snapshot instead).
+    pub version: Option<u32>,
+    /// Snapshot the transaction last validated against.
+    pub snapshot: u32,
+    /// All transactional reads (address, value seen).
+    pub reads: Vec<Access>,
+    /// All transactional writes (address, value published).
+    pub writes: Vec<Access>,
+}
+
+impl CommittedTx {
+    /// Whether the transaction published no writes.
+    pub fn is_read_only(&self) -> bool {
+        self.writes.is_empty()
+    }
+}
+
+/// A complete recorded history.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    /// Committed transactions in recording (real-time commit) order.
+    pub commits: Vec<CommittedTx>,
+    /// Count of aborted attempts.
+    pub aborts: u64,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+}
+
+/// Shared recording handle attached to STM variants.
+pub type Recorder = Rc<RefCell<History>>;
+
+/// Creates a fresh recorder.
+pub fn recorder() -> Recorder {
+    Rc::new(RefCell::new(History::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_inspect() {
+        let rec = recorder();
+        rec.borrow_mut().commits.push(CommittedTx {
+            tid: 3,
+            version: Some(1),
+            snapshot: 0,
+            reads: vec![Access { addr: Addr(5), val: 0 }],
+            writes: vec![Access { addr: Addr(5), val: 9 }],
+        });
+        rec.borrow_mut().aborts += 2;
+        let h = rec.borrow();
+        assert_eq!(h.commits.len(), 1);
+        assert!(!h.commits[0].is_read_only());
+        assert_eq!(h.aborts, 2);
+    }
+
+    #[test]
+    fn read_only_detection() {
+        let tx = CommittedTx {
+            tid: 0,
+            version: None,
+            snapshot: 4,
+            reads: vec![],
+            writes: vec![],
+        };
+        assert!(tx.is_read_only());
+    }
+}

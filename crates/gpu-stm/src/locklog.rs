@@ -1,0 +1,234 @@
+//! Encounter-time lock-sorting: the per-transaction local lock table
+//! (Sections 3.1 and 3.2.1).
+//!
+//! On every transactional read or write, the global lock index guarding the
+//! accessed stripe is inserted — *in sorted position* — into the
+//! transaction's lock-log, together with read-/write-bits. At commit the
+//! log is walked in ascending lock-id order, so all transactions
+//! system-wide acquire locks in one global order and livelock is impossible
+//! even under lockstep execution.
+//!
+//! A flat sorted list makes insertion O(n²) over the transaction's life;
+//! the paper reduces this with an *order-preserving hash table*: an
+//! incoming lock is hashed to a bucket by its high bits (so bucket order =
+//! lock order) and inserted in sorted position within the bucket. Walking
+//! buckets in order then yields the globally sorted sequence.
+
+/// One lock-log entry: a global lock index plus whether the transaction
+/// read from / wrote to the stripe it guards.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct LockEntry {
+    /// Index into the global lock table.
+    pub lock: u32,
+    /// The stripe was transactionally read (commit must validate it).
+    pub read: bool,
+    /// The stripe was transactionally written (commit publishes a new
+    /// version to it).
+    pub write: bool,
+}
+
+/// A per-lane order-preserving hash table of lock indices.
+#[derive(Clone, Debug)]
+pub struct LockLog {
+    buckets: Vec<Vec<LockEntry>>,
+    /// log2 of the global lock-table size, for bucket selection by high bits.
+    lock_bits: u32,
+    len: usize,
+}
+
+impl LockLog {
+    /// Creates a log with `n_buckets` buckets for a global table of
+    /// `n_locks` locks. `n_buckets == 1` degrades to the flat sorted list.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both arguments are powers of two and
+    /// `n_buckets <= n_locks`.
+    pub fn new(n_buckets: u32, n_locks: u32) -> Self {
+        assert!(n_buckets.is_power_of_two(), "bucket count must be a power of two");
+        assert!(n_locks.is_power_of_two(), "lock count must be a power of two");
+        assert!(n_buckets <= n_locks, "more buckets than locks");
+        LockLog {
+            buckets: vec![Vec::new(); n_buckets as usize],
+            lock_bits: n_locks.trailing_zeros(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, lock: u32) -> usize {
+        // High bits preserve order across buckets.
+        let bucket_bits = (self.buckets.len() as u32).trailing_zeros();
+        (lock >> (self.lock_bits - bucket_bits)) as usize
+    }
+
+    /// Number of distinct locks recorded.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no lock has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether any recorded stripe was written.
+    pub fn has_writes(&self) -> bool {
+        self.buckets.iter().flatten().any(|e| e.write)
+    }
+
+    /// Inserts `lock` with the given intent, merging bits if it is already
+    /// present (duplication is avoided, Section 3.1). Returns the number
+    /// of comparison steps performed — the cost the timing model charges.
+    pub fn insert(&mut self, lock: u32, read: bool, write: bool) -> u32 {
+        let b = self.bucket_of(lock);
+        let bucket = &mut self.buckets[b];
+        let mut comparisons = 0;
+        for i in 0..bucket.len() {
+            comparisons += 1;
+            if bucket[i].lock == lock {
+                bucket[i].read |= read;
+                bucket[i].write |= write;
+                return comparisons;
+            }
+            if bucket[i].lock > lock {
+                bucket.insert(i, LockEntry { lock, read, write });
+                self.len += 1;
+                return comparisons;
+            }
+        }
+        bucket.push(LockEntry { lock, read, write });
+        self.len += 1;
+        comparisons
+    }
+
+    /// Looks up the entry for `lock`, if present.
+    pub fn get(&self, lock: u32) -> Option<LockEntry> {
+        let b = self.bucket_of(lock);
+        self.buckets[b].iter().copied().find(|e| e.lock == lock)
+    }
+
+    /// Iterates entries in ascending global lock order — the commit-time
+    /// acquisition order.
+    pub fn iter_sorted(&self) -> impl Iterator<Item = LockEntry> + '_ {
+        self.buckets.iter().flatten().copied()
+    }
+
+    /// The `k`-th entry in sorted order. O(buckets) to locate; commit
+    /// walks with an explicit cursor instead, but this is convenient for
+    /// lockstep round `k` access.
+    pub fn nth_sorted(&self, k: usize) -> Option<LockEntry> {
+        let mut rem = k;
+        for b in &self.buckets {
+            if rem < b.len() {
+                return Some(b[rem]);
+            }
+            rem -= b.len();
+        }
+        None
+    }
+
+    /// Clears the log.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(log: &LockLog) -> Vec<u32> {
+        log.iter_sorted().map(|e| e.lock).collect()
+    }
+
+    #[test]
+    fn insert_keeps_global_order() {
+        let mut log = LockLog::new(4, 64);
+        for lock in [50, 3, 17, 40, 9, 0, 63] {
+            log.insert(lock, true, false);
+        }
+        assert_eq!(collect(&log), vec![0, 3, 9, 17, 40, 50, 63]);
+        assert_eq!(log.len(), 7);
+    }
+
+    #[test]
+    fn duplicates_merge_bits() {
+        let mut log = LockLog::new(4, 64);
+        log.insert(5, true, false);
+        log.insert(5, false, true);
+        assert_eq!(log.len(), 1);
+        let e = log.get(5).unwrap();
+        assert!(e.read && e.write);
+    }
+
+    #[test]
+    fn flat_single_bucket_still_sorted_but_more_comparisons() {
+        let mut flat = LockLog::new(1, 64);
+        let mut hashed = LockLog::new(16, 64);
+        let locks: Vec<u32> = (0..32).map(|i| (i * 37) % 64).collect();
+        let mut flat_cmp = 0;
+        let mut hashed_cmp = 0;
+        for &l in &locks {
+            flat_cmp += flat.insert(l, true, false);
+            hashed_cmp += hashed.insert(l, true, false);
+        }
+        assert_eq!(collect(&flat), collect(&hashed));
+        assert!(
+            hashed_cmp < flat_cmp,
+            "hash table should reduce comparisons: {hashed_cmp} vs {flat_cmp}"
+        );
+    }
+
+    #[test]
+    fn nth_sorted_matches_iteration() {
+        let mut log = LockLog::new(4, 64);
+        for lock in [9, 1, 33, 62] {
+            log.insert(lock, false, true);
+        }
+        let via_iter = collect(&log);
+        for (k, expect) in via_iter.iter().enumerate() {
+            assert_eq!(log.nth_sorted(k).unwrap().lock, *expect);
+        }
+        assert!(log.nth_sorted(4).is_none());
+    }
+
+    #[test]
+    fn has_writes() {
+        let mut log = LockLog::new(2, 16);
+        log.insert(3, true, false);
+        assert!(!log.has_writes());
+        log.insert(3, false, true);
+        assert!(log.has_writes());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut log = LockLog::new(2, 16);
+        log.insert(3, true, true);
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.nth_sorted(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_bucket_count_rejected() {
+        let _ = LockLog::new(3, 16);
+    }
+
+    #[test]
+    fn bucket_order_uses_high_bits() {
+        // With 2 buckets over 16 locks, locks 0-7 land in bucket 0 and 8-15
+        // in bucket 1, so cross-bucket iteration is globally sorted.
+        let mut log = LockLog::new(2, 16);
+        log.insert(12, true, false);
+        log.insert(2, true, false);
+        log.insert(8, true, false);
+        log.insert(7, true, false);
+        assert_eq!(collect(&log), vec![2, 7, 8, 12]);
+    }
+}

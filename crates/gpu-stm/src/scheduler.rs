@@ -1,0 +1,339 @@
+//! An adaptive transaction scheduler — the paper's stated future work
+//! (Section 4.2): *"the increasing number of threads can result in more
+//! conflicts among transactions thus higher abort rates. This is a
+//! tradeoff between concurrency and efficiency … a transaction scheduler
+//! that dynamically adjusts concurrency would simplify the optimization
+//! of GPU-STM programs."*
+//!
+//! [`Scheduled`] wraps any [`Stm`] runtime and throttles how many
+//! transactions may be in flight at once. Admission happens in `begin`
+//! (lanes beyond the current limit are refused and retry later — the
+//! kernel's pending-mask loop already handles that); the limit adapts by
+//! additive-increase/multiplicative-decrease on the abort rate observed
+//! over a sliding window. High-conflict workloads such as k-means collapse
+//! to a small concurrency where they stop thrashing; low-conflict
+//! workloads ramp to full parallelism.
+
+use crate::api::Stm;
+use crate::stats::StatsHandle;
+use crate::warptx::WarpTx;
+use gpu_sim::{LaneAddrs, LaneMask, LaneVals, WarpCtx};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Tuning knobs for the adaptive scheduler.
+#[derive(Copy, Clone, Debug)]
+pub struct SchedulerConfig {
+    /// Initial concurrency limit (in-flight transactions).
+    pub initial_limit: u32,
+    /// Lower bound on the limit (never throttle below this).
+    pub min_limit: u32,
+    /// Upper bound on the limit.
+    pub max_limit: u32,
+    /// Attempts per adaptation window.
+    pub window: u64,
+    /// Abort rate above which the limit is halved.
+    pub high_water: f64,
+    /// Abort rate below which the limit grows.
+    pub low_water: f64,
+    /// Additive increase step, applied when the abort rate sits between
+    /// the watermarks' comfortable zone; below `low_water` the limit
+    /// doubles (slow-start) so uncontended workloads reach full
+    /// concurrency quickly.
+    pub step: u32,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            initial_limit: 1024,
+            min_limit: 8,
+            max_limit: 1 << 20,
+            window: 512,
+            high_water: 0.5,
+            low_water: 0.1,
+            step: 32,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SchedState {
+    cfg: SchedulerConfig,
+    limit: u32,
+    in_flight: u32,
+    window_commits: u64,
+    window_aborts: u64,
+    adaptations: u64,
+}
+
+impl SchedState {
+    fn record(&mut self, committed: u32, aborted: u32) {
+        self.window_commits += committed as u64;
+        self.window_aborts += aborted as u64;
+        let total = self.window_commits + self.window_aborts;
+        if total >= self.cfg.window {
+            let rate = self.window_aborts as f64 / total as f64;
+            if rate > self.cfg.high_water {
+                self.limit = (self.limit / 2).max(self.cfg.min_limit);
+            } else if rate < self.cfg.low_water {
+                // Slow-start: double while conflicts stay rare.
+                self.limit = (self.limit * 2).min(self.cfg.max_limit);
+            } else if rate < self.cfg.high_water / 2.0 {
+                self.limit = (self.limit + self.cfg.step).min(self.cfg.max_limit);
+            }
+            self.window_commits = 0;
+            self.window_aborts = 0;
+            self.adaptations += 1;
+        }
+    }
+}
+
+/// Wraps an STM runtime with adaptive concurrency control.
+///
+/// The wrapper is transparent to kernels: refused lanes simply see an
+/// empty mask from `begin` and retry, exactly like a contended CGL/EGPGV
+/// admission.
+#[derive(Clone)]
+pub struct Scheduled<S> {
+    inner: S,
+    state: Rc<RefCell<SchedState>>,
+}
+
+impl<S: std::fmt::Debug> std::fmt::Debug for Scheduled<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduled").field("inner", &self.inner).finish_non_exhaustive()
+    }
+}
+
+impl<S: Stm> Scheduled<S> {
+    /// Wraps `inner` with the given scheduler configuration.
+    pub fn new(inner: S, cfg: SchedulerConfig) -> Self {
+        let state = SchedState {
+            limit: cfg.initial_limit.clamp(cfg.min_limit, cfg.max_limit),
+            cfg,
+            in_flight: 0,
+            window_commits: 0,
+            window_aborts: 0,
+            adaptations: 0,
+        };
+        Scheduled { inner, state: Rc::new(RefCell::new(state)) }
+    }
+
+    /// Wraps `inner` with default tuning.
+    pub fn with_defaults(inner: S) -> Self {
+        Scheduled::new(inner, SchedulerConfig::default())
+    }
+
+    /// Current concurrency limit (for tests and reporting).
+    pub fn current_limit(&self) -> u32 {
+        self.state.borrow().limit
+    }
+
+    /// Number of completed adaptation windows.
+    pub fn adaptations(&self) -> u64 {
+        self.state.borrow().adaptations
+    }
+
+    /// The wrapped runtime.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Stm> Stm for Scheduled<S> {
+    fn name(&self) -> &'static str {
+        "Scheduled"
+    }
+
+    fn new_warp(&self) -> WarpTx {
+        self.inner.new_warp()
+    }
+
+    fn stats(&self) -> StatsHandle {
+        self.inner.stats()
+    }
+
+    async fn begin(&self, w: &mut WarpTx, ctx: &WarpCtx, want: LaneMask) -> LaneMask {
+        // Admission control: take as many lanes as the limit allows.
+        let granted = {
+            let mut st = self.state.borrow_mut();
+            let slots = st.limit.saturating_sub(st.in_flight);
+            if slots == 0 {
+                LaneMask::EMPTY
+            } else {
+                let mut granted = LaneMask::EMPTY;
+                for l in want.iter().take(slots as usize) {
+                    granted |= LaneMask::lane(l);
+                }
+                st.in_flight += granted.count();
+                granted
+            }
+        };
+        if granted.none() {
+            // Refused: idle briefly so retries don't spin hot.
+            ctx.idle(200).await;
+            return LaneMask::EMPTY;
+        }
+        let admitted = self.inner.begin(w, ctx, granted).await;
+        // If the inner runtime admitted fewer lanes, return the slots.
+        let refused = granted & !admitted;
+        if refused.any() {
+            self.state.borrow_mut().in_flight -= refused.count();
+        }
+        admitted
+    }
+
+    async fn read(
+        &self,
+        w: &mut WarpTx,
+        ctx: &WarpCtx,
+        mask: LaneMask,
+        addrs: &LaneAddrs,
+    ) -> LaneVals {
+        self.inner.read(w, ctx, mask, addrs).await
+    }
+
+    async fn write(
+        &self,
+        w: &mut WarpTx,
+        ctx: &WarpCtx,
+        mask: LaneMask,
+        addrs: &LaneAddrs,
+        vals: &LaneVals,
+    ) {
+        self.inner.write(w, ctx, mask, addrs, vals).await
+    }
+
+    async fn commit(&self, w: &mut WarpTx, ctx: &WarpCtx, mask: LaneMask) -> LaneMask {
+        let committed = self.inner.commit(w, ctx, mask).await;
+        let mut st = self.state.borrow_mut();
+        st.in_flight = st.in_flight.saturating_sub(mask.count());
+        st.record(committed.count(), (mask & !committed).count());
+        committed
+    }
+
+    fn opaque(&self, w: &WarpTx) -> LaneMask {
+        self.inner.opaque(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StmConfig;
+    use crate::shared::StmShared;
+    use crate::variants::LockStm;
+    use gpu_sim::{LaunchConfig, Sim, SimConfig};
+
+    fn setup(locks: u32) -> (Sim, StmShared, StmConfig) {
+        let mut simcfg = SimConfig::with_memory(1 << 18);
+        simcfg.watchdog_cycles = 1 << 33;
+        let mut sim = Sim::new(simcfg);
+        let cfg = StmConfig::new(locks);
+        let shared = StmShared::init(&mut sim, &cfg).unwrap();
+        (sim, shared, cfg)
+    }
+
+    /// Runs a contended counter workload under the scheduler; returns the
+    /// wrapper for limit inspection plus total of counters.
+    fn run_contended(
+        sched_cfg: SchedulerConfig,
+        n_counters: u32,
+        grid: LaunchConfig,
+        incr: u32,
+    ) -> (Rc<Scheduled<LockStm>>, u64, u64) {
+        let (mut sim, shared, cfg) = setup(1 << 6);
+        let counters = sim.alloc(n_counters).unwrap();
+        let stm = Rc::new(Scheduled::new(LockStm::hv_sorting(shared, cfg), sched_cfg));
+        let kstm = Rc::clone(&stm);
+        sim.launch(grid, move |ctx| {
+            let stm = Rc::clone(&kstm);
+            async move {
+                let mut w = stm.new_warp();
+                let mut rng = gpu_sim::WarpRng::new(1, ctx.id().thread_id(0));
+                let mut remaining = [incr; 32];
+                loop {
+                    let pending = ctx.id().launch_mask.filter(|l| remaining[l] > 0);
+                    if pending.none() {
+                        break;
+                    }
+                    let active = stm.begin(&mut w, &ctx, pending).await;
+                    if active.none() {
+                        continue;
+                    }
+                    let addrs = crate::api::lane_addrs(active, |l| {
+                        counters.offset(rng.below(l, n_counters))
+                    });
+                    let vals = stm.read(&mut w, &ctx, active, &addrs).await;
+                    let ok = active & stm.opaque(&w);
+                    let upd = crate::api::lane_vals(ok, |l| vals[l] + 1);
+                    stm.write(&mut w, &ctx, ok, &addrs, &upd).await;
+                    let committed = stm.commit(&mut w, &ctx, active).await;
+                    for l in committed.iter() {
+                        remaining[l] -= 1;
+                    }
+                }
+            }
+        })
+        .unwrap();
+        let total = sim.read_slice(counters, n_counters).iter().map(|v| *v as u64).sum();
+        let expected = grid.total_threads() * incr as u64;
+        (stm, total, expected)
+    }
+
+    #[test]
+    fn scheduler_preserves_correctness() {
+        let (_, total, expected) =
+            run_contended(SchedulerConfig::default(), 64, LaunchConfig::new(4, 64), 3);
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn high_conflict_throttles_limit() {
+        let cfg = SchedulerConfig {
+            initial_limit: 1024,
+            window: 64,
+            ..SchedulerConfig::default()
+        };
+        // 2 counters, 256 threads: extreme conflict.
+        let (stm, total, expected) = run_contended(cfg, 2, LaunchConfig::new(4, 64), 4);
+        assert_eq!(total, expected);
+        assert!(stm.adaptations() > 0, "windows must have completed");
+        assert!(
+            stm.current_limit() < 256,
+            "limit should shrink under conflict, is {}",
+            stm.current_limit()
+        );
+    }
+
+    #[test]
+    fn low_conflict_grows_limit() {
+        let cfg = SchedulerConfig {
+            initial_limit: 16,
+            window: 64,
+            ..SchedulerConfig::default()
+        };
+        // Many counters, few threads: nearly conflict-free.
+        let (stm, total, expected) = run_contended(cfg, 4096, LaunchConfig::new(4, 64), 4);
+        assert_eq!(total, expected);
+        assert!(
+            stm.current_limit() > 16,
+            "limit should grow when aborts are rare, is {}",
+            stm.current_limit()
+        );
+    }
+
+    #[test]
+    fn limit_respects_floor() {
+        let cfg = SchedulerConfig {
+            initial_limit: 16,
+            min_limit: 8,
+            window: 32,
+            ..SchedulerConfig::default()
+        };
+        let (stm, total, expected) = run_contended(cfg, 1, LaunchConfig::new(4, 64), 2);
+        assert_eq!(total, expected);
+        assert!(stm.current_limit() >= 8);
+    }
+}

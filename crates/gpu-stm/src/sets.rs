@@ -1,0 +1,267 @@
+//! Transaction read- and write-sets with coalesced warp-merged layout.
+//!
+//! Section 3.1: the read-/write-sets of the 32 transactions of a warp are
+//! merged so that entry `i` of the merged set belongs to lane `i mod 32`.
+//! When a warp appends one entry per active lane in lockstep, the 32 slots
+//! are consecutive in memory and the bookkeeping store coalesces into a
+//! single memory transaction.
+//!
+//! The simulator keeps log *contents* host-side for speed but mirrors the
+//! layout exactly: storage grows in 32-wide strips, and the timing charge
+//! for an append round is one local transaction in coalesced mode versus
+//! one per lane otherwise (see [`StmConfig::coalesced_sets`]).
+//!
+//! [`StmConfig::coalesced_sets`]: crate::StmConfig::coalesced_sets
+
+use gpu_sim::{Addr, WARP_SIZE};
+
+/// One logged access: address and value.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// Data address.
+    pub addr: Addr,
+    /// Value read from, or to be written to, `addr`.
+    pub val: u32,
+}
+
+/// A warp-merged log: per-lane sequences stored in interleaved strips.
+#[derive(Clone, Debug, Default)]
+pub struct WarpLog {
+    /// Strips of 32 entries; lane `l`'s `k`-th entry is `strips[k][l]`.
+    strips: Vec<[Entry; WARP_SIZE]>,
+    len: [u16; WARP_SIZE],
+}
+
+impl WarpLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        WarpLog::default()
+    }
+
+    /// Number of entries logged by `lane`.
+    #[inline]
+    pub fn len(&self, lane: usize) -> usize {
+        self.len[lane] as usize
+    }
+
+    /// Whether `lane` has logged nothing.
+    #[inline]
+    pub fn is_empty(&self, lane: usize) -> bool {
+        self.len[lane] == 0
+    }
+
+    /// Longest per-lane length — the number of lockstep rounds needed to
+    /// walk every lane's log.
+    pub fn max_len(&self) -> usize {
+        self.len.iter().copied().max().unwrap_or(0) as usize
+    }
+
+    /// Appends an entry for `lane`.
+    pub fn push(&mut self, lane: usize, addr: Addr, val: u32) {
+        let k = self.len[lane] as usize;
+        if k == self.strips.len() {
+            self.strips.push([Entry { addr: Addr::NULL, val: 0 }; WARP_SIZE]);
+        }
+        self.strips[k][lane] = Entry { addr, val };
+        self.len[lane] += 1;
+    }
+
+    /// The `k`-th entry of `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.len(lane)`.
+    #[inline]
+    pub fn get(&self, lane: usize, k: usize) -> Entry {
+        assert!(k < self.len(lane), "log index out of range");
+        self.strips[k][lane]
+    }
+
+    /// Overwrites the value of the `k`-th entry of `lane`.
+    pub fn set_val(&mut self, lane: usize, k: usize, val: u32) {
+        assert!(k < self.len(lane), "log index out of range");
+        self.strips[k][lane].val = val;
+    }
+
+    /// Linear scan for `addr` in `lane`'s log (newest first). Returns the
+    /// entry index.
+    pub fn find(&self, lane: usize, addr: Addr) -> Option<usize> {
+        (0..self.len(lane)).rev().find(|&k| self.strips[k][lane].addr == addr)
+    }
+
+    /// Iterates `lane`'s entries in append order.
+    pub fn iter_lane(&self, lane: usize) -> impl Iterator<Item = Entry> + '_ {
+        (0..self.len(lane)).map(move |k| self.strips[k][lane])
+    }
+
+    /// Clears `lane`'s log (other lanes unaffected).
+    pub fn clear_lane(&mut self, lane: usize) {
+        self.len[lane] = 0;
+    }
+}
+
+/// A per-lane write-set: a [`WarpLog`] plus a Bloom filter per lane for the
+/// read barrier's fast "have I written this address?" check
+/// (Algorithm 3 line 22).
+#[derive(Clone, Debug, Default)]
+pub struct WriteSet {
+    log: WarpLog,
+    bloom: [u64; WARP_SIZE],
+}
+
+fn bloom_mask(addr: Addr) -> u64 {
+    // Two independent bit positions from a 64-bit mix of the address.
+    let x = (addr.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let b1 = (x >> 58) & 63;
+    let b2 = (x >> 52) & 63;
+    (1 << b1) | (1 << b2)
+}
+
+impl WriteSet {
+    /// Creates an empty write-set.
+    pub fn new() -> Self {
+        WriteSet::default()
+    }
+
+    /// Underlying warp-merged log.
+    pub fn log(&self) -> &WarpLog {
+        &self.log
+    }
+
+    /// Number of distinct writes buffered by `lane`.
+    pub fn len(&self, lane: usize) -> usize {
+        self.log.len(lane)
+    }
+
+    /// Whether `lane` has buffered no writes (a read-only transaction).
+    pub fn is_empty(&self, lane: usize) -> bool {
+        self.log.is_empty(lane)
+    }
+
+    /// Longest per-lane write-set.
+    pub fn max_len(&self) -> usize {
+        self.log.max_len()
+    }
+
+    /// Buffers a write, overwriting any previous value for `addr`.
+    pub fn insert(&mut self, lane: usize, addr: Addr, val: u32) {
+        if let Some(k) = self.lookup_index(lane, addr) {
+            self.log.set_val(lane, k, val);
+        } else {
+            self.log.push(lane, addr, val);
+            self.bloom[lane] |= bloom_mask(addr);
+        }
+    }
+
+    fn lookup_index(&self, lane: usize, addr: Addr) -> Option<usize> {
+        if self.bloom[lane] & bloom_mask(addr) != bloom_mask(addr) {
+            return None; // definite miss
+        }
+        self.log.find(lane, addr)
+    }
+
+    /// Returns the buffered value for `addr`, if `lane` wrote it.
+    pub fn lookup(&self, lane: usize, addr: Addr) -> Option<u32> {
+        self.lookup_index(lane, addr).map(|k| self.log.get(lane, k).val)
+    }
+
+    /// The `k`-th buffered write of `lane`.
+    pub fn get(&self, lane: usize, k: usize) -> Entry {
+        self.log.get(lane, k)
+    }
+
+    /// Iterates `lane`'s buffered writes in program order.
+    pub fn iter_lane(&self, lane: usize) -> impl Iterator<Item = Entry> + '_ {
+        self.log.iter_lane(lane)
+    }
+
+    /// Clears `lane`'s write-set and Bloom filter.
+    pub fn clear_lane(&mut self, lane: usize) {
+        self.log.clear_lane(lane);
+        self.bloom[lane] = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_append_and_get() {
+        let mut l = WarpLog::new();
+        l.push(3, Addr(10), 100);
+        l.push(3, Addr(11), 101);
+        l.push(7, Addr(20), 200);
+        assert_eq!(l.len(3), 2);
+        assert_eq!(l.len(7), 1);
+        assert_eq!(l.len(0), 0);
+        assert_eq!(l.get(3, 1), Entry { addr: Addr(11), val: 101 });
+        assert_eq!(l.get(7, 0), Entry { addr: Addr(20), val: 200 });
+        assert_eq!(l.max_len(), 2);
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let mut l = WarpLog::new();
+        for lane in 0..WARP_SIZE {
+            l.push(lane, Addr(lane as u32), lane as u32 * 2);
+        }
+        l.clear_lane(5);
+        assert!(l.is_empty(5));
+        assert_eq!(l.get(6, 0).val, 12);
+        assert_eq!(l.iter_lane(4).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_past_len_panics() {
+        let mut l = WarpLog::new();
+        l.push(0, Addr(1), 1);
+        let _ = l.get(1, 0); // lane 1 logged nothing, even though a strip exists
+    }
+
+    #[test]
+    fn find_returns_latest() {
+        let mut l = WarpLog::new();
+        l.push(0, Addr(9), 1);
+        l.push(0, Addr(8), 2);
+        l.push(0, Addr(9), 3);
+        assert_eq!(l.find(0, Addr(9)), Some(2));
+        assert_eq!(l.find(0, Addr(7)), None);
+    }
+
+    #[test]
+    fn writeset_overwrites_in_place() {
+        let mut w = WriteSet::new();
+        w.insert(2, Addr(100), 1);
+        w.insert(2, Addr(100), 2);
+        assert_eq!(w.len(2), 1);
+        assert_eq!(w.lookup(2, Addr(100)), Some(2));
+    }
+
+    #[test]
+    fn writeset_bloom_filters_misses() {
+        let mut w = WriteSet::new();
+        for i in 0..8 {
+            w.insert(0, Addr(i * 3), i);
+        }
+        assert_eq!(w.lookup(0, Addr(6)), Some(2));
+        assert_eq!(w.lookup(0, Addr(1_000_000)), None);
+        assert_eq!(w.lookup(1, Addr(0)), None); // other lane unaffected
+    }
+
+    #[test]
+    fn writeset_clear_resets_bloom() {
+        let mut w = WriteSet::new();
+        w.insert(0, Addr(5), 9);
+        w.clear_lane(0);
+        assert!(w.is_empty(0));
+        assert_eq!(w.lookup(0, Addr(5)), None);
+    }
+
+    #[test]
+    fn read_only_detection() {
+        let w = WriteSet::new();
+        assert!(w.is_empty(31));
+    }
+}

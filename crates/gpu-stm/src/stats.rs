@@ -1,0 +1,247 @@
+//! Transactional statistics: commit/abort accounting and the per-phase
+//! execution-time breakdown used for the paper's Figure 5.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Why a transaction attempt aborted.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AbortCause {
+    /// Read-time consistency check failed (snapshot stale, value changed).
+    ReadValidation,
+    /// Commit-time timestamp validation failed (TBV-only mode).
+    CommitTbv,
+    /// Commit-time value-based validation failed.
+    CommitVbv,
+    /// Optional pre-locking value validation failed (Algorithm 3 line 71).
+    PreVbv,
+    /// Encounter-time stripe lock was busy (EGPGV-style blocking STM).
+    LockBusy,
+}
+
+/// Execution phases of a transactional thread, matching the paper's
+/// Figure 5 breakdown categories.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Non-transactional program work.
+    Native = 0,
+    /// `TXBegin`: clock snapshot, metadata reset.
+    Init = 1,
+    /// Read-/write-set and lock-log bookkeeping ("buffering").
+    Buffering = 2,
+    /// Read-time consistency checking and post-validation.
+    Consistency = 3,
+    /// Acquiring and releasing commit locks.
+    Locking = 4,
+    /// Commit-time validation, write-back, clock/version publication.
+    Commit = 5,
+    /// Work belonging to attempts that eventually aborted.
+    Aborted = 6,
+}
+
+/// Number of [`Phase`] categories.
+pub const NUM_PHASES: usize = 7;
+
+/// Cycles attributed to each phase. Fractions arise because warp-level
+/// time is shared across the lanes that were active.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Breakdown {
+    cycles: [f64; NUM_PHASES],
+}
+
+impl Breakdown {
+    /// Creates a zeroed breakdown.
+    pub fn new() -> Self {
+        Breakdown::default()
+    }
+
+    /// Adds `cycles` to `phase`.
+    pub fn add(&mut self, phase: Phase, cycles: f64) {
+        self.cycles[phase as usize] += cycles;
+    }
+
+    /// Cycles attributed to `phase`.
+    pub fn get(&self, phase: Phase) -> f64 {
+        self.cycles[phase as usize]
+    }
+
+    /// Total cycles across phases.
+    pub fn total(&self) -> f64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Percentage share of `phase`, 0 if the breakdown is empty.
+    pub fn percent(&self, phase: Phase) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.get(phase) / t * 100.0
+        }
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &Breakdown) {
+        for i in 0..NUM_PHASES {
+            self.cycles[i] += other.cycles[i];
+        }
+    }
+
+    /// Adds `v` cycles to the phase with raw index `i` (crate-internal:
+    /// used by the proportional attempt flush).
+    pub(crate) fn add_index(&mut self, i: usize, v: f64) {
+        self.cycles[i] += v;
+    }
+}
+
+/// All phases in display order.
+pub const PHASES: [Phase; NUM_PHASES] = [
+    Phase::Native,
+    Phase::Init,
+    Phase::Buffering,
+    Phase::Consistency,
+    Phase::Locking,
+    Phase::Commit,
+    Phase::Aborted,
+];
+
+/// Short label for a phase (column headers in the harness output).
+pub fn phase_label(p: Phase) -> &'static str {
+    match p {
+        Phase::Native => "native",
+        Phase::Init => "tx-init",
+        Phase::Buffering => "buffering",
+        Phase::Consistency => "consistency",
+        Phase::Locking => "locks",
+        Phase::Commit => "commit",
+        Phase::Aborted => "aborted",
+    }
+}
+
+/// Aggregate transactional counters for a kernel run.
+#[derive(Clone, Debug, Default)]
+pub struct TxStats {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Committed read-only transactions (subset of `commits`).
+    pub read_only_commits: u64,
+    /// Aborted attempts, total.
+    pub aborts: u64,
+    /// Aborts by cause.
+    pub aborts_read_validation: u64,
+    /// Commit-time TBV aborts.
+    pub aborts_commit_tbv: u64,
+    /// Commit-time VBV aborts.
+    pub aborts_commit_vbv: u64,
+    /// Pre-locking VBV aborts.
+    pub aborts_pre_vbv: u64,
+    /// Encounter-time lock-busy aborts.
+    pub aborts_lock_busy: u64,
+    /// Commit-lock acquisition rounds that failed and retried
+    /// (not aborts: the transaction keeps its logs, Algorithm 3 line 74).
+    pub lock_retries: u64,
+    /// Times hierarchical validation found a stale timestamp but
+    /// value-based validation proved the data unchanged — a false conflict
+    /// that pure TBV would have aborted on.
+    pub false_conflicts_filtered: u64,
+    /// Total read-set entries across committed transactions
+    /// (`reads_committed / commits` = the paper's RD/TX).
+    pub reads_committed: u64,
+    /// Total write-set entries across committed transactions
+    /// (`writes_committed / commits` = the paper's WR/TX).
+    pub writes_committed: u64,
+    /// Per-phase time attribution.
+    pub breakdown: Breakdown,
+}
+
+impl TxStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        TxStats::default()
+    }
+
+    /// Records an abort of the given cause.
+    pub fn record_abort(&mut self, cause: AbortCause) {
+        self.aborts += 1;
+        match cause {
+            AbortCause::ReadValidation => self.aborts_read_validation += 1,
+            AbortCause::CommitTbv => self.aborts_commit_tbv += 1,
+            AbortCause::CommitVbv => self.aborts_commit_vbv += 1,
+            AbortCause::PreVbv => self.aborts_pre_vbv += 1,
+            AbortCause::LockBusy => self.aborts_lock_busy += 1,
+        }
+    }
+
+    /// Abort rate: aborts / (commits + aborts); 0 when idle.
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.commits + self.aborts;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / attempts as f64
+        }
+    }
+}
+
+/// Shared handle to run statistics, cloned into each variant.
+pub type StatsHandle = Rc<RefCell<TxStats>>;
+
+/// Creates a fresh stats handle.
+pub fn stats_handle() -> StatsHandle {
+    Rc::new(RefCell::new(TxStats::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_accounting() {
+        let mut s = TxStats::new();
+        s.commits = 3;
+        s.record_abort(AbortCause::CommitVbv);
+        s.record_abort(AbortCause::ReadValidation);
+        assert_eq!(s.aborts, 2);
+        assert_eq!(s.aborts_commit_vbv, 1);
+        assert_eq!(s.aborts_read_validation, 1);
+        assert!((s.abort_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abort_rate_idle_is_zero() {
+        assert_eq!(TxStats::new().abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_percentages() {
+        let mut b = Breakdown::new();
+        b.add(Phase::Native, 30.0);
+        b.add(Phase::Commit, 70.0);
+        assert!((b.percent(Phase::Commit) - 70.0).abs() < 1e-9);
+        assert!((b.total() - 100.0).abs() < 1e-9);
+        assert_eq!(b.percent(Phase::Aborted), 0.0);
+    }
+
+    #[test]
+    fn breakdown_merge() {
+        let mut a = Breakdown::new();
+        a.add(Phase::Init, 5.0);
+        let mut b = Breakdown::new();
+        b.add(Phase::Init, 7.0);
+        b.add(Phase::Locking, 1.0);
+        a.merge(&b);
+        assert_eq!(a.get(Phase::Init), 12.0);
+        assert_eq!(a.get(Phase::Locking), 1.0);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels: std::collections::HashSet<_> = PHASES.iter().map(|p| phase_label(*p)).collect();
+        assert_eq!(labels.len(), NUM_PHASES);
+    }
+
+    #[test]
+    fn empty_breakdown_percent_is_zero() {
+        assert_eq!(Breakdown::new().percent(Phase::Native), 0.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Conflict-detection primitives: value-based validation (VBV) and the
+//! hierarchical post-validation of Algorithm 3 lines 6–20.
+//!
+//! All routines are warp-collective and issue *real* simulated memory
+//! traffic — re-reading the read-set is exactly the off-chip cost the
+//! paper's hierarchical scheme tries to avoid paying unnecessarily.
+
+use crate::api::lane_addrs;
+use crate::shared::StmShared;
+use crate::version_lock::VersionLock;
+use crate::warptx::WarpTx;
+use gpu_sim::{LaneMask, WarpCtx, WARP_SIZE};
+
+/// Value-based validation (Algorithm 3 lines 62–66): re-reads every
+/// read-set location of each active lane and compares with the logged
+/// value. Returns the mask of lanes whose validation *failed*.
+pub async fn vbv(w: &WarpTx, ctx: &WarpCtx, lanes: LaneMask) -> LaneMask {
+    let mut failed = LaneMask::EMPTY;
+    let mut checking = lanes;
+    let rounds = w.reads.max_len();
+    for k in 0..rounds {
+        let m = checking.filter(|l| k < w.reads.len(l));
+        if m.none() {
+            break;
+        }
+        let addrs = lane_addrs(m, |l| w.reads.get(l, k).addr);
+        let vals = ctx.load(m, &addrs).await;
+        for l in m.iter() {
+            if vals[l] != w.reads.get(l, k).val {
+                failed |= LaneMask::lane(l);
+                checking = checking.without(l);
+            }
+        }
+    }
+    failed
+}
+
+/// Hierarchical post-validation (Algorithm 3 lines 6–20), run by the read
+/// barrier for lanes whose snapshot turned out stale.
+///
+/// Per lane: adopt the newer version as snapshot, value-validate the whole
+/// read-set, fence, then confirm that no validated location's version lock
+/// is held or newer than the adopted snapshot — restarting the validation
+/// (with a further-advanced snapshot) if so.
+///
+/// Returns the mask of lanes that are *inconsistent* and must abort.
+/// Lanes that pass have had their `snapshot` advanced and remain opaque.
+pub async fn post_validation(
+    shared: &StmShared,
+    w: &mut WarpTx,
+    ctx: &WarpCtx,
+    lanes: LaneMask,
+    new_versions: &[u32; WARP_SIZE],
+) -> LaneMask {
+    for l in lanes.iter() {
+        w.snapshot[l] = new_versions[l]; // line 7
+    }
+    let mut failed = LaneMask::EMPTY;
+    let mut active = lanes;
+
+    // Each iteration is one execution of the `loop:` body (lines 8–19);
+    // lanes re-enter when a location was locked or re-versioned mid-check.
+    while active.any() {
+        // Lines 9–11: value comparison over the read-set.
+        let vbv_failed = vbv(w, ctx, active).await;
+        failed |= vbv_failed;
+        active &= !vbv_failed;
+        if active.none() {
+            break;
+        }
+
+        ctx.fence(active).await; // line 12
+
+        // Lines 13–19: confirm version locks are quiescent at <= snapshot.
+        let mut restart = LaneMask::EMPTY;
+        let mut checking = active;
+        let rounds = w.reads.max_len();
+        for k in 0..rounds {
+            let m = checking.filter(|l| k < w.reads.len(l));
+            if m.none() {
+                break;
+            }
+            let laddrs =
+                lane_addrs(m, |l| shared.lock_addr(shared.lock_index(w.reads.get(l, k).addr)));
+            let words = ctx.load(m, &laddrs).await;
+            for l in m.iter() {
+                let vl = VersionLock(words[l]);
+                if vl.is_locked() || vl.version() > w.snapshot[l] {
+                    w.snapshot[l] = vl.version(); // line 18
+                    restart |= LaneMask::lane(l);
+                    checking = checking.without(l); // abandon this pass
+                }
+            }
+        }
+        active = restart; // passed lanes exit; restarted lanes loop again
+    }
+    failed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StmConfig;
+    use gpu_sim::{Addr, LaunchConfig, Sim, SimConfig};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn setup() -> (Sim, StmShared, StmConfig) {
+        let mut sim = Sim::new(SimConfig::with_memory(1 << 16));
+        let cfg = StmConfig::new(1 << 8);
+        let shared = StmShared::init(&mut sim, &cfg).unwrap();
+        (sim, shared, cfg)
+    }
+
+    /// Runs a single-warp kernel and returns a value computed inside it.
+    fn run_warp<T: 'static>(
+        sim: &mut Sim,
+        f: impl Fn(WarpCtx) -> std::pin::Pin<Box<dyn std::future::Future<Output = T>>> + 'static,
+    ) -> T {
+        let out: Rc<RefCell<Option<T>>> = Rc::new(RefCell::new(None));
+        let out2 = Rc::clone(&out);
+        let f = Rc::new(f);
+        sim.launch(LaunchConfig::new(1, 32), move |ctx| {
+            let out = Rc::clone(&out2);
+            let f = Rc::clone(&f);
+            async move {
+                let v = f(ctx).await;
+                *out.borrow_mut() = Some(v);
+            }
+        })
+        .unwrap();
+        Rc::try_unwrap(out).ok().unwrap().into_inner().unwrap()
+    }
+
+    #[test]
+    fn vbv_passes_when_values_unchanged() {
+        let (mut sim, _shared, cfg) = setup();
+        let data = sim.alloc(8).unwrap();
+        sim.write(data, 42);
+        let failed = run_warp(&mut sim, move |ctx| {
+            Box::pin(async move {
+                let mut w = WarpTx::new(&StmConfig::new(1 << 8));
+                w.reads.push(0, data, 42);
+                vbv(&w, &ctx, LaneMask::lane(0)).await
+            })
+        });
+        let _ = cfg;
+        assert_eq!(failed, LaneMask::EMPTY);
+    }
+
+    #[test]
+    fn vbv_fails_on_changed_value() {
+        let (mut sim, _shared, _cfg) = setup();
+        let data = sim.alloc(8).unwrap();
+        sim.write(data, 1); // logged value will be 99 -> mismatch
+        let failed = run_warp(&mut sim, move |ctx| {
+            Box::pin(async move {
+                let mut w = WarpTx::new(&StmConfig::new(1 << 8));
+                w.reads.push(3, data, 99);
+                w.reads.push(3, data.offset(1), 0); // second entry matches
+                vbv(&w, &ctx, LaneMask::lane(3)).await
+            })
+        });
+        assert_eq!(failed, LaneMask::lane(3));
+    }
+
+    #[test]
+    fn vbv_checks_only_requested_lanes() {
+        let (mut sim, _shared, _cfg) = setup();
+        let data = sim.alloc(8).unwrap();
+        let failed = run_warp(&mut sim, move |ctx| {
+            Box::pin(async move {
+                let mut w = WarpTx::new(&StmConfig::new(1 << 8));
+                w.reads.push(0, data, 123); // would fail, but lane not asked
+                vbv(&w, &ctx, LaneMask::lane(1)).await
+            })
+        });
+        assert_eq!(failed, LaneMask::EMPTY);
+    }
+
+    #[test]
+    fn post_validation_advances_snapshot_and_passes_unchanged_data() {
+        let (mut sim, shared, _cfg) = setup();
+        let data = sim.alloc(8).unwrap();
+        sim.write(data, 7);
+        // Stripe version is newer than the lane's snapshot, but the value
+        // is unchanged: a FALSE conflict that post-validation filters.
+        sim.write(shared.lock_addr(shared.lock_index(data)), VersionLock::unlocked(5).bits());
+        let (failed, snap) = run_warp(&mut sim, move |ctx| {
+            Box::pin(async move {
+                let mut w = WarpTx::new(&StmConfig::new(1 << 8));
+                w.snapshot[0] = 1;
+                w.reads.push(0, data, 7);
+                let mut vers = [0u32; WARP_SIZE];
+                vers[0] = 5;
+                let failed = post_validation(&shared, &mut w, &ctx, LaneMask::lane(0), &vers).await;
+                (failed, w.snapshot[0])
+            })
+        });
+        assert_eq!(failed, LaneMask::EMPTY);
+        assert_eq!(snap, 5);
+    }
+
+    #[test]
+    fn post_validation_aborts_on_changed_value() {
+        let (mut sim, shared, _cfg) = setup();
+        let data = sim.alloc(8).unwrap();
+        sim.write(data, 100); // logged 7, now 100: true conflict
+        sim.write(shared.lock_addr(shared.lock_index(data)), VersionLock::unlocked(5).bits());
+        let failed = run_warp(&mut sim, move |ctx| {
+            Box::pin(async move {
+                let mut w = WarpTx::new(&StmConfig::new(1 << 8));
+                w.snapshot[0] = 1;
+                w.reads.push(0, data, 7);
+                let mut vers = [0u32; WARP_SIZE];
+                vers[0] = 5;
+                post_validation(&shared, &mut w, &ctx, LaneMask::lane(0), &vers).await
+            })
+        });
+        assert_eq!(failed, LaneMask::lane(0));
+    }
+}

@@ -1,0 +1,121 @@
+//! STM-Optimized: adaptive selection between hierarchical and
+//! timestamp-based validation (Section 4.2).
+//!
+//! When the amount of shared data exceeds the number of global version
+//! locks, stripe aliasing makes false conflicts likely and hierarchical
+//! validation pays off; otherwise false conflicts are rare and pure TBV
+//! avoids unnecessary value-based validation. For GPU programs the amount
+//! of shared data is usually known before the kernel launches (array
+//! element counts), so the choice is made at construction time. Lock
+//! acquisition always uses encounter-time lock-sorting.
+
+use crate::api::Stm;
+use crate::config::{StmConfig, Validation};
+use crate::history::Recorder;
+use crate::shared::StmShared;
+use crate::stats::StatsHandle;
+use crate::variants::LockStm;
+use crate::warptx::WarpTx;
+use gpu_sim::{LaneAddrs, LaneMask, LaneVals, WarpCtx};
+
+/// The adaptive GPU-STM (paper name: STM-Optimized).
+#[derive(Clone, Debug)]
+pub struct OptimizedStm {
+    inner: LockStm,
+}
+
+impl OptimizedStm {
+    /// Creates the variant for a program whose transactions share
+    /// `shared_data_words` words of data.
+    ///
+    /// Selects HV when `shared_data_words > cfg.n_locks`, TBV otherwise.
+    pub fn new(shared: StmShared, cfg: StmConfig, shared_data_words: u64) -> Self {
+        let inner = if shared_data_words > cfg.n_locks as u64 {
+            LockStm::hv_sorting(shared, cfg).renamed("STM-Optimized")
+        } else {
+            LockStm::tbv_sorting(shared, cfg).renamed("STM-Optimized")
+        };
+        OptimizedStm { inner }
+    }
+
+    /// Attaches a history recorder.
+    pub fn with_recorder(self, rec: Recorder) -> Self {
+        OptimizedStm { inner: self.inner.with_recorder(rec) }
+    }
+
+    /// Which validation strategy the adaptation chose.
+    pub fn chosen(&self) -> Validation {
+        self.inner.validation()
+    }
+}
+
+impl Stm for OptimizedStm {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn new_warp(&self) -> WarpTx {
+        self.inner.new_warp()
+    }
+
+    fn stats(&self) -> StatsHandle {
+        self.inner.stats()
+    }
+
+    async fn begin(&self, w: &mut WarpTx, ctx: &WarpCtx, want: LaneMask) -> LaneMask {
+        self.inner.begin(w, ctx, want).await
+    }
+
+    async fn read(
+        &self,
+        w: &mut WarpTx,
+        ctx: &WarpCtx,
+        mask: LaneMask,
+        addrs: &LaneAddrs,
+    ) -> LaneVals {
+        self.inner.read(w, ctx, mask, addrs).await
+    }
+
+    async fn write(
+        &self,
+        w: &mut WarpTx,
+        ctx: &WarpCtx,
+        mask: LaneMask,
+        addrs: &LaneAddrs,
+        vals: &LaneVals,
+    ) {
+        self.inner.write(w, ctx, mask, addrs, vals).await
+    }
+
+    async fn commit(&self, w: &mut WarpTx, ctx: &WarpCtx, mask: LaneMask) -> LaneMask {
+        self.inner.commit(w, ctx, mask).await
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Sim, SimConfig};
+
+    #[test]
+    fn selects_hv_when_data_exceeds_locks() {
+        let mut sim = Sim::new(SimConfig::with_memory(1 << 16));
+        let cfg = StmConfig::new(1 << 8);
+        let shared = StmShared::init(&mut sim, &cfg).unwrap();
+        let big = OptimizedStm::new(shared, cfg, 1 << 12);
+        assert_eq!(big.chosen(), Validation::Hv);
+        let small = OptimizedStm::new(shared, cfg, 1 << 6);
+        assert_eq!(small.chosen(), Validation::Tbv);
+        // Boundary: equal amounts select TBV (no aliasing pressure).
+        let eq = OptimizedStm::new(shared, cfg, 1 << 8);
+        assert_eq!(eq.chosen(), Validation::Tbv);
+    }
+
+    #[test]
+    fn reports_paper_name() {
+        let mut sim = Sim::new(SimConfig::with_memory(1 << 16));
+        let cfg = StmConfig::new(1 << 8);
+        let shared = StmShared::init(&mut sim, &cfg).unwrap();
+        assert_eq!(OptimizedStm::new(shared, cfg, 0).name(), "STM-Optimized");
+    }
+}

@@ -1,0 +1,91 @@
+//! Versioned lock words (Section 3.2.1).
+//!
+//! Each entry of the global lock table is an unsigned integer whose least
+//! significant bit says whether the memory stripe is locked and whose
+//! remaining bits carry the stripe's version — the global-clock value at
+//! which it was last committed.
+
+/// A decoded global version lock word.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default, Hash)]
+pub struct VersionLock(pub u32);
+
+impl VersionLock {
+    /// Whether the stripe is locked (LSB set).
+    #[inline]
+    pub const fn is_locked(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// The stripe version (word shifted right by one).
+    #[inline]
+    pub const fn version(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Encodes an unlocked word carrying `version`.
+    #[inline]
+    pub const fn unlocked(version: u32) -> Self {
+        VersionLock(version << 1)
+    }
+
+    /// This word with the lock bit set.
+    #[inline]
+    pub const fn locked(self) -> Self {
+        VersionLock(self.0 | 1)
+    }
+
+    /// This word with the lock bit cleared, version unchanged — the
+    /// `g_lockTab[i] - 1` release of Algorithm 3 line 55/61.
+    #[inline]
+    pub const fn released(self) -> Self {
+        VersionLock(self.0 & !1)
+    }
+
+    /// Raw word value.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for VersionLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}{}", self.version(), if self.is_locked() { "+L" } else { "" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let v = VersionLock::unlocked(42);
+        assert!(!v.is_locked());
+        assert_eq!(v.version(), 42);
+        let l = v.locked();
+        assert!(l.is_locked());
+        assert_eq!(l.version(), 42);
+        assert_eq!(l.released(), v);
+    }
+
+    #[test]
+    fn release_by_decrement_matches_paper() {
+        // Algorithm 3 line 55: g_lockTab[i] <- g_lockTab[i] - 1.
+        let locked = VersionLock::unlocked(7).locked();
+        assert_eq!(VersionLock(locked.bits() - 1), VersionLock::unlocked(7));
+    }
+
+    #[test]
+    fn zero_word_is_unlocked_version_zero() {
+        let v = VersionLock(0);
+        assert!(!v.is_locked());
+        assert_eq!(v.version(), 0);
+    }
+
+    #[test]
+    fn display_shows_lock_state() {
+        assert_eq!(VersionLock::unlocked(3).to_string(), "v3");
+        assert_eq!(VersionLock::unlocked(3).locked().to_string(), "v3+L");
+    }
+}

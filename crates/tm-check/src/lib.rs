@@ -1,0 +1,354 @@
+//! # tm-check — history-based correctness checking for GPU-STM
+//!
+//! Opacity (Guerraoui & Kapalka, PPoPP 2008) requires that (1) committed
+//! transactions appear to execute atomically in some total order, (2)
+//! aborted transactions are invisible, and (3) every transaction observes a
+//! consistent memory view. The STM variants in [`gpu_stm`] record every
+//! committed transaction's full read- and write-set plus its commit version
+//! (drawn from the global clock); this crate *replays* that history in
+//! version order and verifies that each transaction's reads match the
+//! replayed memory state at its serialization point.
+//!
+//! For writer transactions the serialization point is their commit version;
+//! for read-only transactions it is their validated snapshot (they
+//! linearise at their last read, Algorithm 3 line 68). Invisibility of
+//! aborts and full atomicity follow from the final-state check: replaying
+//! only committed writes must reproduce the simulator's actual final
+//! memory.
+
+#![warn(missing_docs)]
+
+use gpu_sim::Addr;
+use gpu_stm::history::{CommittedTx, History};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A violation of serializability/opacity found during replay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Two committed writers claimed the same commit version.
+    DuplicateVersion {
+        /// The duplicated version.
+        version: u32,
+    },
+    /// A committed transaction read a value inconsistent with the memory
+    /// state at its serialization point.
+    InconsistentRead {
+        /// Thread that ran the transaction.
+        tid: u32,
+        /// Its serialization point (commit version or snapshot).
+        point: u32,
+        /// The address read.
+        addr: Addr,
+        /// Value the replay says it should have seen.
+        expected: u32,
+        /// Value it recorded.
+        got: u32,
+    },
+    /// Replaying all committed writes did not reproduce the final memory.
+    FinalStateMismatch {
+        /// The diverging address.
+        addr: Addr,
+        /// Replayed value.
+        expected: u32,
+        /// Actual simulator memory value.
+        got: u32,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::DuplicateVersion { version } => {
+                write!(f, "duplicate commit version {version}")
+            }
+            Violation::InconsistentRead { tid, point, addr, expected, got } => write!(
+                f,
+                "tid {tid} serialized at {point} read {addr}: expected {expected}, got {got}"
+            ),
+            Violation::FinalStateMismatch { addr, expected, got } => {
+                write!(f, "final state at {addr}: replay says {expected}, memory has {got}")
+            }
+        }
+    }
+}
+
+/// Summary of a successful (or failed) check.
+#[derive(Clone, Debug, Default)]
+pub struct CheckReport {
+    /// Committed writer transactions replayed.
+    pub writers: usize,
+    /// Committed read-only transactions verified.
+    pub read_only: usize,
+    /// Violations found (empty = history is opaque-serializable).
+    pub violations: Vec<Violation>,
+}
+
+impl CheckReport {
+    /// Whether the history passed all checks.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Replays `history` against `initial` memory and checks that every
+/// committed transaction observed a consistent view at its serialization
+/// point.
+///
+/// `initial` maps an address to its value before the kernel ran; pass
+/// `|a| sim_snapshot[a.index()]` or similar.
+pub fn check_history(history: &History, initial: impl Fn(Addr) -> u32) -> CheckReport {
+    let mut report = CheckReport::default();
+
+    // Split writers (versioned) from read-only transactions.
+    let mut writers: Vec<&CommittedTx> = Vec::new();
+    let mut read_only: Vec<&CommittedTx> = Vec::new();
+    for tx in &history.commits {
+        match tx.version {
+            Some(_) => writers.push(tx),
+            None => read_only.push(tx),
+        }
+    }
+    writers.sort_by_key(|tx| tx.version.unwrap());
+    for pair in writers.windows(2) {
+        if pair[0].version == pair[1].version {
+            report
+                .violations
+                .push(Violation::DuplicateVersion { version: pair[0].version.unwrap() });
+        }
+    }
+
+    // Replay writers in version order, checking reads against the overlay.
+    let mut overlay: HashMap<Addr, u32> = HashMap::new();
+    // Snapshot states for read-only verification: we verify read-only
+    // transactions lazily by replaying up to their snapshot; sort them by
+    // snapshot so a single pass suffices.
+    let mut ro_sorted: Vec<&CommittedTx> = read_only.clone();
+    ro_sorted.sort_by_key(|tx| tx.snapshot);
+    let mut ro_cursor = 0usize;
+
+    let verify_reads =
+        |tx: &CommittedTx, point: u32, overlay: &HashMap<Addr, u32>, report: &mut CheckReport| {
+            for r in &tx.reads {
+                let expected = overlay.get(&r.addr).copied().unwrap_or_else(|| initial(r.addr));
+                if expected != r.val {
+                    report.violations.push(Violation::InconsistentRead {
+                        tid: tx.tid,
+                        point,
+                        addr: r.addr,
+                        expected,
+                        got: r.val,
+                    });
+                }
+            }
+        };
+
+    for tx in &writers {
+        let v = tx.version.unwrap();
+        // Verify read-only transactions whose snapshot precedes this writer.
+        while ro_cursor < ro_sorted.len() && ro_sorted[ro_cursor].snapshot < v {
+            let ro = ro_sorted[ro_cursor];
+            verify_reads(ro, ro.snapshot, &overlay, &mut report);
+            report.read_only += 1;
+            ro_cursor += 1;
+        }
+        verify_reads(tx, v, &overlay, &mut report);
+        for w in &tx.writes {
+            overlay.insert(w.addr, w.val);
+        }
+        report.writers += 1;
+    }
+    // Remaining read-only transactions see the final state.
+    while ro_cursor < ro_sorted.len() {
+        let ro = ro_sorted[ro_cursor];
+        verify_reads(ro, ro.snapshot, &overlay, &mut report);
+        report.read_only += 1;
+        ro_cursor += 1;
+    }
+
+    report
+}
+
+/// After [`check_history`], verifies that replaying only committed writes
+/// reproduces the actual final memory — i.e. aborted transactions leaked
+/// nothing. `addrs` is the set of data addresses the workload may touch.
+pub fn check_final_state(
+    history: &History,
+    initial: impl Fn(Addr) -> u32,
+    final_mem: impl Fn(Addr) -> u32,
+    addrs: impl IntoIterator<Item = Addr>,
+) -> Vec<Violation> {
+    let mut overlay: HashMap<Addr, u32> = HashMap::new();
+    let mut writers: Vec<&CommittedTx> = history.commits.iter().filter(|t| t.version.is_some()).collect();
+    writers.sort_by_key(|tx| tx.version.unwrap());
+    for tx in writers {
+        for w in &tx.writes {
+            overlay.insert(w.addr, w.val);
+        }
+    }
+    let mut violations = Vec::new();
+    for a in addrs {
+        let expected = overlay.get(&a).copied().unwrap_or_else(|| initial(a));
+        let got = final_mem(a);
+        if expected != got {
+            violations.push(Violation::FinalStateMismatch { addr: a, expected, got });
+        }
+    }
+    violations
+}
+
+/// Panics with a readable message if the history fails the opacity check.
+///
+/// # Panics
+///
+/// Panics when `check_history` reports violations.
+pub fn assert_opaque(history: &History, initial: impl Fn(Addr) -> u32) -> CheckReport {
+    let report = check_history(history, initial);
+    assert!(
+        report.is_ok(),
+        "history violates opacity ({} violations); first: {}",
+        report.violations.len(),
+        report.violations[0]
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_stm::history::{Access, CommittedTx};
+
+    fn wtx(tid: u32, version: u32, reads: Vec<(u32, u32)>, writes: Vec<(u32, u32)>) -> CommittedTx {
+        CommittedTx {
+            tid,
+            version: Some(version),
+            snapshot: version.saturating_sub(1),
+            reads: reads.into_iter().map(|(a, v)| Access { addr: Addr(a), val: v }).collect(),
+            writes: writes.into_iter().map(|(a, v)| Access { addr: Addr(a), val: v }).collect(),
+        }
+    }
+
+    #[test]
+    fn consistent_history_passes() {
+        let h = History {
+            commits: vec![
+                wtx(0, 1, vec![(10, 0)], vec![(10, 1)]),
+                wtx(1, 2, vec![(10, 1)], vec![(10, 2)]),
+            ],
+            aborts: 3,
+        };
+        let rep = check_history(&h, |_| 0);
+        assert!(rep.is_ok(), "{:?}", rep.violations);
+        assert_eq!(rep.writers, 2);
+    }
+
+    #[test]
+    fn lost_update_detected() {
+        // Both transactions read 0 and wrote 1: the second one's read is
+        // inconsistent with its serialization point.
+        let h = History {
+            commits: vec![
+                wtx(0, 1, vec![(10, 0)], vec![(10, 1)]),
+                wtx(1, 2, vec![(10, 0)], vec![(10, 1)]),
+            ],
+            aborts: 0,
+        };
+        let rep = check_history(&h, |_| 0);
+        assert!(!rep.is_ok());
+        assert!(matches!(rep.violations[0], Violation::InconsistentRead { tid: 1, .. }));
+    }
+
+    #[test]
+    fn duplicate_versions_detected() {
+        let h = History {
+            commits: vec![wtx(0, 5, vec![], vec![(1, 1)]), wtx(1, 5, vec![], vec![(2, 2)])],
+            aborts: 0,
+        };
+        let rep = check_history(&h, |_| 0);
+        assert!(rep.violations.iter().any(|v| matches!(v, Violation::DuplicateVersion { version: 5 })));
+    }
+
+    #[test]
+    fn read_only_verified_at_snapshot() {
+        let mut ro = CommittedTx {
+            tid: 7,
+            version: None,
+            snapshot: 1,
+            reads: vec![Access { addr: Addr(10), val: 1 }],
+            writes: vec![],
+        };
+        let h = History {
+            commits: vec![
+                wtx(0, 1, vec![], vec![(10, 1)]),
+                ro.clone(),
+                wtx(1, 2, vec![], vec![(10, 2)]),
+            ],
+            aborts: 0,
+        };
+        let rep = check_history(&h, |_| 0);
+        assert!(rep.is_ok(), "{:?}", rep.violations);
+        assert_eq!(rep.read_only, 1);
+
+        // Same read-only tx claiming snapshot 2 must fail: at snapshot 2
+        // the value was 2, not 1.
+        ro.snapshot = 2;
+        let h2 = History {
+            commits: vec![wtx(0, 1, vec![], vec![(10, 1)]), ro, wtx(1, 2, vec![], vec![(10, 2)])],
+            aborts: 0,
+        };
+        let rep2 = check_history(&h2, |_| 0);
+        assert!(!rep2.is_ok());
+    }
+
+    #[test]
+    fn initial_values_respected() {
+        let h = History { commits: vec![wtx(0, 1, vec![(3, 42)], vec![])], aborts: 0 };
+        // version Some but writes empty — still replayed as writer.
+        assert!(check_history(&h, |a| if a == Addr(3) { 42 } else { 0 }).is_ok());
+        assert!(!check_history(&h, |_| 0).is_ok());
+    }
+
+    #[test]
+    fn final_state_check_detects_dirty_writes() {
+        let h = History { commits: vec![wtx(0, 1, vec![], vec![(10, 5)])], aborts: 1 };
+        // Memory shows 9 at address 10 — an aborted transaction leaked.
+        let violations = check_final_state(
+            &h,
+            |_| 0,
+            |a| if a == Addr(10) { 9 } else { 0 },
+            [Addr(10), Addr(11)],
+        );
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(violations[0], Violation::FinalStateMismatch { .. }));
+    }
+
+    #[test]
+    fn final_state_check_passes_clean_history() {
+        let h = History { commits: vec![wtx(0, 1, vec![], vec![(10, 5)])], aborts: 0 };
+        let violations =
+            check_final_state(&h, |_| 0, |a| if a == Addr(10) { 5 } else { 0 }, [Addr(10), Addr(11)]);
+        assert!(violations.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "violates opacity")]
+    fn assert_opaque_panics_on_bad_history() {
+        let h = History {
+            commits: vec![wtx(0, 1, vec![(10, 99)], vec![])],
+            aborts: 0,
+        };
+        assert_opaque(&h, |_| 0);
+    }
+
+    #[test]
+    fn display_messages() {
+        let v = Violation::InconsistentRead {
+            tid: 1,
+            point: 2,
+            addr: Addr(3),
+            expected: 4,
+            got: 5,
+        };
+        assert!(v.to_string().contains("tid 1"));
+    }
+}

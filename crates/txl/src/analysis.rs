@@ -1,0 +1,289 @@
+//! Register-checkpoint inference: the dataflow analysis the paper assigns
+//! to "a compiler \[that\] can determine which registers are both read and
+//! written within a transaction and insert code to checkpoint and restore
+//! them" (Section 3.2.3).
+//!
+//! A local slot written inside an `atomic` block must be restored when the
+//! transaction retries iff its pre-transaction value is still observable:
+//!
+//! - it is **read before being written** inside the block (the retry would
+//!   otherwise see a value from the aborted attempt), or
+//! - it is **live after** the block but only **may** (not must) be written
+//!   inside it (a retry taking a different path would leak the aborted
+//!   attempt's value).
+//!
+//! Formally, with `mayDef`/`mustDef` the may/must-assigned slot sets of the
+//! block, `UE` its upward-exposed uses, and `liveOut` the live-variable set
+//! after the block:
+//!
+//! ```text
+//! checkpoint = mayDef ∩ (UE ∪ (liveOut ∖ mustDef))
+//! ```
+//!
+//! Liveness is a standard backward analysis over the structured AST
+//! (`while` iterates to a fixpoint); may/must-def are forward syntactic
+//! passes (`if` takes union/intersection, `while` bodies may run zero
+//! times so contribute nothing to `mustDef`).
+
+use crate::ast::{Expr, Kernel, Stmt};
+use std::collections::BTreeSet;
+
+type Slots = BTreeSet<usize>;
+
+fn expr_uses(e: &Expr, out: &mut Slots) {
+    match e {
+        Expr::Int(_) | Expr::Tid | Expr::NThreads => {}
+        Expr::Var { slot, .. } => {
+            out.insert(*slot);
+        }
+        Expr::Index { index, .. } => expr_uses(index, out),
+        Expr::Bin { lhs, rhs, .. } => {
+            expr_uses(lhs, out);
+            expr_uses(rhs, out);
+        }
+        Expr::Not(e) | Expr::Rand(e) => expr_uses(e, out),
+    }
+}
+
+/// Backward liveness through a statement: given the live set after it,
+/// returns the live set before it.
+fn live_stmt(stmt: &Stmt, mut live: Slots) -> Slots {
+    match stmt {
+        Stmt::Let { slot, init, .. } | Stmt::Assign { slot, value: init, .. } => {
+            live.remove(slot);
+            expr_uses(init, &mut live);
+            live
+        }
+        Stmt::Store { index, value, .. } => {
+            expr_uses(index, &mut live);
+            expr_uses(value, &mut live);
+            live
+        }
+        Stmt::If { cond, then_blk, else_blk } => {
+            let mut before = live_block(then_blk, live.clone());
+            before.extend(live_block(else_blk, live));
+            expr_uses(cond, &mut before);
+            before
+        }
+        Stmt::While { cond, body } => {
+            // Fixpoint: the body may execute any number of times.
+            let mut current = live;
+            loop {
+                let mut next = current.clone();
+                expr_uses(cond, &mut next);
+                next.extend(live_block(body, current.clone()));
+                if next == current {
+                    return current;
+                }
+                current = next;
+            }
+        }
+        Stmt::Atomic { body, .. } => live_block(body, live),
+    }
+}
+
+/// Backward liveness through a block.
+fn live_block(stmts: &[Stmt], mut live: Slots) -> Slots {
+    for stmt in stmts.iter().rev() {
+        live = live_stmt(stmt, live);
+    }
+    live
+}
+
+/// Slots that *may* be assigned somewhere in a block.
+fn may_def_block(stmts: &[Stmt]) -> Slots {
+    let mut out = Slots::new();
+    for stmt in stmts {
+        match stmt {
+            Stmt::Let { slot, .. } | Stmt::Assign { slot, .. } => {
+                out.insert(*slot);
+            }
+            Stmt::Store { .. } => {}
+            Stmt::If { then_blk, else_blk, .. } => {
+                out.extend(may_def_block(then_blk));
+                out.extend(may_def_block(else_blk));
+            }
+            Stmt::While { body, .. } => out.extend(may_def_block(body)),
+            Stmt::Atomic { body, .. } => out.extend(may_def_block(body)),
+        }
+    }
+    out
+}
+
+/// Slots assigned on *every* path through a block.
+fn must_def_block(stmts: &[Stmt]) -> Slots {
+    let mut out = Slots::new();
+    for stmt in stmts {
+        match stmt {
+            Stmt::Let { slot, .. } | Stmt::Assign { slot, .. } => {
+                out.insert(*slot);
+            }
+            Stmt::Store { .. } => {}
+            Stmt::If { then_blk, else_blk, .. } => {
+                let t = must_def_block(then_blk);
+                let e = must_def_block(else_blk);
+                out.extend(t.intersection(&e).copied());
+            }
+            Stmt::While { .. } => {} // may run zero times
+            Stmt::Atomic { body, .. } => out.extend(must_def_block(body)),
+        }
+    }
+    out
+}
+
+/// Upward-exposed uses of a block: slots read before any assignment on
+/// some path — exactly `liveIn(block)` with an empty after-set.
+fn upward_exposed(stmts: &[Stmt]) -> Slots {
+    live_block(stmts, Slots::new())
+}
+
+/// Annotates every `atomic` block of `kernel` with its checkpoint set.
+/// Must run after [`crate::check::check_program`] resolves slots.
+pub fn annotate_checkpoints(kernel: &mut Kernel) {
+    // The live set after each atomic is discovered during one backward
+    // traversal that rewrites checkpoint annotations as it goes.
+    fn walk_block(stmts: &mut [Stmt], mut live: Slots) -> Slots {
+        for stmt in stmts.iter_mut().rev() {
+            if let Stmt::Atomic { body, checkpoint } = stmt {
+                let live_out = live.clone();
+                let may = may_def_block(body);
+                let must = must_def_block(body);
+                let ue = upward_exposed(body);
+                let mut need: Slots = Slots::new();
+                for s in &may {
+                    let escapes = live_out.contains(s) && !must.contains(s);
+                    if ue.contains(s) || escapes {
+                        need.insert(*s);
+                    }
+                }
+                *checkpoint = need.into_iter().collect();
+            } else if let Stmt::If { then_blk, else_blk, .. } = stmt {
+                // Recurse for atomics nested under control flow.
+                let after = live.clone();
+                walk_block(then_blk, after.clone());
+                walk_block(else_blk, after);
+            } else if let Stmt::While { .. } = stmt {
+                // Live-after of an atomic inside a loop includes the loop's
+                // own live-in (the next iteration); use the fixpoint set.
+                let fix = live_stmt(&stmt.clone(), live.clone());
+                let mut inner_after = live.clone();
+                inner_after.extend(fix);
+                let Stmt::While { body, .. } = stmt else { unreachable!() };
+                walk_block(body, inner_after);
+            }
+            live = live_stmt(stmt, live);
+        }
+        live
+    }
+    walk_block(&mut kernel.body, Slots::new());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_program;
+    use crate::parse::parse;
+
+    /// Compiles and returns the checkpoint slots of the first atomic block
+    /// found, mapped back to variable names for readability.
+    fn checkpoints(src: &str) -> Vec<usize> {
+        let mut p = parse(src).unwrap();
+        check_program(&mut p).unwrap();
+        fn find(stmts: &[Stmt]) -> Option<Vec<usize>> {
+            for s in stmts {
+                match s {
+                    Stmt::Atomic { checkpoint, .. } => return Some(checkpoint.clone()),
+                    Stmt::If { then_blk, else_blk, .. } => {
+                        if let Some(c) = find(then_blk).or_else(|| find(else_blk)) {
+                            return Some(c);
+                        }
+                    }
+                    Stmt::While { body, .. } => {
+                        if let Some(c) = find(body) {
+                            return Some(c);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        find(&p.kernels[0].body).expect("kernel has an atomic block")
+    }
+
+    #[test]
+    fn read_modify_write_is_checkpointed() {
+        // x (slot 0) is read before written inside the transaction.
+        let c = checkpoints("kernel k(a: array) { let x = 0; atomic { x = x + 1; } a[0] = x; }");
+        assert_eq!(c, vec![0]);
+    }
+
+    #[test]
+    fn unconditional_overwrite_is_not_checkpointed() {
+        // x is must-defined before any read: a retry recomputes it.
+        let c = checkpoints("kernel k(a: array) { let x = 0; atomic { x = 5; a[x] = 1; } a[0] = x; }");
+        assert!(c.is_empty(), "got {c:?}");
+    }
+
+    #[test]
+    fn conditional_write_live_out_is_checkpointed() {
+        // x may or may not be written; it is observed afterwards.
+        let c = checkpoints(
+            "kernel k(a: array) { let x = 0; atomic { if a[0] { x = 1; } } a[1] = x; }",
+        );
+        assert_eq!(c, vec![0]);
+    }
+
+    #[test]
+    fn conditional_write_dead_after_is_not_checkpointed() {
+        let c = checkpoints("kernel k(a: array) { let x = 0; atomic { if a[0] { x = 1; } } }");
+        assert!(c.is_empty(), "got {c:?}");
+    }
+
+    #[test]
+    fn transaction_local_temp_is_not_checkpointed() {
+        // t is declared inside the atomic: it has no pre-state to restore.
+        let c = checkpoints(
+            "kernel k(a: array) { atomic { let t = a[0]; a[1] = t + 1; } }",
+        );
+        assert!(c.is_empty(), "got {c:?}");
+    }
+
+    #[test]
+    fn loop_carried_variable_is_checkpointed() {
+        // The atomic writes i, and the next loop iteration reads it.
+        let c = checkpoints(
+            "kernel k(a: array) { let i = 0; while i < 4 { atomic { i = i + a[i]; } } }",
+        );
+        assert_eq!(c, vec![0]);
+    }
+
+    #[test]
+    fn liveness_fixpoint_on_while() {
+        // y is only used by the loop condition via x's chain: liveness must
+        // propagate through the loop back-edge.
+        let mut p = parse(
+            "kernel k(a: array) { let x = 0; let y = 1; while x < 4 { x = x + y; } a[0] = x; }",
+        )
+        .unwrap();
+        check_program(&mut p).unwrap();
+        let before = live_block(&p.kernels[0].body[2..], Slots::new());
+        // Both x (slot 0) and y (slot 1) are live before the while.
+        assert!(before.contains(&0) && before.contains(&1), "{before:?}");
+    }
+
+    #[test]
+    fn may_must_def_distinguish_branches() {
+        let mut p = parse(
+            "kernel k(a: array) { let x = 0; let y = 0; if a[0] { x = 1; y = 1; } else { y = 2; } }",
+        )
+        .unwrap();
+        check_program(&mut p).unwrap();
+        let body = &p.kernels[0].body[2..];
+        let may = may_def_block(body);
+        let must = must_def_block(body);
+        assert!(may.contains(&0) && may.contains(&1));
+        assert!(!must.contains(&0), "x only on one branch");
+        assert!(must.contains(&1), "y on both branches");
+    }
+}

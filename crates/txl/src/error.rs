@@ -1,0 +1,82 @@
+//! TXL error types: lexing, parsing, semantic checking and runtime.
+
+use std::error::Error;
+use std::fmt;
+
+/// Any failure across the TXL pipeline.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum TxlError {
+    /// Lexical error.
+    Lex {
+        /// 1-based source line.
+        line: u32,
+        /// Description.
+        message: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// 1-based source line (0 = end of input).
+        line: u32,
+        /// Description.
+        message: String,
+    },
+    /// Semantic error (undeclared names, nested atomics, …).
+    Check {
+        /// Kernel in which the error occurred.
+        kernel: String,
+        /// Description.
+        message: String,
+    },
+    /// Runtime error during kernel execution.
+    Runtime {
+        /// Description (includes the offending lane and thread).
+        message: String,
+    },
+    /// Underlying simulator error.
+    Sim(gpu_sim::SimError),
+}
+
+impl fmt::Display for TxlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxlError::Lex { line, message } => write!(f, "lex error at line {line}: {message}"),
+            TxlError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            TxlError::Check { kernel, message } => {
+                write!(f, "check error in kernel `{kernel}`: {message}")
+            }
+            TxlError::Runtime { message } => write!(f, "runtime error: {message}"),
+            TxlError::Sim(e) => write!(f, "simulator error: {e}"),
+        }
+    }
+}
+
+impl Error for TxlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TxlError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gpu_sim::SimError> for TxlError {
+    fn from(e: gpu_sim::SimError) -> Self {
+        TxlError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = TxlError::Check { kernel: "k".into(), message: "nested atomic".into() };
+        assert!(e.to_string().contains("kernel `k`"));
+        let e: TxlError = gpu_sim::SimError::OutOfMemory { requested: 1 }.into();
+        assert!(e.to_string().contains("simulator"));
+    }
+}

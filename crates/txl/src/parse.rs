@@ -1,0 +1,383 @@
+//! Recursive-descent parser for TXL.
+//!
+//! Grammar (expression precedence climbs from `||` down to unary):
+//!
+//! ```text
+//! program := kernel*
+//! kernel  := 'kernel' IDENT '(' (param (',' param)*)? ')' block
+//! param   := IDENT ':' 'array' ('[' INT ']')?
+//! block   := '{' stmt* '}'
+//! stmt    := 'let' IDENT '=' expr ';'
+//!          | IDENT '=' expr ';'
+//!          | IDENT '[' expr ']' '=' expr ';'
+//!          | 'if' expr block ('else' block)?
+//!          | 'while' expr block
+//!          | 'atomic' block
+//! expr    := or ; or := and ('||' and)* ; and := cmp ('&&' cmp)*
+//! cmp     := bitor (('=='|'!='|'<'|'<='|'>'|'>=') bitor)?
+//! bitor   := bitxor ('|' bitxor)* ; bitxor := bitand ('^' bitand)*
+//! bitand  := shift ('&' shift)* ; shift := add (('<<'|'>>') add)*
+//! add     := mul (('+'|'-') mul)* ; mul := unary (('*'|'/'|'%') unary)*
+//! unary   := '!' unary | primary
+//! primary := INT | IDENT | IDENT '[' expr ']' | IDENT '(' args ')' | '(' expr ')'
+//! ```
+//!
+//! Built-in calls: `rand(n)`, `tid()`, `nthreads()`.
+
+use crate::ast::{BinOp, Expr, Kernel, Param, Program, Stmt};
+use crate::error::TxlError;
+use crate::token::{lex, Spanned, Tok};
+
+/// Parses a TXL program (without semantic checking; see
+/// [`crate::check::check_program`]).
+///
+/// # Errors
+///
+/// [`TxlError::Lex`] or [`TxlError::Parse`] with a 1-based line number.
+pub fn parse(src: &str) -> Result<Program, TxlError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut kernels = Vec::new();
+    while !p.at_end() {
+        kernels.push(p.kernel()?);
+    }
+    Ok(Program { kernels })
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn line(&self) -> u32 {
+        self.toks.get(self.pos).map_or_else(
+            || self.toks.last().map_or(0, |t| t.line),
+            |t| t.line,
+        )
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, TxlError> {
+        Err(TxlError::Parse { line: self.line(), message: message.into() })
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), TxlError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => {
+                let t = t.clone();
+                self.err(format!("expected `{want}`, found `{t}`"))
+            }
+            None => self.err(format!("expected `{want}`, found end of input")),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, TxlError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            Some(t) => {
+                self.pos -= 1;
+                self.err(format!("expected identifier, found `{t}`"))
+            }
+            None => self.err("expected identifier, found end of input"),
+        }
+    }
+
+    fn kernel(&mut self) -> Result<Kernel, TxlError> {
+        self.expect(&Tok::Kernel)?;
+        let name = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                let pname = self.ident()?;
+                self.expect(&Tok::Colon)?;
+                self.expect(&Tok::Array)?;
+                let declared_len = if self.peek() == Some(&Tok::LBracket) {
+                    self.pos += 1;
+                    let n = match self.bump() {
+                        Some(Tok::Int(v)) => v,
+                        _ => return self.err("expected array length literal"),
+                    };
+                    self.expect(&Tok::RBracket)?;
+                    Some(n)
+                } else {
+                    None
+                };
+                params.push(Param { name: pname, declared_len });
+                if self.peek() == Some(&Tok::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        let body = self.block()?;
+        Ok(Kernel { name, params, body, n_slots: 0 })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, TxlError> {
+        self.expect(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            if self.at_end() {
+                return self.err("unterminated block (missing `}`)");
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.pos += 1; // consume `}`
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, TxlError> {
+        match self.peek() {
+            Some(Tok::Let) => {
+                self.pos += 1;
+                let name = self.ident()?;
+                self.expect(&Tok::Assign)?;
+                let init = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Let { name, slot: usize::MAX, init })
+            }
+            Some(Tok::If) => {
+                self.pos += 1;
+                let cond = self.expr()?;
+                let then_blk = self.block()?;
+                let else_blk = if self.peek() == Some(&Tok::Else) {
+                    self.pos += 1;
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then_blk, else_blk })
+            }
+            Some(Tok::While) => {
+                self.pos += 1;
+                let cond = self.expr()?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Some(Tok::Atomic) => {
+                self.pos += 1;
+                let body = self.block()?;
+                Ok(Stmt::Atomic { body, checkpoint: Vec::new() })
+            }
+            Some(Tok::Ident(_)) => {
+                let name = self.ident()?;
+                match self.peek() {
+                    Some(Tok::Assign) => {
+                        self.pos += 1;
+                        let value = self.expr()?;
+                        self.expect(&Tok::Semi)?;
+                        Ok(Stmt::Assign { name, slot: usize::MAX, value })
+                    }
+                    Some(Tok::LBracket) => {
+                        self.pos += 1;
+                        let index = self.expr()?;
+                        self.expect(&Tok::RBracket)?;
+                        self.expect(&Tok::Assign)?;
+                        let value = self.expr()?;
+                        self.expect(&Tok::Semi)?;
+                        Ok(Stmt::Store { array: name, param: usize::MAX, index, value })
+                    }
+                    _ => self.err("expected `=` or `[` after identifier"),
+                }
+            }
+            Some(t) => {
+                let t = t.clone();
+                self.err(format!("expected statement, found `{t}`"))
+            }
+            None => self.err("expected statement, found end of input"),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, TxlError> {
+        self.bin_level(0)
+    }
+
+    fn bin_level(&mut self, level: usize) -> Result<Expr, TxlError> {
+        const LEVELS: &[&[(Tok, BinOp)]] = &[
+            &[(Tok::OrOr, BinOp::OrOr)],
+            &[(Tok::AndAnd, BinOp::AndAnd)],
+            &[
+                (Tok::Eq, BinOp::Eq),
+                (Tok::Ne, BinOp::Ne),
+                (Tok::Le, BinOp::Le),
+                (Tok::Lt, BinOp::Lt),
+                (Tok::Ge, BinOp::Ge),
+                (Tok::Gt, BinOp::Gt),
+            ],
+            &[(Tok::Pipe, BinOp::Or)],
+            &[(Tok::Caret, BinOp::Xor)],
+            &[(Tok::Amp, BinOp::And)],
+            &[(Tok::Shl, BinOp::Shl), (Tok::Shr, BinOp::Shr)],
+            &[(Tok::Plus, BinOp::Add), (Tok::Minus, BinOp::Sub)],
+            &[(Tok::Star, BinOp::Mul), (Tok::Slash, BinOp::Div), (Tok::Percent, BinOp::Rem)],
+        ];
+        if level == LEVELS.len() {
+            return self.unary();
+        }
+        let mut lhs = self.bin_level(level + 1)?;
+        'outer: loop {
+            for (tok, op) in LEVELS[level] {
+                if self.peek() == Some(tok) {
+                    self.pos += 1;
+                    let rhs = self.bin_level(level + 1)?;
+                    lhs = Expr::Bin { op: *op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, TxlError> {
+        if self.peek() == Some(&Tok::Bang) {
+            self.pos += 1;
+            Ok(Expr::Not(Box::new(self.unary()?)))
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, TxlError> {
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(Expr::Int(v)),
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => match self.peek() {
+                Some(Tok::LBracket) => {
+                    self.pos += 1;
+                    let index = self.expr()?;
+                    self.expect(&Tok::RBracket)?;
+                    Ok(Expr::Index { array: name, param: usize::MAX, index: Box::new(index) })
+                }
+                Some(Tok::LParen) => {
+                    self.pos += 1;
+                    match name.as_str() {
+                        "rand" => {
+                            let arg = self.expr()?;
+                            self.expect(&Tok::RParen)?;
+                            Ok(Expr::Rand(Box::new(arg)))
+                        }
+                        "tid" => {
+                            self.expect(&Tok::RParen)?;
+                            Ok(Expr::Tid)
+                        }
+                        "nthreads" => {
+                            self.expect(&Tok::RParen)?;
+                            Ok(Expr::NThreads)
+                        }
+                        other => self.err(format!(
+                            "unknown builtin `{other}` (supported: rand, tid, nthreads)"
+                        )),
+                    }
+                }
+                _ => Ok(Expr::Var { name, slot: usize::MAX }),
+            },
+            Some(t) => {
+                self.pos -= 1;
+                self.err(format!("expected expression, found `{t}`"))
+            }
+            None => self.err("expected expression, found end of input"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_kernel() {
+        let p = parse("kernel k(a: array) { let x = 1; a[x] = x + 2; }").unwrap();
+        assert_eq!(p.kernels.len(), 1);
+        let k = &p.kernels[0];
+        assert_eq!(k.name, "k");
+        assert_eq!(k.params.len(), 1);
+        assert_eq!(k.body.len(), 2);
+    }
+
+    #[test]
+    fn parses_atomic_if_while() {
+        let src = r#"
+            kernel k(a: array[64]) {
+                let i = 0;
+                while i < 4 {
+                    atomic {
+                        if a[i] == 0 { a[i] = tid(); } else { i = i + 1; }
+                    }
+                    i = i + 1;
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.kernels[0].params[0].declared_len, Some(64));
+        assert!(matches!(p.kernels[0].body[1], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("kernel k() { let x = 1 + 2 * 3; }").unwrap();
+        let Stmt::Let { init, .. } = &p.kernels[0].body[0] else { panic!() };
+        let Expr::Bin { op: BinOp::Add, rhs, .. } = init else { panic!("got {init:?}") };
+        assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn precedence_cmp_over_logic() {
+        let p = parse("kernel k() { let x = 1 < 2 && 3 == 3; }").unwrap();
+        let Stmt::Let { init, .. } = &p.kernels[0].body[0] else { panic!() };
+        assert!(matches!(init, Expr::Bin { op: BinOp::AndAnd, .. }));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("kernel k() {\n let = 3;\n}").unwrap_err();
+        match err {
+            TxlError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_builtin_rejected() {
+        let err = parse("kernel k() { let x = foo(1); }").unwrap_err();
+        assert!(err.to_string().contains("unknown builtin"));
+    }
+
+    #[test]
+    fn unterminated_block_rejected() {
+        assert!(parse("kernel k() { let x = 1;").is_err());
+    }
+
+    #[test]
+    fn multiple_kernels() {
+        let p = parse("kernel a() { } kernel b() { }").unwrap();
+        assert!(p.kernel("a").is_some());
+        assert!(p.kernel("b").is_some());
+        assert!(p.kernel("c").is_none());
+    }
+}

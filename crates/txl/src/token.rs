@@ -1,0 +1,314 @@
+//! Lexer for TXL source text.
+
+use crate::error::TxlError;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Integer literal.
+    Int(u32),
+    /// Identifier.
+    Ident(String),
+    /// `kernel`
+    Kernel,
+    /// `let`
+    Let,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `atomic`
+    Atomic,
+    /// `array`
+    Array,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            other => {
+                let s = match other {
+                    Tok::Kernel => "kernel",
+                    Tok::Let => "let",
+                    Tok::If => "if",
+                    Tok::Else => "else",
+                    Tok::While => "while",
+                    Tok::Atomic => "atomic",
+                    Tok::Array => "array",
+                    Tok::LParen => "(",
+                    Tok::RParen => ")",
+                    Tok::LBrace => "{",
+                    Tok::RBrace => "}",
+                    Tok::LBracket => "[",
+                    Tok::RBracket => "]",
+                    Tok::Comma => ",",
+                    Tok::Semi => ";",
+                    Tok::Colon => ":",
+                    Tok::Assign => "=",
+                    Tok::Plus => "+",
+                    Tok::Minus => "-",
+                    Tok::Star => "*",
+                    Tok::Slash => "/",
+                    Tok::Percent => "%",
+                    Tok::Amp => "&",
+                    Tok::Pipe => "|",
+                    Tok::Caret => "^",
+                    Tok::Shl => "<<",
+                    Tok::Shr => ">>",
+                    Tok::Eq => "==",
+                    Tok::Ne => "!=",
+                    Tok::Lt => "<",
+                    Tok::Le => "<=",
+                    Tok::Gt => ">",
+                    Tok::Ge => ">=",
+                    Tok::AndAnd => "&&",
+                    Tok::OrOr => "||",
+                    Tok::Bang => "!",
+                    Tok::Int(_) | Tok::Ident(_) => unreachable!(),
+                };
+                f.write_str(s)
+            }
+        }
+    }
+}
+
+/// A token plus its 1-based source line (for diagnostics).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Tokenises TXL source. `//` starts a line comment.
+///
+/// # Errors
+///
+/// Returns [`TxlError::Lex`] on an unexpected character or an integer
+/// literal out of `u32` range.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, TxlError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let v: u32 = text.parse().map_err(|_| TxlError::Lex {
+                    line,
+                    message: format!("integer literal `{text}` out of range"),
+                })?;
+                out.push(Spanned { tok: Tok::Int(v), line });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "kernel" => Tok::Kernel,
+                    "let" => Tok::Let,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "atomic" => Tok::Atomic,
+                    "array" => Tok::Array,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push(Spanned { tok, line });
+            }
+            _ => {
+                let two = |a: Tok| Spanned { tok: a, line };
+                let (tok, len) = match (c, bytes.get(i + 1).map(|b| *b as char)) {
+                    ('<', Some('<')) => (Tok::Shl, 2),
+                    ('>', Some('>')) => (Tok::Shr, 2),
+                    ('=', Some('=')) => (Tok::Eq, 2),
+                    ('!', Some('=')) => (Tok::Ne, 2),
+                    ('<', Some('=')) => (Tok::Le, 2),
+                    ('>', Some('=')) => (Tok::Ge, 2),
+                    ('&', Some('&')) => (Tok::AndAnd, 2),
+                    ('|', Some('|')) => (Tok::OrOr, 2),
+                    ('(', _) => (Tok::LParen, 1),
+                    (')', _) => (Tok::RParen, 1),
+                    ('{', _) => (Tok::LBrace, 1),
+                    ('}', _) => (Tok::RBrace, 1),
+                    ('[', _) => (Tok::LBracket, 1),
+                    (']', _) => (Tok::RBracket, 1),
+                    (',', _) => (Tok::Comma, 1),
+                    (';', _) => (Tok::Semi, 1),
+                    (':', _) => (Tok::Colon, 1),
+                    ('=', _) => (Tok::Assign, 1),
+                    ('+', _) => (Tok::Plus, 1),
+                    ('-', _) => (Tok::Minus, 1),
+                    ('*', _) => (Tok::Star, 1),
+                    ('/', _) => (Tok::Slash, 1),
+                    ('%', _) => (Tok::Percent, 1),
+                    ('&', _) => (Tok::Amp, 1),
+                    ('|', _) => (Tok::Pipe, 1),
+                    ('^', _) => (Tok::Caret, 1),
+                    ('<', _) => (Tok::Lt, 1),
+                    ('>', _) => (Tok::Gt, 1),
+                    ('!', _) => (Tok::Bang, 1),
+                    _ => {
+                        return Err(TxlError::Lex {
+                            line,
+                            message: format!("unexpected character `{c}`"),
+                        })
+                    }
+                };
+                out.push(two(tok));
+                i += len;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("kernel foo atomic barx"),
+            vec![
+                Tok::Kernel,
+                Tok::Ident("foo".into()),
+                Tok::Atomic,
+                Tok::Ident("barx".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_operators() {
+        assert_eq!(
+            toks("1 + 23 << 4 >= 5 && x"),
+            vec![
+                Tok::Int(1),
+                Tok::Plus,
+                Tok::Int(23),
+                Tok::Shl,
+                Tok::Int(4),
+                Tok::Ge,
+                Tok::Int(5),
+                Tok::AndAnd,
+                Tok::Ident("x".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let ts = lex("a // comment\nb").unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+    }
+
+    #[test]
+    fn overflow_literal_rejected() {
+        assert!(matches!(lex("99999999999999"), Err(TxlError::Lex { .. })));
+    }
+
+    #[test]
+    fn unexpected_char_rejected() {
+        let err = lex("a $ b").unwrap_err();
+        assert!(err.to_string().contains('$'));
+    }
+
+    #[test]
+    fn display_roundtrip_samples() {
+        for t in [Tok::Shl, Tok::AndAnd, Tok::Kernel, Tok::Int(7)] {
+            assert!(!t.to_string().is_empty());
+        }
+    }
+}

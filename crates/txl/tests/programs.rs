@@ -1,0 +1,302 @@
+//! End-to-end TXL programs executed on the simulator under real STM
+//! runtimes — the full "compiler support" pipeline of the paper.
+
+use gpu_sim::{LaunchConfig, Sim, SimConfig};
+use gpu_stm::{CglStm, LockStm, NorecStm, Stm, StmConfig, StmShared};
+use std::rc::Rc;
+use txl::{compile, launch, ArrayBinding, TxlError};
+
+fn sim() -> Sim {
+    let mut cfg = SimConfig::with_memory(1 << 18);
+    cfg.watchdog_cycles = 1 << 32;
+    Sim::new(cfg)
+}
+
+fn stm_setup(sim: &mut Sim, locks: u32) -> (StmShared, StmConfig) {
+    let cfg = StmConfig::new(locks);
+    let shared = StmShared::init(sim, &cfg).unwrap();
+    (shared, cfg)
+}
+
+/// Every thread atomically increments a random counter; the total is
+/// conserved under every STM runtime.
+#[test]
+fn atomic_increment_conserves_total_across_runtimes() {
+    let src = r#"
+        kernel incr(counters: array) {
+            let n = 3;
+            while n > 0 {
+                let i = rand(16);
+                atomic {
+                    counters[i] = counters[i] + 1;
+                }
+                n = n - 1;
+            }
+        }
+    "#;
+    let program = compile(src).unwrap();
+    let kernel = program.kernel("incr").unwrap();
+    let grid = LaunchConfig::new(2, 64);
+
+    let run = |which: u32| -> u64 {
+        let mut s = sim();
+        let (shared, cfg) = stm_setup(&mut s, 1 << 6);
+        let counters = s.alloc(16).unwrap();
+        let bindings = [ArrayBinding::new("counters", counters, 16)];
+        match which {
+            0 => {
+                let stm = Rc::new(LockStm::hv_sorting(shared, cfg));
+                launch(&mut s, &stm, kernel, grid, 5, &bindings).unwrap();
+            }
+            1 => {
+                let stm = Rc::new(LockStm::tbv_sorting(shared, cfg));
+                launch(&mut s, &stm, kernel, grid, 5, &bindings).unwrap();
+            }
+            2 => {
+                let stm = Rc::new(NorecStm::new(shared, cfg));
+                launch(&mut s, &stm, kernel, grid, 5, &bindings).unwrap();
+            }
+            _ => {
+                let stm = Rc::new(CglStm::init(&mut s).unwrap());
+                launch(&mut s, &stm, kernel, grid, 5, &bindings).unwrap();
+            }
+        }
+        s.read_slice(counters, 16).iter().map(|v| *v as u64).sum()
+    };
+    for which in 0..4 {
+        assert_eq!(run(which), grid.total_threads() * 3, "runtime {which}");
+    }
+}
+
+/// The bank-transfer program: conservation proves that register
+/// checkpointing + transactional retry compose correctly under heavy
+/// contention (each retry re-reads balances, never double-applies).
+#[test]
+fn bank_transfer_conserves_money() {
+    let src = r#"
+        kernel transfer(accounts: array[64]) {
+            let k = 4;
+            while k > 0 {
+                let src = rand(64);
+                let dst = rand(64);
+                if src != dst {
+                    atomic {
+                        let a = accounts[src];
+                        let b = accounts[dst];
+                        if a >= 10 {
+                            accounts[src] = a - 10;
+                            accounts[dst] = b + 10;
+                        }
+                    }
+                }
+                k = k - 1;
+            }
+        }
+    "#;
+    let program = compile(src).unwrap();
+    let kernel = program.kernel("transfer").unwrap();
+    let mut s = sim();
+    let (shared, cfg) = stm_setup(&mut s, 1 << 5); // tiny lock table: conflicts
+    let accounts = s.alloc(64).unwrap();
+    s.fill(accounts, 64, 100);
+    let stm = Rc::new(LockStm::hv_sorting(shared, cfg));
+    launch(
+        &mut s,
+        &stm,
+        kernel,
+        LaunchConfig::new(2, 64),
+        11,
+        &[ArrayBinding::new("accounts", accounts, 64)],
+    )
+    .unwrap();
+    let total: u64 = s.read_slice(accounts, 64).iter().map(|v| *v as u64).sum();
+    assert_eq!(total, 64 * 100, "money created or destroyed");
+    assert!(stm.stats().borrow().aborts > 0, "test needs real contention to be meaningful");
+}
+
+/// A transaction-modified register that the transaction also reads must be
+/// restored on retry: this kernel counts its own successful applications
+/// into a register and publishes it; any double-count under retries would
+/// break the final sum.
+#[test]
+fn checkpointed_register_survives_retries() {
+    let src = r#"
+        kernel count(hot: array, out: array) {
+            let mine = 0;
+            let k = 8;
+            while k > 0 {
+                atomic {
+                    hot[rand(4)] = hot[rand(4)] + 1;
+                    mine = mine + 1;
+                }
+                k = k - 1;
+            }
+            out[tid()] = mine;
+        }
+    "#;
+    let program = compile(src).unwrap();
+    let kernel = program.kernel("count").unwrap();
+    // `mine` must be in the checkpoint set (read-modify-write in tx).
+    let txl::ast::Stmt::While { body, .. } = &kernel.body[2] else { panic!() };
+    let txl::ast::Stmt::Atomic { checkpoint, .. } = &body[0] else { panic!() };
+    assert!(!checkpoint.is_empty(), "`mine` must be checkpointed");
+
+    let mut s = sim();
+    let (shared, cfg) = stm_setup(&mut s, 1 << 4);
+    let hot = s.alloc(4).unwrap();
+    let grid = LaunchConfig::new(2, 32);
+    let out = s.alloc(grid.total_threads() as u32).unwrap();
+    let stm = Rc::new(LockStm::hv_sorting(shared, cfg));
+    launch(
+        &mut s,
+        &stm,
+        kernel,
+        grid,
+        3,
+        &[
+            ArrayBinding::new("hot", hot, 4),
+            ArrayBinding::new("out", out, grid.total_threads() as u32),
+        ],
+    )
+    .unwrap();
+    assert!(stm.stats().borrow().aborts > 0, "need retries for this test to bite");
+    // Every thread must have applied exactly 8 transactions.
+    for (t, v) in s.read_slice(out, grid.total_threads() as u32).iter().enumerate() {
+        assert_eq!(*v, 8, "thread {t} counted {v}");
+    }
+}
+
+/// Divergent control flow: threads take different if/while paths and each
+/// lane's result reflects its own path (SIMT masking correctness).
+#[test]
+fn divergent_control_flow_per_lane() {
+    let src = r#"
+        kernel collatz(out: array) {
+            let x = tid() + 1;
+            let steps = 0;
+            while x != 1 {
+                if x % 2 == 0 { x = x / 2; } else { x = 3 * x + 1; }
+                steps = steps + 1;
+            }
+            out[tid()] = steps;
+        }
+    "#;
+    let program = compile(src).unwrap();
+    let mut s = sim();
+    let (shared, cfg) = stm_setup(&mut s, 1 << 4);
+    let out = s.alloc(64).unwrap();
+    let stm = Rc::new(LockStm::hv_sorting(shared, cfg));
+    launch(
+        &mut s,
+        &stm,
+        program.kernel("collatz").unwrap(),
+        LaunchConfig::new(1, 64),
+        0,
+        &[ArrayBinding::new("out", out, 64)],
+    )
+    .unwrap();
+    let host_collatz = |mut x: u32| {
+        let mut n = 0;
+        while x != 1 {
+            x = if x % 2 == 0 { x / 2 } else { 3 * x + 1 };
+            n += 1;
+        }
+        n
+    };
+    for t in 0..64u32 {
+        assert_eq!(s.read(out.offset(t)), host_collatz(t + 1), "thread {t}");
+    }
+}
+
+/// Out-of-bounds indexing is caught and reported with the thread id.
+#[test]
+fn out_of_bounds_is_reported() {
+    let program = compile("kernel bad(a: array) { a[tid() + 100] = 1; }").unwrap();
+    let mut s = sim();
+    let (shared, cfg) = stm_setup(&mut s, 1 << 4);
+    let a = s.alloc(8).unwrap();
+    let stm = Rc::new(LockStm::hv_sorting(shared, cfg));
+    let err = launch(
+        &mut s,
+        &stm,
+        program.kernel("bad").unwrap(),
+        LaunchConfig::new(1, 32),
+        0,
+        &[ArrayBinding::new("a", a, 8)],
+    )
+    .unwrap_err();
+    assert!(matches!(err, TxlError::Runtime { .. }), "{err}");
+    assert!(err.to_string().contains("out of bounds"));
+}
+
+/// Bindings are validated: missing arrays and wrong declared lengths fail
+/// before anything launches.
+#[test]
+fn binding_validation() {
+    let program = compile("kernel k(a: array[16]) { a[0] = 1; }").unwrap();
+    let mut s = sim();
+    let (shared, cfg) = stm_setup(&mut s, 1 << 4);
+    let a = s.alloc(8).unwrap();
+    let stm = Rc::new(LockStm::hv_sorting(shared, cfg));
+    let err = launch(&mut s, &stm, program.kernel("k").unwrap(), LaunchConfig::new(1, 32), 0, &[])
+        .unwrap_err();
+    assert!(err.to_string().contains("no binding"));
+    let err = launch(
+        &mut s,
+        &stm,
+        program.kernel("k").unwrap(),
+        LaunchConfig::new(1, 32),
+        0,
+        &[ArrayBinding::new("a", a, 8)],
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("declared with length 16"));
+}
+
+/// TXL runs are deterministic: same seed, same cycles, same memory.
+#[test]
+fn txl_execution_is_deterministic() {
+    let src = "kernel k(a: array) { let i = rand(32); atomic { a[i] = a[i] + tid(); } }";
+    let run = || {
+        let program = compile(src).unwrap();
+        let mut s = sim();
+        let (shared, cfg) = stm_setup(&mut s, 1 << 5);
+        let a = s.alloc(32).unwrap();
+        let stm = Rc::new(LockStm::hv_sorting(shared, cfg));
+        let report = launch(
+            &mut s,
+            &stm,
+            program.kernel("k").unwrap(),
+            LaunchConfig::new(2, 64),
+            123,
+            &[ArrayBinding::new("a", a, 32)],
+        )
+        .unwrap();
+        (report.cycles, s.read_slice(a, 32))
+    };
+    assert_eq!(run(), run());
+}
+
+/// Non-transactional accesses outside `atomic` use plain loads/stores
+/// (weak isolation — Section 3.2.1), still SIMT-correct.
+#[test]
+fn non_transactional_accesses_work() {
+    let src = "kernel k(a: array) { a[tid()] = tid() * 2; let v = a[tid()]; a[tid()] = v + 1; }";
+    let program = compile(src).unwrap();
+    let mut s = sim();
+    let (shared, cfg) = stm_setup(&mut s, 1 << 4);
+    let a = s.alloc(64).unwrap();
+    let stm = Rc::new(LockStm::hv_sorting(shared, cfg));
+    launch(
+        &mut s,
+        &stm,
+        program.kernel("k").unwrap(),
+        LaunchConfig::new(1, 64),
+        0,
+        &[ArrayBinding::new("a", a, 64)],
+    )
+    .unwrap();
+    for t in 0..64u32 {
+        assert_eq!(s.read(a.offset(t)), t * 2 + 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Concurrency-control variant selection and dispatch.
+//!
+//! Workload kernels are generic over [`Stm`]; this module instantiates them
+//! for each concrete variant of the paper's evaluation (Section 4.2).
+
+use crate::outcome::RunError;
+use gpu_stm::{
+    CglStm, EgpgvStm, LockStm, NorecStm, OptimizedStm, Recorder, Stm, StmConfig, StmShared,
+};
+use gpu_sim::{LaunchConfig, Sim};
+use std::rc::Rc;
+
+/// One of the evaluated concurrency-control schemes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Coarse-grained lock baseline (speedup denominator).
+    Cgl,
+    /// Cederman et al.'s per-thread-block blocking STM.
+    Egpgv,
+    /// NOrec-like single-sequence-lock STM (STM-VBV).
+    Vbv,
+    /// Timestamp validation + lock-sorting (STM-TBV-Sorting).
+    TbvSorting,
+    /// Hierarchical validation + lock-sorting (STM-HV-Sorting).
+    HvSorting,
+    /// Hierarchical validation + backoff locking (STM-HV-Backoff).
+    HvBackoff,
+    /// Timestamp validation + backoff locking (ablation only).
+    TbvBackoff,
+    /// Adaptive HV/TBV selection + lock-sorting (STM-Optimized).
+    Optimized,
+}
+
+impl Variant {
+    /// The STM variants of the paper's Figure 2, in its legend order.
+    pub const FIGURE2: [Variant; 6] = [
+        Variant::Egpgv,
+        Variant::Vbv,
+        Variant::TbvSorting,
+        Variant::HvBackoff,
+        Variant::HvSorting,
+        Variant::Optimized,
+    ];
+
+    /// Every variant including the baseline and ablation extras.
+    pub const ALL: [Variant; 8] = [
+        Variant::Cgl,
+        Variant::Egpgv,
+        Variant::Vbv,
+        Variant::TbvSorting,
+        Variant::HvSorting,
+        Variant::HvBackoff,
+        Variant::TbvBackoff,
+        Variant::Optimized,
+    ];
+
+    /// Paper display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Cgl => "CGL",
+            Variant::Egpgv => "STM-EGPGV",
+            Variant::Vbv => "STM-VBV",
+            Variant::TbvSorting => "STM-TBV-Sorting",
+            Variant::HvSorting => "STM-HV-Sorting",
+            Variant::HvBackoff => "STM-HV-Backoff",
+            Variant::TbvBackoff => "STM-TBV-Backoff",
+            Variant::Optimized => "STM-Optimized",
+        }
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A computation generic over the concrete STM type — the only way to pass
+/// a "generic closure" in stable Rust.
+pub trait StmRunner {
+    /// Result of the run.
+    type Out;
+    /// Runs the workload with a concrete STM instance.
+    fn run<S: Stm + 'static>(self, sim: &mut Sim, stm: Rc<S>) -> Result<Self::Out, RunError>;
+}
+
+/// Instantiates `variant` (allocating its metadata in `sim`) and invokes
+/// `runner` with the concrete STM.
+///
+/// `shared_data_words` drives STM-Optimized's HV/TBV choice; `grid` is used
+/// to reject launches the EGPGV design cannot support.
+///
+/// # Errors
+///
+/// [`RunError::Unsupported`] when `variant` cannot run `grid`
+/// (EGPGV beyond its per-block metadata), or any simulator error.
+pub fn dispatch<R: StmRunner>(
+    sim: &mut Sim,
+    variant: Variant,
+    stm_cfg: StmConfig,
+    shared_data_words: u64,
+    grid: LaunchConfig,
+    recorder: Option<Recorder>,
+    runner: R,
+) -> Result<R::Out, RunError> {
+    match variant {
+        Variant::Cgl => {
+            let mut stm = CglStm::init(sim)?;
+            if let Some(rec) = recorder {
+                stm = stm.with_recorder(rec);
+            }
+            runner.run(sim, Rc::new(stm))
+        }
+        Variant::Egpgv => {
+            let shared = StmShared::init(sim, &stm_cfg)?;
+            let mut stm = EgpgvStm::init(sim, shared, stm_cfg)?;
+            if let Some(rec) = recorder {
+                stm = stm.with_recorder(rec);
+            }
+            if !stm.supports(grid) {
+                return Err(RunError::Unsupported(
+                    "STM-EGPGV supports per-thread-block transactions only up to its fixed \
+                     per-block metadata capacity",
+                ));
+            }
+            runner.run(sim, Rc::new(stm))
+        }
+        Variant::Vbv => {
+            let shared = StmShared::init(sim, &stm_cfg)?;
+            let mut stm = NorecStm::new(shared, stm_cfg);
+            if let Some(rec) = recorder {
+                stm = stm.with_recorder(rec);
+            }
+            runner.run(sim, Rc::new(stm))
+        }
+        Variant::Optimized => {
+            let shared = StmShared::init(sim, &stm_cfg)?;
+            let mut stm = OptimizedStm::new(shared, stm_cfg, shared_data_words);
+            if let Some(rec) = recorder {
+                stm = stm.with_recorder(rec);
+            }
+            runner.run(sim, Rc::new(stm))
+        }
+        Variant::TbvSorting | Variant::HvSorting | Variant::HvBackoff | Variant::TbvBackoff => {
+            let shared = StmShared::init(sim, &stm_cfg)?;
+            let mut stm = match variant {
+                Variant::TbvSorting => LockStm::tbv_sorting(shared, stm_cfg),
+                Variant::HvSorting => LockStm::hv_sorting(shared, stm_cfg),
+                Variant::HvBackoff => LockStm::hv_backoff(shared, stm_cfg),
+                _ => LockStm::tbv_backoff(shared, stm_cfg),
+            };
+            if let Some(rec) = recorder {
+                stm = stm.with_recorder(rec);
+            }
+            runner.run(sim, Rc::new(stm))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        let set: std::collections::HashSet<_> = Variant::ALL.iter().map(|v| v.label()).collect();
+        assert_eq!(set.len(), Variant::ALL.len());
+    }
+
+    #[test]
+    fn figure2_excludes_baseline() {
+        assert!(!Variant::FIGURE2.contains(&Variant::Cgl));
+        assert_eq!(Variant::FIGURE2.len(), 6);
+    }
+}

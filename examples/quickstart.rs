@@ -1,0 +1,82 @@
+//! Quickstart: the paper's Figure 1 code example — the *random array*
+//! micro-benchmark, transactified with GPU-STM.
+//!
+//! Every GPU thread runs transactions that read/write random elements of
+//! one shared array. This mirrors the CUDA host/kernel pair of Figure 1:
+//! `STM_STARTUP()` → kernel launch (with `STM_NEW_WARP()`, `TXBegin`,
+//! `TXRead`/`TXWrite`, opacity checks, `TXCommit`) → `STM_SHUTDOWN()`.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use gpu_sim::{LaunchConfig, Sim, SimConfig, WarpRng};
+use gpu_stm::{lane_addrs, lane_vals, LockStm, Stm, StmConfig, StmShared};
+use std::rc::Rc;
+
+const ARRAY_WORDS: u32 = 1 << 16;
+const ACTIONS_PER_TX: u32 = 8;
+const TXS_PER_THREAD: u32 = 4;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- CPU-host code (Figure 1, `randomarray()`) ----
+    let mut sim = Sim::new(SimConfig::with_memory(1 << 20));
+    let d_array = sim.alloc(ARRAY_WORDS)?; // cudaMalloc
+    let stm_cfg = StmConfig::new(1 << 14);
+    let shared = StmShared::init(&mut sim, &stm_cfg)?; // STM_STARTUP()
+    let stm = Rc::new(LockStm::hv_sorting(shared, stm_cfg));
+
+    let grid = LaunchConfig::new(16, 128);
+    println!(
+        "launching randomarray_core<<<{}, {}>>> under {} ...",
+        grid.blocks,
+        grid.threads_per_block,
+        stm.name()
+    );
+
+    // ---- GPU-kernel code (Figure 1, `randomarray_core()`) ----
+    let kernel_stm = Rc::clone(&stm);
+    let report = sim.launch(grid, move |ctx| {
+        let stm = Rc::clone(&kernel_stm);
+        async move {
+            let mut w = stm.new_warp(); // STM_NEW_WARP()
+            let mut rng = WarpRng::new(42, ctx.id().thread_id(0));
+            let mut remaining = [TXS_PER_THREAD; 32];
+            loop {
+                let pending = ctx.id().launch_mask.filter(|l| remaining[l] > 0);
+                if pending.none() {
+                    break;
+                }
+                let active = stm.begin(&mut w, &ctx, pending).await; // TXBegin
+                let mut ok = active;
+                for _ in 0..ACTIONS_PER_TX {
+                    // "if opacity is required, check the opaque flag"
+                    ok &= stm.opaque(&w);
+                    if ok.none() {
+                        break;
+                    }
+                    let addrs = lane_addrs(ok, |l| d_array.offset(rng.below(l, ARRAY_WORDS)));
+                    if rng.chance(0, 1, 2) {
+                        let _ = stm.read(&mut w, &ctx, ok, &addrs).await; // TXRead
+                    } else {
+                        let vals = lane_vals(ok, |l| rng.next_u32(l));
+                        stm.write(&mut w, &ctx, ok, &addrs, &vals).await; // TXWrite
+                    }
+                }
+                let committed = stm.commit(&mut w, &ctx, active).await; // TXCommit
+                for l in committed.iter() {
+                    remaining[l] -= 1;
+                }
+            }
+        }
+    })?;
+
+    // ---- back on the host: STM_SHUTDOWN() is the drop of `stm` ----
+    let st = stm.stats();
+    let st = st.borrow();
+    println!("simulated cycles : {}", report.cycles);
+    println!("transactions     : {} committed, {} aborted", st.commits, st.aborts);
+    println!("abort rate       : {:.2}%", st.abort_rate() * 100.0);
+    println!("memory traffic   : {} coalesced transactions", report.stats.mem_transactions);
+    assert_eq!(st.commits, grid.total_threads() * TXS_PER_THREAD as u64);
+    println!("OK: every thread committed its {TXS_PER_THREAD} transactions");
+    Ok(())
+}

@@ -1,0 +1,132 @@
+//! Cross-crate opacity tests: every STM variant's recorded history must be
+//! serializable with consistent reads (tm-check replay), and replaying
+//! only committed writes must reproduce the simulator's final memory
+//! (aborted transactions leak nothing).
+
+use gpu_sim::{Addr, LaunchConfig};
+use gpu_stm::recorder;
+use tm_check::{assert_opaque, check_final_state, check_history};
+use workloads::ra::{self, RaParams};
+use workloads::{RunConfig, Variant};
+
+fn contended_params() -> (RaParams, LaunchConfig) {
+    (
+        RaParams {
+            shared_words: 256, // tiny array: heavy conflicts
+            actions_per_tx: 6,
+            txs_per_thread: 3,
+            write_pct: 60,
+            seed: 99,
+        },
+        LaunchConfig::new(2, 64),
+    )
+}
+
+fn check_variant(variant: Variant) {
+    let (params, grid) = contended_params();
+    let rec = recorder();
+    let mut cfg = RunConfig::with_memory(1 << 16).with_locks(1 << 6);
+    cfg.recorder = Some(rec.clone());
+    let (out, sim, data) = ra::run_with_sim(&params, variant, grid, &cfg).unwrap();
+    let h = rec.borrow();
+
+    assert_eq!(
+        h.commits.len() as u64,
+        grid.total_threads() * params.txs_per_thread as u64,
+        "{variant}: history must contain every committed transaction"
+    );
+    // Replay-based serializability/opacity check (initial memory is zero).
+    let report = assert_opaque(&h, |_| 0);
+    assert_eq!(report.writers + report.read_only, h.commits.len());
+
+    // Final-state check: committed writes alone reproduce device memory.
+    let addrs = (0..params.shared_words).map(|i| data.offset(i)).collect::<Vec<_>>();
+    let violations = check_final_state(&h, |_| 0, |a| sim.read(a), addrs);
+    assert!(violations.is_empty(), "{variant}: {:?}", &violations[..violations.len().min(3)]);
+
+    // Contended tiny array: this workload must actually have conflicted,
+    // otherwise the test proves nothing.
+    if variant != Variant::Cgl {
+        assert!(out.tx.aborts > 0, "{variant}: expected conflicts in this configuration");
+    }
+}
+
+#[test]
+fn hv_sorting_history_is_opaque() {
+    check_variant(Variant::HvSorting);
+}
+
+#[test]
+fn tbv_sorting_history_is_opaque() {
+    check_variant(Variant::TbvSorting);
+}
+
+#[test]
+fn hv_backoff_history_is_opaque() {
+    check_variant(Variant::HvBackoff);
+}
+
+#[test]
+fn tbv_backoff_history_is_opaque() {
+    check_variant(Variant::TbvBackoff);
+}
+
+#[test]
+fn vbv_history_is_opaque() {
+    check_variant(Variant::Vbv);
+}
+
+#[test]
+fn optimized_history_is_opaque() {
+    check_variant(Variant::Optimized);
+}
+
+#[test]
+fn egpgv_history_is_opaque() {
+    check_variant(Variant::Egpgv);
+}
+
+#[test]
+fn cgl_history_is_opaque() {
+    check_variant(Variant::Cgl);
+}
+
+/// The checker itself must not be vacuous: corrupting a recorded read
+/// value must produce a violation.
+#[test]
+fn checker_detects_injected_inconsistency() {
+    let (params, grid) = contended_params();
+    let rec = recorder();
+    let mut cfg = RunConfig::with_memory(1 << 16).with_locks(1 << 6);
+    cfg.recorder = Some(rec.clone());
+    ra::run(&params, Variant::HvSorting, grid, &cfg).unwrap();
+    let mut h = rec.borrow().clone();
+    // Corrupt one committed read.
+    let tx = h
+        .commits
+        .iter_mut()
+        .find(|t| !t.reads.is_empty() && t.version.is_some())
+        .expect("some writer with reads");
+    tx.reads[0].val ^= 0xdead_beef;
+    let report = check_history(&h, |_| 0);
+    assert!(!report.is_ok(), "corrupted history must fail the checker");
+}
+
+/// Weak isolation note (Section 3.2.1): conflicts between transactional
+/// and non-transactional accesses are not detected. This test documents
+/// the guarantee boundary: a non-transactional store is invisible to the
+/// final-state replay.
+#[test]
+fn non_transactional_writes_are_outside_the_checker_model() {
+    let (params, grid) = contended_params();
+    let rec = recorder();
+    let mut cfg = RunConfig::with_memory(1 << 16).with_locks(1 << 6);
+    cfg.recorder = Some(rec.clone());
+    let (_, mut sim, data) = ra::run_with_sim(&params, Variant::HvSorting, grid, &cfg).unwrap();
+    // Host-side (non-transactional) dirty write after the kernel.
+    sim.write(data, 0xffff_ffff);
+    let h = rec.borrow();
+    let violations =
+        check_final_state(&h, |_| 0, |a| sim.read(a), [Addr(data.0)]);
+    assert_eq!(violations.len(), 1, "the dirty word must surface as a mismatch");
+}

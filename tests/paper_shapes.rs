@@ -1,0 +1,128 @@
+//! Shape regression tests: scaled-down versions of the paper's evaluation
+//! claims, asserted as invariants so the reproduction cannot silently
+//! drift. Each test states the claim it pins (see EXPERIMENTS.md for the
+//! full-size numbers).
+
+use gpu_sim::LaunchConfig;
+use workloads::eigenbench::EbParams;
+use workloads::ra::RaParams;
+use workloads::{eigenbench, kmeans, ra, RunConfig, RunError, Variant};
+
+fn ra_cycles(variant: Variant) -> (u64, gpu_stm::TxStats) {
+    let params = RaParams {
+        shared_words: 1 << 13,
+        actions_per_tx: 8,
+        txs_per_thread: 1,
+        write_pct: 50,
+        seed: 77,
+    };
+    let grid = LaunchConfig::new(8, 64);
+    let cfg = RunConfig::with_memory(1 << 18).with_locks(1 << 10);
+    let out = ra::run(&params, variant, grid, &cfg).unwrap();
+    (out.cycles(), out.tx)
+}
+
+/// Figure 2 claim: GPU-STM (per-thread transactions) beats CGL by a large
+/// factor on RA-like workloads.
+#[test]
+fn stm_beats_cgl_on_random_array() {
+    let (cgl, _) = ra_cycles(Variant::Cgl);
+    let (hv, _) = ra_cycles(Variant::HvSorting);
+    let speedup = cgl as f64 / hv as f64;
+    assert!(speedup > 3.0, "expected a clear win, got {speedup:.2}x");
+}
+
+/// Figure 2 claim: STM-VBV's single sequence lock does not scale — it
+/// must be far below the lock-table designs.
+#[test]
+fn vbv_is_far_slower_than_hv() {
+    let (vbv, _) = ra_cycles(Variant::Vbv);
+    let (hv, _) = ra_cycles(Variant::HvSorting);
+    assert!(vbv > 2 * hv, "VBV {vbv} should trail HV {hv} badly");
+}
+
+/// Figure 2 claim: STM-Optimized ties the better of HV/TBV on RA (where
+/// shared data exceeds the lock table it must pick HV).
+#[test]
+fn optimized_matches_hv_on_large_shared_data() {
+    let (hv, _) = ra_cycles(Variant::HvSorting);
+    let (opt, _) = ra_cycles(Variant::Optimized);
+    assert_eq!(opt, hv, "8K shared words > 1K locks: Optimized must select HV");
+}
+
+/// Figure 4 claim: with shared data much larger than the lock table,
+/// HV's abort rate is far below TBV's (false conflicts filtered by VBV),
+/// at identical lock counts.
+#[test]
+fn hv_abort_rate_beats_tbv_under_aliasing() {
+    let params = EbParams {
+        hot_words: 1 << 13,
+        txs_per_thread: 3,
+        ..EbParams::default()
+    };
+    let grid = LaunchConfig::new(4, 64);
+    // 64 locks guard 8192 words: massive stripe aliasing.
+    let cfg = RunConfig::with_memory(1 << 18).with_locks(1 << 6);
+    let hv = eigenbench::run(&params, Variant::HvSorting, grid, &cfg).unwrap();
+    let tbv = eigenbench::run(&params, Variant::TbvSorting, grid, &cfg).unwrap();
+    assert!(
+        hv.tx.abort_rate() * 2.0 < tbv.tx.abort_rate(),
+        "HV {:.1}% vs TBV {:.1}%",
+        hv.tx.abort_rate() * 100.0,
+        tbv.tx.abort_rate() * 100.0
+    );
+    assert!(hv.tx.false_conflicts_filtered > 0);
+}
+
+/// Figure 2/5 claim: k-means gains nothing from STM parallelisation —
+/// high conflict rates waste the concurrency.
+#[test]
+fn kmeans_does_not_benefit_from_stm() {
+    let params = kmeans::KmParams { points_per_thread: 4, ..kmeans::KmParams::default() };
+    let grid = LaunchConfig::new(16, 2);
+    let cfg = RunConfig::with_memory(1 << 16).with_locks(1 << 8);
+    let cgl = kmeans::run(&params, Variant::Cgl, grid, &cfg).unwrap();
+    let stm = kmeans::run(&params, Variant::HvSorting, grid, &cfg).unwrap();
+    assert!(
+        stm.cycles() as f64 > 0.6 * cgl.cycles() as f64,
+        "KM must not show real STM speedup: CGL {} vs STM {}",
+        cgl.cycles(),
+        stm.cycles()
+    );
+    assert!(stm.tx.abort_rate() > 0.3, "KM must be conflict-heavy");
+}
+
+/// Figure 3 claim: EGPGV "crashes" (unsupported) once the grid exceeds its
+/// per-thread-block transaction capacity.
+#[test]
+fn egpgv_unsupported_at_scale() {
+    let params = RaParams { shared_words: 1 << 10, ..RaParams::default() };
+    let cfg = RunConfig::with_memory(1 << 16).with_locks(1 << 8);
+    let err = ra::run(&params, Variant::Egpgv, LaunchConfig::new(128, 32), &cfg).unwrap_err();
+    assert!(matches!(err, RunError::Unsupported(_)));
+    // And it *works* within capacity.
+    ra::run(&params, Variant::Egpgv, LaunchConfig::new(16, 32), &cfg).unwrap();
+}
+
+/// Scalability claim (Figure 3): HV-Sorting speedup over CGL grows with
+/// the thread count.
+#[test]
+fn hv_speedup_grows_with_threads() {
+    let run = |threads: u32| {
+        let params = RaParams {
+            shared_words: 1 << 13,
+            actions_per_tx: 8,
+            txs_per_thread: 1,
+            write_pct: 50,
+            seed: 5,
+        };
+        let grid = LaunchConfig::new(threads / 32, 32);
+        let cfg = RunConfig::with_memory(1 << 18).with_locks(1 << 10);
+        let cgl = ra::run(&params, Variant::Cgl, grid, &cfg).unwrap().cycles();
+        let hv = ra::run(&params, Variant::HvSorting, grid, &cfg).unwrap().cycles();
+        cgl as f64 / hv as f64
+    };
+    let small = run(64);
+    let large = run(1024);
+    assert!(large > small, "speedup must grow: {small:.2}x -> {large:.2}x");
+}

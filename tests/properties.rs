@@ -1,0 +1,173 @@
+//! Property-based tests (proptest) over the core data structures and
+//! end-to-end transactional invariants.
+
+use gpu_sim::coalesce::{atomic_conflict_depth, coalesce, SEGMENT_WORDS};
+use gpu_sim::{Addr, LaneMask, LaunchConfig, Sim, SimConfig, WARP_SIZE};
+use gpu_stm::locklog::LockLog;
+use gpu_stm::sets::WriteSet;
+use gpu_stm::{lane_addrs, lane_vals, LockStm, Stm, StmConfig, StmShared};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashSet};
+use std::rc::Rc;
+
+proptest! {
+    /// Lane-mask algebra is Boolean algebra on 32-bit sets.
+    #[test]
+    fn lane_mask_set_algebra(a: u32, b: u32) {
+        let (ma, mb) = (LaneMask::from_bits(a), LaneMask::from_bits(b));
+        prop_assert_eq!((ma | mb).bits(), a | b);
+        prop_assert_eq!((ma & mb).bits(), a & b);
+        prop_assert_eq!((!(ma)).bits(), !a);
+        prop_assert_eq!((ma & !mb) | (ma & mb), ma);
+        let from_iter: LaneMask = ma.iter().collect();
+        prop_assert_eq!(from_iter, ma);
+    }
+
+    /// Coalescing: the transaction count equals the number of distinct
+    /// segments, is at most the active-lane count, and is at least one
+    /// when any lane is active.
+    #[test]
+    fn coalesce_counts_distinct_segments(
+        bits: u32,
+        raw in proptest::collection::vec(0u32..4096, WARP_SIZE),
+    ) {
+        let mask = LaneMask::from_bits(bits);
+        let addrs: [Addr; WARP_SIZE] = std::array::from_fn(|i| Addr(raw[i]));
+        let c = coalesce(mask, &addrs);
+        let distinct: HashSet<u32> =
+            mask.iter().map(|l| addrs[l].0 / SEGMENT_WORDS).collect();
+        prop_assert_eq!(c.transactions() as usize, distinct.len());
+        prop_assert!(c.transactions() <= mask.count());
+        if mask.any() {
+            prop_assert!(c.transactions() >= 1);
+        }
+        let depth = atomic_conflict_depth(mask, &addrs);
+        prop_assert!(depth <= mask.count());
+    }
+
+    /// The lock-log yields a sorted, deduplicated sequence whose contents
+    /// and bits match a BTreeMap reference model, for any bucket count.
+    #[test]
+    fn locklog_matches_reference_model(
+        ops in proptest::collection::vec((0u32..256, any::<bool>(), any::<bool>()), 0..64),
+        buckets in 0u32..5,
+    ) {
+        let mut log = LockLog::new(1 << buckets, 256);
+        let mut model: BTreeMap<u32, (bool, bool)> = BTreeMap::new();
+        for (lock, rd, wr) in &ops {
+            log.insert(*lock, *rd, *wr);
+            let e = model.entry(*lock).or_insert((false, false));
+            e.0 |= *rd;
+            e.1 |= *wr;
+        }
+        prop_assert_eq!(log.len(), model.len());
+        let got: Vec<(u32, bool, bool)> =
+            log.iter_sorted().map(|e| (e.lock, e.read, e.write)).collect();
+        let want: Vec<(u32, bool, bool)> =
+            model.iter().map(|(k, (r, w))| (*k, *r, *w)).collect();
+        prop_assert_eq!(got, want);
+        // nth_sorted agrees with iteration.
+        for (k, e) in log.iter_sorted().enumerate() {
+            prop_assert_eq!(log.nth_sorted(k), Some(e));
+        }
+        prop_assert_eq!(log.nth_sorted(model.len()), None);
+    }
+
+    /// The write-set (Bloom filter + log) behaves like a per-lane map
+    /// with last-write-wins semantics.
+    #[test]
+    fn writeset_matches_map_model(
+        ops in proptest::collection::vec((0usize..4, 0u32..64, any::<u32>()), 0..100),
+    ) {
+        let mut ws = WriteSet::new();
+        let mut model: BTreeMap<(usize, u32), u32> = BTreeMap::new();
+        for (lane, addr, val) in &ops {
+            ws.insert(*lane, Addr(*addr), *val);
+            model.insert((*lane, *addr), *val);
+        }
+        for lane in 0..4 {
+            for addr in 0..64u32 {
+                prop_assert_eq!(
+                    ws.lookup(lane, Addr(addr)),
+                    model.get(&(lane, addr)).copied(),
+                    "lane {} addr {}", lane, addr
+                );
+            }
+            let expected_len = model.keys().filter(|(l, _)| *l == lane).count();
+            prop_assert_eq!(ws.len(lane), expected_len);
+        }
+    }
+
+    /// End-to-end conservation: random counter-increment workloads under
+    /// GPU-STM never lose or duplicate increments, for arbitrary small
+    /// configurations (lock-table size, counters, threads, increments).
+    #[test]
+    fn stm_conserves_increments(
+        lock_bits in 2u32..8,
+        n_counters in 1u32..32,
+        warps in 1u32..3,
+        incr in 1u32..4,
+        seed: u64,
+    ) {
+        let mut cfg = SimConfig::with_memory(1 << 16);
+        cfg.watchdog_cycles = 1 << 32;
+        let mut sim = Sim::new(cfg);
+        let stm_cfg = StmConfig { locklog_buckets: 4, ..StmConfig::new(1 << lock_bits) };
+        let shared = StmShared::init(&mut sim, &stm_cfg).unwrap();
+        let counters = sim.alloc(n_counters).unwrap();
+        let stm = Rc::new(LockStm::hv_sorting(shared, stm_cfg));
+        let kstm = Rc::clone(&stm);
+        let grid = LaunchConfig::new(1, warps * 32);
+        sim.launch(grid, move |ctx| {
+            let stm = Rc::clone(&kstm);
+            async move {
+                let mut w = stm.new_warp();
+                let mut rng = gpu_sim::WarpRng::new(seed, ctx.id().thread_id(0));
+                let mut remaining = [incr; 32];
+                let mut target = [0u32; 32];
+                let mut fresh = ctx.id().launch_mask;
+                loop {
+                    let pending = ctx.id().launch_mask.filter(|l| remaining[l] > 0);
+                    if pending.none() {
+                        break;
+                    }
+                    for l in (pending & fresh).iter() {
+                        target[l] = rng.below(l, n_counters);
+                    }
+                    let active = stm.begin(&mut w, &ctx, pending).await;
+                    let addrs = lane_addrs(active, |l| counters.offset(target[l]));
+                    let vals = stm.read(&mut w, &ctx, active, &addrs).await;
+                    let ok = active & stm.opaque(&w);
+                    stm.write(&mut w, &ctx, ok, &addrs, &lane_vals(ok, |l| vals[l] + 1)).await;
+                    let committed = stm.commit(&mut w, &ctx, active).await;
+                    for l in committed.iter() {
+                        remaining[l] -= 1;
+                    }
+                    fresh = committed;
+                }
+            }
+        })
+        .unwrap();
+        let total: u64 = sim.read_slice(counters, n_counters).iter().map(|v| *v as u64).sum();
+        prop_assert_eq!(total, grid.total_threads() * incr as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The version-lock word encoding round-trips for any version that
+    /// fits in 31 bits.
+    #[test]
+    fn version_lock_roundtrip(version in 0u32..(1 << 31)) {
+        use gpu_stm::VersionLock;
+        let v = VersionLock::unlocked(version);
+        prop_assert!(!v.is_locked());
+        prop_assert_eq!(v.version(), version);
+        prop_assert!(v.locked().is_locked());
+        prop_assert_eq!(v.locked().version(), version);
+        prop_assert_eq!(v.locked().released(), v);
+        // Algorithm 3's release-by-decrement preserves the version.
+        prop_assert_eq!(VersionLock(v.locked().bits() - 1), v);
+    }
+}
