@@ -1,14 +1,15 @@
-//! Criterion ablation benches for the design choices DESIGN.md calls out:
+//! Ablation benches for the design choices DESIGN.md calls out:
 //! lock-sorting vs backoff, read-set locking, coalesced set layout, the
 //! write-set Bloom filter, the hash-table lock-log, and pre-commit VBV.
 //!
-//! Criterion times the host-side simulation; the `ablations` *binary*
-//! prints the simulated-cycle comparison, which is the architectural
-//! metric. Both run the same configurations.
+//! Self-contained harness (`harness = false`, offline build): times the
+//! host-side simulation with `std::time::Instant`; the `ablations`
+//! *binary* prints the simulated-cycle comparison, which is the
+//! architectural metric. Both run the same configurations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpu_sim::LaunchConfig;
 use gpu_stm::StmConfig;
+use std::time::Instant;
 use workloads::ra::{self, RaParams};
 use workloads::{RunConfig, Variant};
 
@@ -31,11 +32,8 @@ fn cfg_with(f: impl FnOnce(&mut StmConfig)) -> RunConfig {
     cfg
 }
 
-fn bench_ablations(c: &mut Criterion) {
+fn main() {
     let (p, grid) = params();
-    let mut g = c.benchmark_group("ablations_ra");
-    g.sample_size(10);
-
     let cases: Vec<(&str, RunConfig, Variant)> = vec![
         ("baseline-hv-sorting", cfg_with(|_| {}), Variant::HvSorting),
         ("locking-backoff", cfg_with(|_| {}), Variant::HvBackoff),
@@ -46,12 +44,19 @@ fn bench_ablations(c: &mut Criterion) {
         ("pre-commit-vbv", cfg_with(|s| s.pre_commit_vbv = true), Variant::HvSorting),
     ];
     for (name, cfg, variant) in cases {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &(cfg, variant), |b, (cfg, v)| {
-            b.iter(|| ra::run(&p, *v, grid, cfg).unwrap());
-        });
+        const ITERS: u32 = 10;
+        ra::run(&p, variant, grid, &cfg).unwrap(); // warm-up
+        let mut samples = Vec::with_capacity(ITERS as usize);
+        for _ in 0..ITERS {
+            let t0 = Instant::now();
+            ra::run(&p, variant, grid, &cfg).unwrap();
+            samples.push(t0.elapsed());
+        }
+        let min = samples.iter().min().unwrap();
+        let mean = samples.iter().sum::<std::time::Duration>() / ITERS;
+        println!(
+            "ablations_ra/{name:<20} min {:>10.1?}  mean {:>10.1?}  ({ITERS} iters)",
+            min, mean
+        );
     }
-    g.finish();
 }
-
-criterion_group!(ablations, bench_ablations);
-criterion_main!(ablations);

@@ -1,14 +1,15 @@
-//! Criterion benches wrapping one representative configuration of every
-//! table and figure in the paper's evaluation. `cargo bench -p bench`
-//! therefore exercises the full reproduction pipeline; the `--bin`
-//! harnesses print the complete paper-shaped tables.
+//! Benches wrapping one representative configuration of every table and
+//! figure in the paper's evaluation. `cargo bench -p bench` therefore
+//! exercises the full reproduction pipeline; the `--bin` harnesses print
+//! the complete paper-shaped tables.
 //!
-//! Criterion measures *host* time of the simulation; the reproduced
+//! Self-contained harness (`harness = false`, offline build): measures
+//! *host* time of the simulation with `std::time::Instant`; the reproduced
 //! metric (simulated cycles) is printed by the harness binaries.
 
 use bench::runner::{run_workload, Workload};
 use bench::Suite;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 use workloads::eigenbench::{self, EbParams};
 use workloads::{genome, kmeans, labyrinth, RunConfig, Variant};
 
@@ -16,24 +17,32 @@ fn quick_suite() -> Suite {
     Suite { data_scale: 1024, thread_scale: 64, only: None }
 }
 
+fn bench(group: &str, name: &str, iters: u32, mut f: impl FnMut()) {
+    f(); // warm-up
+    let mut samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed());
+    }
+    let min = samples.iter().min().unwrap();
+    let mean = samples.iter().sum::<std::time::Duration>() / iters;
+    println!("{group}/{name:<18} min {:>10.1?}  mean {:>10.1?}  ({iters} iters)", min, mean);
+}
+
 /// Table 1: workload characterisation run (STM-Optimized over each workload).
-fn bench_table1(c: &mut Criterion) {
+fn bench_table1() {
     let suite = quick_suite();
-    let mut g = c.benchmark_group("table1");
-    g.sample_size(10);
     for w in [Workload::Ra, Workload::Ht, Workload::Km] {
-        g.bench_with_input(BenchmarkId::from_parameter(w.label()), &w, |b, w| {
-            b.iter(|| run_workload(&suite, *w, Variant::Optimized, Some(256)).unwrap());
+        bench("table1", w.label(), 10, || {
+            run_workload(&suite, w, Variant::Optimized, Some(256)).unwrap();
         });
     }
-    g.finish();
 }
 
 /// Figure 2: variant comparison on the random-array workload.
-fn bench_fig2(c: &mut Criterion) {
+fn bench_fig2() {
     let suite = quick_suite();
-    let mut g = c.benchmark_group("fig2_ra");
-    g.sample_size(10);
     for v in [
         Variant::Cgl,
         Variant::Egpgv,
@@ -43,97 +52,73 @@ fn bench_fig2(c: &mut Criterion) {
         Variant::HvSorting,
         Variant::Optimized,
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(v.label()), &v, |b, v| {
-            b.iter(|| run_workload(&suite, Workload::Ra, *v, Some(256)).unwrap());
+        bench("fig2_ra", v.label(), 10, || {
+            run_workload(&suite, Workload::Ra, v, Some(256)).unwrap();
         });
     }
-    g.finish();
 }
 
 /// Figure 3: thread scaling of STM-HV-Sorting.
-fn bench_fig3(c: &mut Criterion) {
+fn bench_fig3() {
     let suite = quick_suite();
-    let mut g = c.benchmark_group("fig3_scaling");
-    g.sample_size(10);
     for t in [64u64, 256, 1024] {
-        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, t| {
-            b.iter(|| run_workload(&suite, Workload::Ht, Variant::HvSorting, Some(*t)).unwrap());
+        bench("fig3_scaling", &t.to_string(), 10, || {
+            run_workload(&suite, Workload::Ht, Variant::HvSorting, Some(t)).unwrap();
         });
     }
-    g.finish();
 }
 
 /// Figure 4: HV vs TBV on EigenBench at one shared-data/lock point.
-fn bench_fig4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4_eigenbench");
-    g.sample_size(10);
+fn bench_fig4() {
     let params = EbParams { hot_words: 1 << 12, txs_per_thread: 2, ..EbParams::default() };
     let grid = gpu_sim::LaunchConfig::new(8, 32);
     for v in [Variant::HvSorting, Variant::TbvSorting] {
-        g.bench_with_input(BenchmarkId::from_parameter(v.label()), &v, |b, v| {
+        bench("fig4_eigenbench", v.label(), 10, || {
             let cfg = RunConfig::with_memory(1 << 18).with_locks(1 << 8);
-            b.iter(|| eigenbench::run(&params, *v, grid, &cfg).unwrap());
+            eigenbench::run(&params, v, grid, &cfg).unwrap();
         });
     }
-    g.finish();
 }
 
 /// Figure 5: single-warp breakdown runs (GN, LB, KM under STM-Optimized).
-fn bench_fig5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_breakdown");
-    g.sample_size(10);
-    g.bench_function("gn", |b| {
-        let params = genome::GnParams {
-            n_segments: 32,
-            value_space: 28,
-            table_words: 1 << 9,
-            seed: 4,
-        };
+fn bench_fig5() {
+    bench("fig5_breakdown", "gn", 10, || {
+        let params =
+            genome::GnParams { n_segments: 32, value_space: 28, table_words: 1 << 9, seed: 4 };
         let grid = gpu_sim::LaunchConfig::new(1, 32);
         let cfg = RunConfig::with_memory(1 << 16).with_locks(1 << 8);
-        b.iter(|| genome::run(&params, Variant::Optimized, grid, grid, &cfg).unwrap());
+        genome::run(&params, Variant::Optimized, grid, grid, &cfg).unwrap();
     });
-    g.bench_function("lb", |b| {
-        let params = labyrinth::LbParams {
-            width: 64,
-            height: 64,
-            n_paths: 16,
-            max_span: 8,
-            seed: 4,
-        };
+    bench("fig5_breakdown", "lb", 10, || {
+        let params =
+            labyrinth::LbParams { width: 64, height: 64, n_paths: 16, max_span: 8, seed: 4 };
         let grid = gpu_sim::LaunchConfig::new(1, 32);
         let cfg = RunConfig::with_memory(1 << 16).with_locks(1 << 8);
-        b.iter(|| labyrinth::run(&params, Variant::Optimized, grid, &cfg).unwrap());
+        labyrinth::run(&params, Variant::Optimized, grid, &cfg).unwrap();
     });
-    g.bench_function("km", |b| {
+    bench("fig5_breakdown", "km", 10, || {
         let params = kmeans::KmParams::default();
         let grid = gpu_sim::LaunchConfig::new(8, 2);
         let cfg = RunConfig::with_memory(1 << 16).with_locks(1 << 8);
-        b.iter(|| kmeans::run(&params, Variant::Optimized, grid, &cfg).unwrap());
+        kmeans::run(&params, Variant::Optimized, grid, &cfg).unwrap();
     });
-    g.finish();
 }
 
 /// Table 2: a single autotune probe (grid-shape sensitivity).
-fn bench_table2(c: &mut Criterion) {
+fn bench_table2() {
     let suite = quick_suite();
-    let mut g = c.benchmark_group("table2_autotune");
-    g.sample_size(10);
     for t in [64u64, 512] {
-        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, t| {
-            b.iter(|| run_workload(&suite, Workload::Ra, Variant::Optimized, Some(*t)).unwrap());
+        bench("table2_autotune", &t.to_string(), 10, || {
+            run_workload(&suite, Workload::Ra, Variant::Optimized, Some(t)).unwrap();
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    paper,
-    bench_table1,
-    bench_fig2,
-    bench_fig3,
-    bench_fig4,
-    bench_fig5,
-    bench_table2
-);
-criterion_main!(paper);
+fn main() {
+    bench_table1();
+    bench_fig2();
+    bench_fig3();
+    bench_fig4();
+    bench_fig5();
+    bench_table2();
+}

@@ -35,8 +35,9 @@ fn main() {
     );
 
     let base_cfg = |f: &dyn Fn(&mut StmConfig)| {
-        let mut cfg = RunConfig::with_memory((params.shared_words + suite.n_locks() + (1 << 16)) as usize)
-            .with_locks(suite.n_locks());
+        let mut cfg =
+            RunConfig::with_memory((params.shared_words + suite.n_locks() + (1 << 16)) as usize)
+                .with_locks(suite.n_locks());
         f(&mut cfg.stm);
         cfg
     };
@@ -46,7 +47,11 @@ fn main() {
         ("locking: backoff", base_cfg(&|_| {}), Variant::HvBackoff),
         ("locking: write-set only", base_cfg(&|s| s.lock_read_set = false), Variant::HvSorting),
         ("sets: uncoalesced layout", base_cfg(&|s| s.coalesced_sets = false), Variant::HvSorting),
-        ("write-set: no Bloom filter", base_cfg(&|s| s.write_set_bloom = false), Variant::HvSorting),
+        (
+            "write-set: no Bloom filter",
+            base_cfg(&|s| s.write_set_bloom = false),
+            Variant::HvSorting,
+        ),
         ("lock-log: flat sorted list", base_cfg(&|s| s.locklog_buckets = 1), Variant::HvSorting),
         ("commit: pre-locking VBV", base_cfg(&|s| s.pre_commit_vbv = true), Variant::HvSorting),
         ("validation: pure TBV", base_cfg(&|_| {}), Variant::TbvSorting),

@@ -12,7 +12,9 @@
 
 use bench::{print_table, thousands, Suite};
 use gpu_sim::{LaunchConfig, Sim, SimConfig, WarpRng};
-use gpu_stm::{lane_addrs, lane_vals, LockStm, Scheduled, SchedulerConfig, Stm, StmConfig, StmShared};
+use gpu_stm::{
+    lane_addrs, lane_vals, LockStm, Scheduled, SchedulerConfig, Stm, StmConfig, StmShared,
+};
 use std::rc::Rc;
 
 /// Shared-counter accumulator: each thread adds into `n_counters` hot
@@ -47,8 +49,7 @@ fn run_counters<S: Stm + 'static>(
                     if active.none() {
                         continue;
                     }
-                    let addrs =
-                        lane_addrs(active, |l| counters.offset(rng.below(l, n_counters)));
+                    let addrs = lane_addrs(active, |l| counters.offset(rng.below(l, n_counters)));
                     let vals = stm.read(&mut w, &ctx, active, &addrs).await;
                     let ok = active & stm.opaque(&w);
                     stm.write(&mut w, &ctx, ok, &addrs, &lane_vals(ok, |l| vals[l] + 1)).await;
@@ -68,7 +69,9 @@ fn run_counters<S: Stm + 'static>(
 
 fn main() {
     let _ = Suite::from_args();
-    println!("GPU-STM reproduction — extension: adaptive transaction scheduler (paper future work)");
+    println!(
+        "GPU-STM reproduction — extension: adaptive transaction scheduler (paper future work)"
+    );
 
     let mut rows = Vec::new();
     // (label, hot counters, grid, incr) — KM-like vs RA-like contention.

@@ -44,8 +44,7 @@ fn main() {
             eprintln!();
             rows.push(row);
         }
-        let headers =
-            ["threads", "EGPGV", "VBV", "TBV-Sort", "HV-Backoff", "HV-Sort", "Optimized"];
+        let headers = ["threads", "EGPGV", "VBV", "TBV-Sort", "HV-Backoff", "HV-Sort", "Optimized"];
         print_table(
             &format!("Figure 3 — {} scalability (speedup over CGL)", w.label()),
             &headers,

@@ -32,13 +32,13 @@ fn main() {
         let mut rows = Vec::new();
         for &threads in &thread_counts {
             for &locks in &lock_counts {
-                let params = EbParams { hot_words: shared, txs_per_thread: 2, ..EbParams::default() };
+                let params =
+                    EbParams { hot_words: shared, txs_per_thread: 2, ..EbParams::default() };
                 let grid = square_grid(threads);
-                let mut cells = vec![thousands(threads as u64), thousands(locks as u64)];
+                let mut cells = vec![thousands(threads), thousands(locks as u64)];
                 for v in [Variant::HvSorting, Variant::TbvSorting] {
                     let data = shared as u64
-                        + grid.total_threads()
-                            * (params.mild_words + params.cold_words) as u64;
+                        + grid.total_threads() * (params.mild_words + params.cold_words) as u64;
                     let mem = data + locks as u64 + (1 << 16);
                     let cfg = RunConfig::with_memory(mem as usize).with_locks(locks);
                     match eigenbench::run(&params, v, grid, &cfg) {
@@ -58,8 +58,7 @@ fn main() {
                 rows.push(cells);
             }
         }
-        let headers =
-            ["threads", "locks", "HV tx/Mcyc", "HV abort", "TBV tx/Mcyc", "TBV abort"];
+        let headers = ["threads", "locks", "HV tx/Mcyc", "HV abort", "TBV tx/Mcyc", "TBV abort"];
         print_table(
             &format!(
                 "Figure 4({}) — shared data = {} words",

@@ -102,10 +102,8 @@ impl Suite {
 
     /// RA parameters and launch geometry.
     pub fn ra(&self) -> (RaParams, LaunchConfig) {
-        let params = RaParams {
-            shared_words: self.scaled_pow2(paper::RA_SHARED),
-            ..RaParams::default()
-        };
+        let params =
+            RaParams { shared_words: self.scaled_pow2(paper::RA_SHARED), ..RaParams::default() };
         (params, square_grid(self.threads(paper::RA_THREADS)))
     }
 
@@ -124,10 +122,7 @@ impl Suite {
 
     /// EigenBench parameters and launch geometry (Figure 4 defaults).
     pub fn eb(&self) -> (EbParams, LaunchConfig) {
-        let params = EbParams {
-            hot_words: self.scaled_pow2(1 << 20),
-            ..EbParams::default()
-        };
+        let params = EbParams { hot_words: self.scaled_pow2(1 << 20), ..EbParams::default() };
         (params, square_grid(self.threads(16 * 1024)))
     }
 
@@ -197,7 +192,7 @@ pub fn thousands(value: u64) -> String {
     let s = value.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

@@ -79,6 +79,9 @@ fn merge_tx(a: &TxStats, b: &TxStats) -> TxStats {
     out.false_conflicts_filtered += b.false_conflicts_filtered;
     out.reads_committed += b.reads_committed;
     out.writes_committed += b.writes_committed;
+    out.max_consec_aborts = out.max_consec_aborts.max(b.max_consec_aborts);
+    out.escalations += b.escalations;
+    out.fallback_commits += b.fallback_commits;
     out.breakdown.merge(&b.breakdown);
     out
 }
@@ -113,9 +116,9 @@ pub fn run_workload(
             let (mut params, mut grid) = suite.ht();
             if let Some(t) = threads {
                 grid = square_grid(t);
-                params.table_words =
-                    ((grid.total_threads() * params.inserts_per_tx as u64 * 8) as u32)
-                        .next_power_of_two();
+                params.table_words = ((grid.total_threads() * params.inserts_per_tx as u64 * 8)
+                    as u32)
+                    .next_power_of_two();
             }
             let cfg = suite.run_config(params.table_words as u64, grid.total_threads());
             let out = ht::run(&params, variant, grid, &cfg)?;
@@ -160,9 +163,7 @@ pub fn run_workload(
         }
         Workload::Lb => {
             let (params, grid) = suite.lb();
-            let grid = threads.map_or(grid, |t| {
-                LaunchConfig::new((t as u32 / 32).max(1), 32)
-            });
+            let grid = threads.map_or(grid, |t| LaunchConfig::new((t as u32 / 32).max(1), 32));
             let cells = (params.width * params.height) as u64;
             let cfg = suite.run_config(cells, grid.total_threads());
             let out = labyrinth::run(&params, variant, grid, &cfg)?;
@@ -175,9 +176,7 @@ pub fn run_workload(
         }
         Workload::Km => {
             let (params, grid) = suite.km();
-            let grid = threads.map_or(grid, |t| {
-                LaunchConfig::new((t as u32 / 2).max(1), 2)
-            });
+            let grid = threads.map_or(grid, |t| LaunchConfig::new((t as u32 / 2).max(1), 2));
             let cfg = suite.run_config(params.shared_words() as u64, grid.total_threads());
             let out = kmeans::run(&params, variant, grid, &cfg)?;
             Ok(WlOutcome {
@@ -201,7 +200,8 @@ mod tests {
     #[test]
     fn every_workload_runs_hv_sorting() {
         let suite = quick_suite();
-        for w in [Workload::Ra, Workload::Ht, Workload::Eb, Workload::Gn, Workload::Lb, Workload::Km]
+        for w in
+            [Workload::Ra, Workload::Ht, Workload::Eb, Workload::Gn, Workload::Lb, Workload::Km]
         {
             let out = run_workload(&suite, w, Variant::HvSorting, Some(64)).unwrap();
             assert!(out.tx.commits > 0, "{w:?}");

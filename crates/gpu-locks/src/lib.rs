@@ -161,14 +161,7 @@ pub async fn try_lock_sorted(
         v.dedup();
         sorted[l] = v;
     }
-    try_lock_multi(
-        ctx,
-        mask,
-        max_locks,
-        |l| sorted[l].len(),
-        |l, k| sorted[l][k],
-    )
-    .await
+    try_lock_multi(ctx, mask, max_locks, |l| sorted[l].len(), |l, k| sorted[l][k]).await
 }
 
 /// Releases the (sorted, deduplicated) multi-lock set taken by
@@ -246,7 +239,7 @@ mod tests {
                 spin_lock_lockstep(&ctx, LaneMask::first_n(2), lock).await;
             })
             .unwrap_err();
-        assert!(matches!(err, SimError::Watchdog { .. }), "expected deadlock, got {err:?}");
+        assert!(matches!(err, SimError::Deadlock { .. }), "expected deadlock, got {err:?}");
     }
 
     #[test]
@@ -304,22 +297,32 @@ mod tests {
             .launch(LaunchConfig::new(1, 32), move |ctx| async move {
                 let mut pending = LaneMask::first_n(2);
                 while pending.any() {
-                    let got = try_lock_multi(&ctx, pending, 2, |_| 2, |l, k| {
-                        // lane 0: A then B; lane 1: B then A.
-                        locks.offset(((l + k) % 2) as u32)
-                    })
+                    let got = try_lock_multi(
+                        &ctx,
+                        pending,
+                        2,
+                        |_| 2,
+                        |l, k| {
+                            // lane 0: A then B; lane 1: B then A.
+                            locks.offset(((l + k) % 2) as u32)
+                        },
+                    )
                     .await;
                     if got.any() {
-                        unlock_sorted(&ctx, got, 2, |_| 2, |l, k| {
-                            locks.offset(((l + k) % 2) as u32)
-                        })
+                        unlock_sorted(
+                            &ctx,
+                            got,
+                            2,
+                            |_| 2,
+                            |l, k| locks.offset(((l + k) % 2) as u32),
+                        )
                         .await;
                         pending &= !got;
                     }
                 }
             })
             .unwrap_err();
-        assert!(matches!(err, SimError::Watchdog { .. }), "expected livelock, got {err:?}");
+        assert!(matches!(err, SimError::Livelock { .. }), "expected livelock, got {err:?}");
     }
 
     #[test]
@@ -331,16 +334,18 @@ mod tests {
         s.launch(LaunchConfig::new(1, 32), move |ctx| async move {
             let mut pending = LaneMask::first_n(2);
             while pending.any() {
-                let got = try_lock_sorted(&ctx, pending, 2, |_| 2, |l, k| {
-                    locks.offset(((l + k) % 2) as u32)
-                })
+                let got = try_lock_sorted(
+                    &ctx,
+                    pending,
+                    2,
+                    |_| 2,
+                    |l, k| locks.offset(((l + k) % 2) as u32),
+                )
                 .await;
                 if got.any() {
                     ctx.atomic_add_uniform(got, done, 1).await;
-                    unlock_sorted(&ctx, got, 2, |_| 2, |l, k| {
-                        locks.offset(((l + k) % 2) as u32)
-                    })
-                    .await;
+                    unlock_sorted(&ctx, got, 2, |_| 2, |l, k| locks.offset(((l + k) % 2) as u32))
+                        .await;
                     pending &= !got;
                 }
             }
@@ -358,10 +363,9 @@ mod tests {
         // Pre-hold lock 2 so lane 0 (wanting 0,1,2) fails after taking 0,1.
         s.write(locks.offset(2), 1);
         s.launch(LaunchConfig::new(1, 32), move |ctx| async move {
-            let got = try_lock_multi(&ctx, LaneMask::lane(0), 3, |_| 3, |_, k| {
-                locks.offset(k as u32)
-            })
-            .await;
+            let got =
+                try_lock_multi(&ctx, LaneMask::lane(0), 3, |_| 3, |_, k| locks.offset(k as u32))
+                    .await;
             assert!(got.none());
         })
         .unwrap();

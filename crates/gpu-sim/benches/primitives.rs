@@ -1,87 +1,85 @@
-//! Criterion microbenchmarks of the simulator's primitives: how fast the
-//! host simulates coalesced vs. strided memory traffic, contended vs.
+//! Microbenchmarks of the simulator's primitives: how fast the host
+//! simulates coalesced vs. strided memory traffic, contended vs.
 //! uncontended atomics, and warp scheduling at various occupancies.
+//!
+//! Self-contained harness (`harness = false`): the container builds
+//! offline, so this measures with `std::time::Instant` instead of an
+//! external benchmarking crate. Run with `cargo bench -p gpu-sim`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpu_sim::{LaunchConfig, Sim, SimConfig};
+use std::time::Instant;
 
-fn bench_memory(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_memory");
-    g.sample_size(20);
+/// Times `f` over `iters` runs and prints min / mean host time.
+fn bench(group: &str, name: &str, iters: u32, mut f: impl FnMut()) {
+    f(); // warm-up
+    let mut samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed());
+    }
+    let min = samples.iter().min().unwrap();
+    let mean = samples.iter().sum::<std::time::Duration>() / iters;
+    println!("{group}/{name:<12} min {:>10.1?}  mean {:>10.1?}  ({iters} iters)", min, mean);
+}
+
+fn bench_memory() {
     for (name, stride) in [("coalesced", 1u32), ("strided", 32u32)] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &stride, |b, stride| {
-            let stride = *stride;
-            b.iter(|| {
-                let mut sim = Sim::new(SimConfig::with_memory(1 << 20));
-                let buf = sim.alloc(32 * 32 * stride).unwrap();
-                sim.launch(LaunchConfig::new(4, 64), move |ctx| async move {
-                    let mask = ctx.id().launch_mask;
-                    for round in 0..8u32 {
-                        let addrs = std::array::from_fn(|l| {
-                            buf.offset((l as u32 * stride + round * 32) % (32 * 32 * stride))
-                        });
-                        let _ = ctx.load(mask, &addrs).await;
-                    }
-                })
-                .unwrap()
-            });
+        bench("sim_memory", name, 20, || {
+            let mut sim = Sim::new(SimConfig::with_memory(1 << 20));
+            let buf = sim.alloc(32 * 32 * stride).unwrap();
+            sim.launch(LaunchConfig::new(4, 64), move |ctx| async move {
+                let mask = ctx.id().launch_mask;
+                for round in 0..8u32 {
+                    let addrs = std::array::from_fn(|l| {
+                        buf.offset((l as u32 * stride + round * 32) % (32 * 32 * stride))
+                    });
+                    let _ = ctx.load(mask, &addrs).await;
+                }
+            })
+            .unwrap();
         });
     }
-    g.finish();
 }
 
-fn bench_atomics(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_atomics");
-    g.sample_size(20);
+fn bench_atomics() {
     for (name, n_words) in [("contended", 1u32), ("spread", 1024u32)] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &n_words, |b, n| {
-            let n = *n;
-            b.iter(|| {
-                let mut sim = Sim::new(SimConfig::with_memory(1 << 16));
-                let buf = sim.alloc(n).unwrap();
-                sim.launch(LaunchConfig::new(4, 64), move |ctx| async move {
-                    let mask = ctx.id().launch_mask;
-                    for _ in 0..8u32 {
-                        let addrs = std::array::from_fn(|l| buf.offset(l as u32 % n));
-                        let ones = [1u32; 32];
-                        let _ = ctx
-                            .atomic_rmw(mask, gpu_sim::AtomicOp::Add, &addrs, &ones)
-                            .await;
-                    }
-                })
-                .unwrap()
-            });
+        let n = n_words;
+        bench("sim_atomics", name, 20, || {
+            let mut sim = Sim::new(SimConfig::with_memory(1 << 16));
+            let buf = sim.alloc(n).unwrap();
+            sim.launch(LaunchConfig::new(4, 64), move |ctx| async move {
+                let mask = ctx.id().launch_mask;
+                for _ in 0..8u32 {
+                    let addrs = std::array::from_fn(|l| buf.offset(l as u32 % n));
+                    let ones = [1u32; 32];
+                    let _ = ctx.atomic_rmw(mask, gpu_sim::AtomicOp::Add, &addrs, &ones).await;
+                }
+            })
+            .unwrap();
         });
     }
-    g.finish();
 }
 
-fn bench_occupancy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_occupancy");
-    g.sample_size(20);
+fn bench_occupancy() {
     for warps in [16u32, 256, 1024] {
-        g.bench_with_input(BenchmarkId::from_parameter(warps), &warps, |b, warps| {
-            let blocks = *warps / 4;
-            b.iter(|| {
-                let mut sim = Sim::new(SimConfig::with_memory(1 << 16));
-                let counter = sim.alloc(64).unwrap();
-                sim.launch(LaunchConfig::new(blocks.max(1), 128), move |ctx| async move {
-                    let mask = ctx.id().launch_mask;
-                    for i in 0..4u32 {
-                        ctx.atomic_add_uniform(
-                            mask,
-                            counter.offset(ctx.id().block % 64),
-                            i,
-                        )
-                        .await;
-                    }
-                })
-                .unwrap()
-            });
+        let blocks = warps / 4;
+        bench("sim_occupancy", &warps.to_string(), 10, || {
+            let mut sim = Sim::new(SimConfig::with_memory(1 << 16));
+            let counter = sim.alloc(64).unwrap();
+            sim.launch(LaunchConfig::new(blocks.max(1), 128), move |ctx| async move {
+                let mask = ctx.id().launch_mask;
+                for i in 0..4u32 {
+                    ctx.atomic_add_uniform(mask, counter.offset(ctx.id().block % 64), i).await;
+                }
+            })
+            .unwrap();
         });
     }
-    g.finish();
 }
 
-criterion_group!(primitives, bench_memory, bench_atomics, bench_occupancy);
-criterion_main!(primitives);
+fn main() {
+    bench_memory();
+    bench_atomics();
+    bench_occupancy();
+}

@@ -70,12 +70,7 @@ impl L2Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
         assert!(cfg.ways > 0, "ways must be nonzero");
-        L2Cache {
-            cfg,
-            tags: vec![0; cfg.lines()],
-            stamps: vec![0; cfg.lines()],
-            tick: 0,
-        }
+        L2Cache { cfg, tags: vec![0; cfg.lines()], stamps: vec![0; cfg.lines()], tick: 0 }
     }
 
     /// Configuration in use.

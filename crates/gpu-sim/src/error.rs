@@ -3,6 +3,43 @@
 use std::error::Error;
 use std::fmt;
 
+/// Progress diagnostics for one unfinished warp, attached to the
+/// non-progress errors ([`SimError::Deadlock`], [`SimError::Livelock`],
+/// [`SimError::BudgetExceeded`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WarpProgress {
+    /// Block index of the warp.
+    pub block: u32,
+    /// Warp index within its block.
+    pub warp_in_block: u32,
+    /// Warp instructions the warp has issued in this launch.
+    pub instructions: u64,
+    /// Instructions issued since the warp last made progress — the depth
+    /// of its current retry/spin episode.
+    pub instructions_since_progress: u64,
+    /// Progress marks (transaction commits or explicit
+    /// [`mark_progress`](crate::WarpCtx::mark_progress) calls).
+    pub progress_marks: u64,
+    /// Cycles elapsed since the warp last made progress (since launch if
+    /// it never did).
+    pub cycles_since_progress: u64,
+}
+
+impl fmt::Display for WarpProgress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "warp {}/{}: {} instrs ({} since progress), {} marks, stalled {} cycles",
+            self.block,
+            self.warp_in_block,
+            self.instructions,
+            self.instructions_since_progress,
+            self.progress_marks,
+            self.cycles_since_progress
+        )
+    }
+}
+
 /// Errors raised by the simulator.
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
@@ -12,16 +49,59 @@ pub enum SimError {
         /// Words requested.
         requested: usize,
     },
-    /// The watchdog limit was reached before all warps finished — the
-    /// kernel deadlocked, livelocked, or simply needs a larger budget.
-    Watchdog {
+    /// No warp made progress and device memory stopped changing: the
+    /// kernel is blocked for good (e.g. the paper's Scheme #1 lockstep
+    /// spin-lock deadlock).
+    Deadlock {
         /// Simulated cycle at which the run was abandoned.
         cycle: u64,
-        /// Warps that had not finished.
-        unfinished_warps: usize,
+        /// Progress accounting for each unfinished warp.
+        unfinished: Vec<WarpProgress>,
+    },
+    /// No warp made progress but device memory kept changing: warps are
+    /// doing work that never completes (e.g. the paper's circular
+    /// multi-lock livelock, or an STM abort storm).
+    Livelock {
+        /// Simulated cycle at which the run was abandoned.
+        cycle: u64,
+        /// Last cycle at which a device word changed value.
+        last_mutation_cycle: u64,
+        /// Progress accounting for each unfinished warp.
+        unfinished: Vec<WarpProgress>,
+    },
+    /// The cycle budget ran out while warps were still progressing — the
+    /// kernel is healthy but `watchdog_cycles` is too small.
+    BudgetExceeded {
+        /// Simulated cycle at which the run was abandoned.
+        cycle: u64,
+        /// The configured `watchdog_cycles` budget.
+        budget: u64,
+        /// Progress accounting for each unfinished warp.
+        unfinished: Vec<WarpProgress>,
     },
     /// An invalid launch configuration.
     BadLaunch(String),
+}
+
+impl SimError {
+    /// Whether this error reports a failure to finish (deadlock, livelock
+    /// or budget exhaustion) as opposed to a setup error.
+    pub fn is_progress_failure(&self) -> bool {
+        matches!(
+            self,
+            SimError::Deadlock { .. } | SimError::Livelock { .. } | SimError::BudgetExceeded { .. }
+        )
+    }
+
+    /// Per-warp diagnostics for the non-progress errors, empty otherwise.
+    pub fn unfinished_warps(&self) -> &[WarpProgress] {
+        match self {
+            SimError::Deadlock { unfinished, .. }
+            | SimError::Livelock { unfinished, .. }
+            | SimError::BudgetExceeded { unfinished, .. } => unfinished,
+            _ => &[],
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -30,27 +110,62 @@ impl fmt::Display for SimError {
             SimError::OutOfMemory { requested } => {
                 write!(f, "device allocation of {requested} words does not fit")
             }
-            SimError::Watchdog { cycle, unfinished_warps } => write!(
+            SimError::Deadlock { cycle, unfinished } => write!(
                 f,
-                "watchdog fired at cycle {cycle} with {unfinished_warps} warps unfinished \
-                 (deadlock, livelock, or budget too small)"
+                "deadlock detected at cycle {cycle}: {} warps blocked with no memory activity",
+                unfinished.len()
+            ),
+            SimError::Livelock { cycle, last_mutation_cycle, unfinished } => write!(
+                f,
+                "livelock detected at cycle {cycle}: {} warps busy (memory last changed at \
+                 cycle {last_mutation_cycle}) but none progressing",
+                unfinished.len()
+            ),
+            SimError::BudgetExceeded { cycle, budget, unfinished } => write!(
+                f,
+                "cycle budget of {budget} exceeded at cycle {cycle} with {} warps still \
+                 progressing (raise watchdog_cycles)",
+                unfinished.len()
             ),
             SimError::BadLaunch(msg) => write!(f, "invalid launch configuration: {msg}"),
         }
     }
 }
 
-impl Error for SimError {}
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        // Leaf error: no underlying cause. Implemented explicitly so every
+        // error type in the workspace answers `source` deliberately.
+        None
+    }
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn sample_warp() -> WarpProgress {
+        WarpProgress {
+            block: 1,
+            warp_in_block: 2,
+            instructions: 400,
+            instructions_since_progress: 100,
+            progress_marks: 3,
+            cycles_since_progress: 9000,
+        }
+    }
+
     #[test]
     fn display_messages_are_nonempty_and_lowercase() {
         let errs = [
             SimError::OutOfMemory { requested: 8 },
-            SimError::Watchdog { cycle: 100, unfinished_warps: 2 },
+            SimError::Deadlock { cycle: 100, unfinished: vec![sample_warp()] },
+            SimError::Livelock {
+                cycle: 100,
+                last_mutation_cycle: 99,
+                unfinished: vec![sample_warp()],
+            },
+            SimError::BudgetExceeded { cycle: 100, budget: 90, unfinished: vec![] },
             SimError::BadLaunch("zero blocks".into()),
         ];
         for e in errs {
@@ -61,9 +176,47 @@ mod tests {
     }
 
     #[test]
+    fn progress_failures_carry_warp_detail() {
+        let e = SimError::Livelock {
+            cycle: 10_000,
+            last_mutation_cycle: 9_999,
+            unfinished: vec![sample_warp()],
+        };
+        assert!(e.is_progress_failure());
+        assert_eq!(e.unfinished_warps().len(), 1);
+        let w = &e.unfinished_warps()[0];
+        assert_eq!((w.block, w.warp_in_block), (1, 2));
+        let line = w.to_string();
+        assert!(line.contains("warp 1/2"));
+        assert!(line.contains("stalled 9000 cycles"));
+        assert!(!SimError::BadLaunch("x".into()).is_progress_failure());
+        assert!(SimError::OutOfMemory { requested: 1 }.unfinished_warps().is_empty());
+    }
+
+    #[test]
+    fn distinguishable_diagnoses() {
+        // Each non-progress variant names its diagnosis in the message.
+        let dead = SimError::Deadlock { cycle: 1, unfinished: vec![] }.to_string();
+        let live =
+            SimError::Livelock { cycle: 1, last_mutation_cycle: 0, unfinished: vec![] }.to_string();
+        let budget =
+            SimError::BudgetExceeded { cycle: 1, budget: 1, unfinished: vec![] }.to_string();
+        assert!(dead.contains("deadlock"));
+        assert!(live.contains("livelock"));
+        assert!(budget.contains("budget"));
+    }
+
+    #[test]
     fn error_trait_object() {
         fn takes_err(_: &dyn Error) {}
         takes_err(&SimError::BadLaunch("x".into()));
+    }
+
+    #[test]
+    fn source_is_none_for_leaf_errors() {
+        use std::error::Error;
+        assert!(SimError::OutOfMemory { requested: 1 }.source().is_none());
+        assert!(SimError::Deadlock { cycle: 0, unfinished: vec![] }.source().is_none());
     }
 
     #[test]

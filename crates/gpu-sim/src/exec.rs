@@ -16,7 +16,8 @@
 //! (blocks per SM, warps per SM), like hardware block dispatch.
 
 use crate::cache::{CacheConfig, L2Cache};
-use crate::error::SimError;
+use crate::error::{SimError, WarpProgress};
+use crate::fault::{splitmix64, FaultPlan, FaultState};
 use crate::mask::{LaneMask, WARP_SIZE};
 use crate::memory::{Addr, GlobalMemory};
 use crate::stats::SimStats;
@@ -76,6 +77,14 @@ pub struct SimConfig {
     /// Abort a launch after this many simulated cycles (deadlock/livelock
     /// watchdog).
     pub watchdog_cycles: u64,
+    /// Abort a launch when no warp has made progress (committed or
+    /// explicitly marked via [`WarpCtx::mark_progress`]) for this many
+    /// cycles. `u64::MAX` disables stall detection, leaving only the
+    /// total-cycle budget.
+    pub stall_cycles: u64,
+    /// Seed-controlled fault injection (schedule shuffle, latency jitter,
+    /// spurious CAS failures). Defaults to no faults.
+    pub fault: FaultPlan,
 }
 
 impl SimConfig {
@@ -93,6 +102,8 @@ impl Default for SimConfig {
             timing: TimingModel::default(),
             gpu: GpuConfig::default(),
             watchdog_cycles: 1 << 40,
+            stall_cycles: u64::MAX,
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -161,9 +172,7 @@ impl WarpId {
 
     /// Global thread id of `lane` in this warp.
     pub fn thread_id(&self, lane: usize) -> u32 {
-        self.block * self.threads_per_block
-            + self.warp_in_block * WARP_SIZE as u32
-            + lane as u32
+        self.block * self.threads_per_block + self.warp_in_block * WARP_SIZE as u32 + lane as u32
     }
 }
 
@@ -182,6 +191,66 @@ pub(crate) struct SimState {
     pub(crate) timing: TimingModel,
     pub(crate) stats: SimStats,
     pub(crate) now: u64,
+    pub(crate) fault: FaultState,
+    pub(crate) progress: ProgressBoard,
+}
+
+/// Per-warp progress accounting for one launch: who issued what, and when
+/// each warp (and the launch as a whole) last made forward progress.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ProgressBoard {
+    pub(crate) warps: Vec<WarpProgressEntry>,
+    /// Last cycle any warp committed/marked progress or retired.
+    pub(crate) last_progress_cycle: u64,
+    /// Last cycle a device word actually changed value.
+    pub(crate) last_mutation_cycle: u64,
+}
+
+#[derive(Copy, Clone, Debug, Default)]
+pub(crate) struct WarpProgressEntry {
+    pub(crate) block: u32,
+    pub(crate) warp_in_block: u32,
+    pub(crate) instructions: u64,
+    pub(crate) instructions_at_progress: u64,
+    pub(crate) progress_marks: u64,
+    pub(crate) last_progress_cycle: u64,
+    pub(crate) retired: bool,
+}
+
+impl ProgressBoard {
+    /// Registers a warp; returns its index for [`WarpCtx`] accounting.
+    pub(crate) fn register(&mut self, block: u32, warp_in_block: u32, now: u64) -> usize {
+        self.warps.push(WarpProgressEntry {
+            block,
+            warp_in_block,
+            last_progress_cycle: now,
+            ..WarpProgressEntry::default()
+        });
+        self.warps.len() - 1
+    }
+
+    pub(crate) fn mark(&mut self, pslot: usize, now: u64) {
+        let w = &mut self.warps[pslot];
+        w.progress_marks += 1;
+        w.last_progress_cycle = now;
+        w.instructions_at_progress = w.instructions;
+        self.last_progress_cycle = self.last_progress_cycle.max(now);
+    }
+
+    fn unfinished(&self, now: u64) -> Vec<WarpProgress> {
+        self.warps
+            .iter()
+            .filter(|w| !w.retired)
+            .map(|w| WarpProgress {
+                block: w.block,
+                warp_in_block: w.warp_in_block,
+                instructions: w.instructions,
+                instructions_since_progress: w.instructions - w.instructions_at_progress,
+                progress_marks: w.progress_marks,
+                cycles_since_progress: now.saturating_sub(w.last_progress_cycle),
+            })
+            .collect()
+    }
 }
 
 /// The simulated GPU: device memory plus the launch engine.
@@ -225,6 +294,8 @@ impl Sim {
             timing: config.timing,
             stats: SimStats::new(),
             now: 0,
+            fault: FaultState::new(config.fault),
+            progress: ProgressBoard::default(),
         };
         Sim { state: Rc::new(RefCell::new(state)), config }
     }
@@ -278,8 +349,11 @@ impl Sim {
     /// # Errors
     ///
     /// - [`SimError::BadLaunch`] for an invalid geometry.
-    /// - [`SimError::Watchdog`] if the cycle budget is exhausted before all
-    ///   warps finish (deadlock/livelock detection).
+    /// - [`SimError::Deadlock`] / [`SimError::Livelock`] /
+    ///   [`SimError::BudgetExceeded`] when the cycle budget
+    ///   (`watchdog_cycles`) or the progress stall limit (`stall_cycles`)
+    ///   is exhausted before all warps finish, classified by the progress
+    ///   monitor with per-warp diagnostics.
     pub fn launch<F, Fut>(&mut self, grid: LaunchConfig, kernel: F) -> Result<RunReport, SimError>
     where
         F: Fn(WarpCtx) -> Fut,
@@ -290,13 +364,20 @@ impl Sim {
             let st = &mut *self.state.borrow_mut();
             st.now = 0;
             st.stats = SimStats::new();
+            st.fault = FaultState::new(self.config.fault);
+            st.progress = ProgressBoard::default();
         }
 
         let wpb = grid.warps_per_block();
         let tail_threads = grid.threads_per_block - (wpb - 1) * WARP_SIZE as u32;
         let gpu = self.config.gpu;
 
-        let mut scheduler = Scheduler::new();
+        let shuffle_seed = self
+            .config
+            .fault
+            .shuffle_schedule
+            .then_some(self.config.fault.seed ^ 0x3c6e_f372_fe94_f82b);
+        let mut scheduler = Scheduler::new(shuffle_seed);
         let mut next_block: u32 = 0;
         let mut resident_blocks: u64 = 0;
         let mut resident_warps: u64 = 0;
@@ -304,11 +385,11 @@ impl Sim {
         let mut block_live: Vec<u32> = vec![0; grid.blocks as usize];
 
         let admit = |scheduler: &mut Scheduler,
-                         next_block: &mut u32,
-                         resident_blocks: &mut u64,
-                         resident_warps: &mut u64,
-                         block_live: &mut Vec<u32>,
-                         now: u64| {
+                     next_block: &mut u32,
+                     resident_blocks: &mut u64,
+                     resident_warps: &mut u64,
+                     block_live: &mut Vec<u32>,
+                     now: u64| {
             while *next_block < grid.blocks
                 && *resident_blocks < gpu.block_slots()
                 && *resident_warps + wpb as u64 <= gpu.warp_slots()
@@ -331,9 +412,10 @@ impl Sim {
                         launch_mask,
                     };
                     let pending = Rc::new(Cell::new(0u64));
-                    let ctx = WarpCtx::new(Rc::clone(&self.state), id, Rc::clone(&pending));
+                    let pslot = self.state.borrow_mut().progress.register(b, w, now);
+                    let ctx = WarpCtx::new(Rc::clone(&self.state), id, Rc::clone(&pending), pslot);
                     let fut: Pin<Box<dyn Future<Output = ()>>> = Box::pin(kernel(ctx));
-                    scheduler.spawn(fut, pending, b, now);
+                    scheduler.spawn(fut, pending, b, pslot, now);
                 }
             }
         };
@@ -353,10 +435,7 @@ impl Sim {
 
         while let Some((ready, slot)) = scheduler.pop() {
             let now = ready;
-            if now > self.config.watchdog_cycles {
-                let unfinished = scheduler.live_count() + 1;
-                return Err(SimError::Watchdog { cycle: now, unfinished_warps: unfinished });
-            }
+            self.check_progress(now)?;
             self.state.borrow_mut().now = now;
             last_cycle = last_cycle.max(now);
 
@@ -364,10 +443,23 @@ impl Sim {
             match poll {
                 Poll::Pending => {
                     let cost = scheduler.take_pending_cost(slot);
-                    scheduler.requeue(slot, now + cost);
+                    let jitter = {
+                        let st = &mut *self.state.borrow_mut();
+                        let j = st.fault.jitter();
+                        st.stats.injected_jitter_cycles += j;
+                        j
+                    };
+                    scheduler.requeue(slot, now + cost + jitter);
                 }
                 Poll::Ready(()) => {
-                    let block = scheduler.retire(slot);
+                    let (block, pslot) = scheduler.retire(slot);
+                    {
+                        // Retiring is progress: a finished warp can never
+                        // be part of a deadlock or livelock.
+                        let st = &mut *self.state.borrow_mut();
+                        st.progress.mark(pslot, now);
+                        st.progress.warps[pslot].retired = true;
+                    }
                     let live = &mut block_live[block as usize];
                     *live -= 1;
                     if *live == 0 {
@@ -390,30 +482,72 @@ impl Sim {
         let st = self.state.borrow();
         Ok(RunReport { cycles: last_cycle, stats: st.stats.clone() })
     }
+
+    /// Aborts the launch with a classified non-progress error once the
+    /// cycle budget is spent or the stall limit (if configured) is hit.
+    ///
+    /// Diagnosis: if warps progressed recently the budget is simply too
+    /// small ([`SimError::BudgetExceeded`]); otherwise recent device-memory
+    /// mutation distinguishes busy-but-stuck ([`SimError::Livelock`], e.g.
+    /// lockstep retry churn) from fully blocked ([`SimError::Deadlock`],
+    /// e.g. spinning on a lock that can never be released — spinning
+    /// reads/failed CASes mutate nothing).
+    fn check_progress(&self, now: u64) -> Result<(), SimError> {
+        let budget = self.config.watchdog_cycles;
+        let stall = self.config.stall_cycles;
+        let st = self.state.borrow();
+        let board = &st.progress;
+        let since_progress = now.saturating_sub(board.last_progress_cycle);
+        let budget_hit = now > budget;
+        let stalled = stall != u64::MAX && since_progress > stall;
+        if !budget_hit && !stalled {
+            return Ok(());
+        }
+        // How far back "recent" reaches for classification: the stall
+        // limit when configured, else half the budget.
+        let window = if stall != u64::MAX { stall } else { (budget / 2).max(1) };
+        let unfinished = board.unfinished(now);
+        if budget_hit && since_progress <= window {
+            return Err(SimError::BudgetExceeded { cycle: now, budget, unfinished });
+        }
+        if board.last_mutation_cycle > 0 && now.saturating_sub(board.last_mutation_cycle) <= window
+        {
+            return Err(SimError::Livelock {
+                cycle: now,
+                last_mutation_cycle: board.last_mutation_cycle,
+                unfinished,
+            });
+        }
+        Err(SimError::Deadlock { cycle: now, unfinished })
+    }
 }
 
 struct WarpSlot {
     fut: Pin<Box<dyn Future<Output = ()>>>,
     pending_cost: Rc<Cell<u64>>,
     block: u32,
+    pslot: usize,
 }
 
 struct Scheduler {
     slots: Vec<Option<WarpSlot>>,
     free: Vec<usize>,
-    // Min-heap on (ready_cycle, seq): FIFO among equal ready times.
+    // Min-heap on (ready_cycle, key): FIFO among equal ready times, unless
+    // a fault plan shuffles same-cycle dispatch with seeded-random keys.
     heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
     seq: u64,
+    shuffle_rng: Option<u64>,
     live: usize,
 }
 
 impl Scheduler {
-    fn new() -> Self {
+    fn new(shuffle_seed: Option<u64>) -> Self {
         Scheduler {
             slots: Vec::new(),
             free: Vec::new(),
             heap: BinaryHeap::new(),
             seq: 0,
+            shuffle_rng: shuffle_seed,
             live: 0,
         }
     }
@@ -423,15 +557,16 @@ impl Scheduler {
         fut: Pin<Box<dyn Future<Output = ()>>>,
         pending_cost: Rc<Cell<u64>>,
         block: u32,
+        pslot: usize,
         ready: u64,
     ) {
         let slot = match self.free.pop() {
             Some(i) => {
-                self.slots[i] = Some(WarpSlot { fut, pending_cost, block });
+                self.slots[i] = Some(WarpSlot { fut, pending_cost, block, pslot });
                 i
             }
             None => {
-                self.slots.push(Some(WarpSlot { fut, pending_cost, block }));
+                self.slots.push(Some(WarpSlot { fut, pending_cost, block, pslot }));
                 self.slots.len() - 1
             }
         };
@@ -440,7 +575,11 @@ impl Scheduler {
     }
 
     fn push(&mut self, slot: usize, ready: u64) {
-        self.heap.push(Reverse((ready, self.seq, slot)));
+        let key = match &mut self.shuffle_rng {
+            Some(state) => splitmix64(state),
+            None => self.seq,
+        };
+        self.heap.push(Reverse((ready, key, slot)));
         self.seq += 1;
     }
 
@@ -462,15 +601,11 @@ impl Scheduler {
         entry.pending_cost.take()
     }
 
-    fn retire(&mut self, slot: usize) -> u32 {
+    fn retire(&mut self, slot: usize) -> (u32, usize) {
         let entry = self.slots[slot].take().expect("double retire");
         self.free.push(slot);
         self.live -= 1;
-        entry.block
-    }
-
-    fn live_count(&self) -> usize {
-        self.live
+        (entry.block, entry.pslot)
     }
 }
 
@@ -571,7 +706,162 @@ mod tests {
                 }
             })
             .unwrap_err();
-        assert!(matches!(err, SimError::Watchdog { .. }));
+        // An idle loop never touches memory and never marks progress:
+        // indistinguishable from a deadlock.
+        assert!(matches!(err, SimError::Deadlock { .. }), "got {err:?}");
+        assert_eq!(err.unfinished_warps().len(), 1);
+    }
+
+    #[test]
+    fn budget_exceeded_when_warps_keep_progressing() {
+        let mut cfg = SimConfig::with_memory(1 << 12);
+        cfg.watchdog_cycles = 50_000;
+        let mut sim = Sim::new(cfg);
+        let buf = sim.alloc(1).unwrap();
+        let err = sim
+            .launch(LaunchConfig::new(1, 32), move |ctx| async move {
+                let mut v = 0;
+                loop {
+                    v += 1;
+                    ctx.store_one(0, buf, v).await;
+                    ctx.mark_progress();
+                    ctx.idle(100).await;
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimError::BudgetExceeded { .. }), "got {err:?}");
+        let w = &err.unfinished_warps()[0];
+        assert!(w.progress_marks > 0);
+    }
+
+    #[test]
+    fn livelock_detected_on_busy_non_progress() {
+        // Warps keep toggling memory (mutations) but never mark progress.
+        let mut cfg = SimConfig::with_memory(1 << 12);
+        cfg.watchdog_cycles = 50_000;
+        let mut sim = Sim::new(cfg);
+        let buf = sim.alloc(1).unwrap();
+        let err = sim
+            .launch(LaunchConfig::new(1, 32), move |ctx| async move {
+                let mut v = 0;
+                loop {
+                    v += 1;
+                    ctx.store_one(0, buf, v).await;
+                    ctx.idle(50).await;
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimError::Livelock { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn stall_limit_fires_before_budget() {
+        let mut cfg = SimConfig::with_memory(1 << 12);
+        cfg.watchdog_cycles = 1 << 40;
+        cfg.stall_cycles = 10_000;
+        let mut sim = Sim::new(cfg);
+        let err = sim
+            .launch(LaunchConfig::new(1, 32), move |ctx| async move {
+                loop {
+                    ctx.idle(100).await;
+                }
+            })
+            .unwrap_err();
+        match err {
+            SimError::Deadlock { cycle, .. } => assert!(cycle < 20_000, "cycle {cycle}"),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schedule_shuffle_is_deterministic_per_seed() {
+        let run = |plan: crate::fault::FaultPlan| {
+            let mut cfg = SimConfig::with_memory(1 << 16);
+            cfg.fault = plan;
+            let mut sim = Sim::new(cfg);
+            let buf = sim.alloc(65).unwrap();
+            sim.launch(LaunchConfig::new(8, 64), move |ctx| async move {
+                let id = ctx.id();
+                let slot = id.global_warp(2);
+                for i in 0..4 {
+                    // The ticket each warp draws records its position in
+                    // the global dispatch order.
+                    let t = ctx.atomic_add_uniform(id.launch_mask, buf, 1).await;
+                    ctx.store_one(0, buf.offset(1 + slot * 4 + i), t).await;
+                }
+            })
+            .unwrap();
+            sim.read_slice(buf, 65)
+        };
+        let base = run(crate::fault::FaultPlan::none());
+        let s1 = run(crate::fault::FaultPlan::schedule_shuffle(1));
+        let s1_again = run(crate::fault::FaultPlan::schedule_shuffle(1));
+        let s2 = run(crate::fault::FaultPlan::schedule_shuffle(2));
+        assert_eq!(s1, s1_again, "same seed must reproduce exactly");
+        // Different seeds (and the unshuffled order) should disagree
+        // somewhere; the counter total is unchanged either way.
+        assert_eq!(base[0], s1[0]);
+        assert_eq!(s1[0], s2[0]);
+        assert!(s1 != base || s2 != base, "shuffle changed nothing");
+    }
+
+    #[test]
+    fn latency_jitter_counted_and_deterministic() {
+        let run = |seed| {
+            let mut cfg = SimConfig::with_memory(1 << 16);
+            cfg.fault = crate::fault::FaultPlan::latency_jitter(seed, 32);
+            let mut sim = Sim::new(cfg);
+            let buf = sim.alloc(1).unwrap();
+            let report = sim
+                .launch(LaunchConfig::new(4, 64), move |ctx| async move {
+                    for _ in 0..8 {
+                        ctx.atomic_add_uniform(ctx.id().launch_mask, buf, 1).await;
+                    }
+                })
+                .unwrap();
+            (report.cycles, report.stats.injected_jitter_cycles, sim.read(buf))
+        };
+        let (c1, j1, v1) = run(5);
+        let (c1b, j1b, _) = run(5);
+        assert_eq!((c1, j1), (c1b, j1b));
+        assert!(j1 > 0);
+        assert_eq!(v1, 4 * 64 * 8);
+        let unjittered = {
+            let mut sim = Sim::new(SimConfig::with_memory(1 << 16));
+            let buf = sim.alloc(1).unwrap();
+            sim.launch(LaunchConfig::new(4, 64), move |ctx| async move {
+                for _ in 0..8 {
+                    ctx.atomic_add_uniform(ctx.id().launch_mask, buf, 1).await;
+                }
+            })
+            .unwrap()
+            .cycles
+        };
+        assert!(c1 > unjittered, "jitter must lengthen the run");
+    }
+
+    #[test]
+    fn spurious_cas_failures_only_delay_lock_free_progress() {
+        // A lock-free fetch-add built on CAS: spurious failures force
+        // retries but the final count must still be exact.
+        let mut cfg = SimConfig::with_memory(1 << 16);
+        cfg.fault = crate::fault::FaultPlan::cas_failures(11, 1, 4);
+        let mut sim = Sim::new(cfg);
+        let buf = sim.alloc(1).unwrap();
+        let report = sim
+            .launch(LaunchConfig::new(2, 64), move |ctx| async move {
+                let launch = ctx.id().launch_mask;
+                for l in launch.iter() {
+                    let mut done = false;
+                    while !done {
+                        let cur = ctx.load_one(l, buf).await;
+                        done = ctx.atomic_cas_one(l, buf, cur, cur + 1).await == cur;
+                    }
+                }
+            })
+            .unwrap();
+        assert_eq!(sim.read(buf), 2 * 64);
+        assert!(report.stats.spurious_cas_failures > 0);
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod cache;
 pub mod coalesce;
 mod error;
 mod exec;
+pub mod fault;
 pub mod mask;
 pub mod memory;
 pub mod rng;
@@ -51,8 +52,9 @@ pub mod timing;
 mod warp;
 
 pub use cache::{CacheConfig, L2Cache};
-pub use error::SimError;
+pub use error::{SimError, WarpProgress};
 pub use exec::{GpuConfig, LaunchConfig, RunReport, Sim, SimConfig, WarpId};
+pub use fault::FaultPlan;
 pub use mask::{LaneMask, WARP_SIZE};
 pub use memory::{Addr, AtomicOp, GlobalMemory};
 pub use rng::WarpRng;

@@ -82,6 +82,7 @@ pub enum AtomicOp {
 pub struct GlobalMemory {
     words: Vec<u32>,
     brk: u32,
+    mutations: u64,
 }
 
 impl GlobalMemory {
@@ -89,10 +90,17 @@ impl GlobalMemory {
     ///
     /// Word 0 is reserved so that [`Addr::NULL`] never aliases user data.
     pub fn new(capacity_words: usize) -> Self {
-        GlobalMemory {
-            words: vec![0; capacity_words.max(1)],
-            brk: 1,
-        }
+        GlobalMemory { words: vec![0; capacity_words.max(1)], brk: 1, mutations: 0 }
+    }
+
+    /// Count of word writes that actually *changed* a value. The progress
+    /// monitor uses this to tell a livelock (busy mutation without
+    /// progress) from a deadlock (no mutation at all): spinning on a held
+    /// lock — failed CASes, re-`Or`ing an already-set bit — changes
+    /// nothing and therefore registers no mutation.
+    #[inline]
+    pub fn mutations(&self) -> u64 {
+        self.mutations
     }
 
     /// Number of words of capacity.
@@ -116,9 +124,7 @@ impl GlobalMemory {
     pub fn alloc(&mut self, n: u32) -> Result<Addr, SimError> {
         let seg = crate::coalesce::SEGMENT_WORDS;
         let base = self.brk.div_ceil(seg) * seg;
-        let end = base
-            .checked_add(n)
-            .ok_or(SimError::OutOfMemory { requested: n as usize })?;
+        let end = base.checked_add(n).ok_or(SimError::OutOfMemory { requested: n as usize })?;
         if end as usize > self.words.len() {
             return Err(SimError::OutOfMemory { requested: n as usize });
         }
@@ -144,7 +150,9 @@ impl GlobalMemory {
     /// Panics if `a` is out of bounds.
     #[inline]
     pub fn write(&mut self, a: Addr, v: u32) {
-        self.words[a.index()] = v;
+        let slot = &mut self.words[a.index()];
+        self.mutations += u64::from(*slot != v);
+        *slot = v;
     }
 
     /// Fills `n` words starting at `a` with `v`.
@@ -170,6 +178,7 @@ impl GlobalMemory {
     pub fn atomic_cas(&mut self, a: Addr, cmp: u32, new: u32) -> u32 {
         let old = self.words[a.index()];
         if old == cmp {
+            self.mutations += u64::from(old != new);
             self.words[a.index()] = new;
         }
         old
@@ -187,6 +196,7 @@ impl GlobalMemory {
             AtomicOp::Exch => v,
             AtomicOp::Max => old.max(v),
         };
+        self.mutations += u64::from(*slot != old);
         old
     }
 }

@@ -32,11 +32,7 @@ impl SimtStack {
     /// Enters a divergent branch: saves `reconverge` (the mask to restore)
     /// and returns the pair `(taken, not_taken)` of sub-masks for a
     /// predicate evaluated per lane.
-    pub fn branch(
-        &mut self,
-        active: LaneMask,
-        taken: LaneMask,
-    ) -> (LaneMask, LaneMask) {
+    pub fn branch(&mut self, active: LaneMask, taken: LaneMask) -> (LaneMask, LaneMask) {
         self.stack.push(active);
         let t = active & taken;
         (t, active & !t)

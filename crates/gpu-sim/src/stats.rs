@@ -36,6 +36,10 @@ pub struct SimStats {
     pub idle_cycles: u64,
     /// Thread blocks that completed.
     pub blocks_completed: u64,
+    /// CAS lane-operations forced to fail by the fault plan.
+    pub spurious_cas_failures: u64,
+    /// Extra latency cycles injected by the fault plan's jitter.
+    pub injected_jitter_cycles: u64,
 }
 
 impl SimStats {

@@ -73,11 +73,7 @@ impl TimingModel {
         if outcomes.is_empty() {
             return self.alu;
         }
-        let worst = if outcomes.iter().any(|o| *o == CacheOutcome::Miss) {
-            self.dram
-        } else {
-            self.l2_hit
-        };
+        let worst = if outcomes.contains(&CacheOutcome::Miss) { self.dram } else { self.l2_hit };
         worst + (outcomes.len() as u64 - 1) * self.extra_transaction
     }
 

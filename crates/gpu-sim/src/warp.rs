@@ -37,6 +37,8 @@ pub struct WarpCtx {
     st: Rc<RefCell<SimState>>,
     id: WarpId,
     pending_cost: Rc<Cell<u64>>,
+    /// Index of this warp's entry on the launch's progress board.
+    pslot: usize,
 }
 
 impl std::fmt::Debug for WarpCtx {
@@ -52,8 +54,13 @@ enum MemKind {
 }
 
 impl WarpCtx {
-    pub(crate) fn new(st: Rc<RefCell<SimState>>, id: WarpId, pending_cost: Rc<Cell<u64>>) -> Self {
-        WarpCtx { st, id, pending_cost }
+    pub(crate) fn new(
+        st: Rc<RefCell<SimState>>,
+        id: WarpId,
+        pending_cost: Rc<Cell<u64>>,
+        pslot: usize,
+    ) -> Self {
+        WarpCtx { st, id, pending_cost, pslot }
     }
 
     /// This warp's identity (block, warp index, launch mask, thread ids).
@@ -73,6 +80,29 @@ impl WarpCtx {
         st.stats.lane_slots += WARP_SIZE as u64;
         if mask != self.id.launch_mask && mask.any() {
             st.stats.divergent_instructions += 1;
+        }
+        st.progress.warps[self.pslot].instructions += 1;
+    }
+
+    /// Declares that this warp made forward progress (e.g. committed a
+    /// transaction or completed a work item). The progress monitor uses
+    /// these marks to tell a kernel that is merely slow
+    /// ([`SimError::BudgetExceeded`](crate::SimError::BudgetExceeded))
+    /// from one that is deadlocked or livelocked; see
+    /// [`SimConfig::stall_cycles`](crate::SimConfig::stall_cycles).
+    pub fn mark_progress(&self) {
+        let st = &mut *self.st.borrow_mut();
+        let now = st.now;
+        st.progress.mark(self.pslot, now);
+    }
+
+    /// Records a device-memory mutation (a word actually changed value)
+    /// for deadlock/livelock discrimination, given the mutation counter
+    /// observed before the operation.
+    fn note_mutation(st: &mut SimState, mutations_before: u64) {
+        if st.mem.mutations() != mutations_before {
+            let now = st.now;
+            st.progress.last_mutation_cycle = st.progress.last_mutation_cycle.max(now);
         }
     }
 
@@ -144,9 +174,11 @@ impl WarpCtx {
             let co = coalesce(mask, addrs);
             let cost = self.mem_access(MemKind::Store, mask, &co, 0);
             let st = &mut *self.st.borrow_mut();
+            let m0 = st.mem.mutations();
             for lane in mask.iter() {
                 st.mem.write(addrs[lane], vals[lane]);
             }
+            Self::note_mutation(st, m0);
             cost
         };
         self.charge(cost).await;
@@ -169,9 +201,22 @@ impl WarpCtx {
             let depth = atomic_conflict_depth(mask, addrs);
             let cost = self.mem_access(MemKind::Atomic, mask, &co, depth);
             let st = &mut *self.st.borrow_mut();
+            let m0 = st.mem.mutations();
             for lane in mask.iter() {
+                if st.fault.cas_should_fail() {
+                    // Injected spurious failure: perform no store and report
+                    // an old value that cannot equal `cmp`, so the caller
+                    // observes an ordinary failed CAS. Conservative by
+                    // construction — a victim can retry or abort, but never
+                    // falsely believes it succeeded.
+                    let cur = st.mem.read(addrs[lane]);
+                    out[lane] = if cur == cmps[lane] { cur ^ 1 } else { cur };
+                    st.stats.spurious_cas_failures += 1;
+                    continue;
+                }
                 out[lane] = st.mem.atomic_cas(addrs[lane], cmps[lane], news[lane]);
             }
+            Self::note_mutation(st, m0);
             cost
         };
         self.charge(cost).await;
@@ -193,9 +238,22 @@ impl WarpCtx {
             let depth = atomic_conflict_depth(mask, addrs);
             let cost = self.mem_access(MemKind::Atomic, mask, &co, depth);
             let st = &mut *self.st.borrow_mut();
+            let m0 = st.mem.mutations();
             for lane in mask.iter() {
+                // The fault plan's spurious-failure injection also covers
+                // Or-based test-and-set (the STM's lock-acquisition idiom):
+                // perform no store and report the requested bits as already
+                // held. Like an injected CAS failure this is conservative —
+                // the caller sees "lock busy" and retries or aborts; no
+                // lock is left dangling because nothing was written.
+                if matches!(op, AtomicOp::Or) && vals[lane] != 0 && st.fault.cas_should_fail() {
+                    out[lane] = st.mem.read(addrs[lane]) | vals[lane];
+                    st.stats.spurious_cas_failures += 1;
+                    continue;
+                }
                 out[lane] = st.mem.atomic_rmw(op, addrs[lane], vals[lane]);
             }
+            Self::note_mutation(st, m0);
             cost
         };
         self.charge(cost).await;

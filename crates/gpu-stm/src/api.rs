@@ -83,6 +83,16 @@ pub trait Stm {
         w.opaque
     }
 
+    /// Whether the runtime currently observes an abort storm (a windowed
+    /// abort rate above its high-water mark). The default runtime has no
+    /// windowed view and reports `false`; the adaptive
+    /// [`Scheduled`](crate::Scheduled) wrapper overrides this from its
+    /// AIMD signal. The [`Robust`](crate::Robust) wrapper jumps straight
+    /// to its backoff cap while a storm is in progress.
+    fn abort_storm(&self) -> bool {
+        false
+    }
+
     /// Single-lane transactional read convenience wrapper.
     async fn read_one(&self, w: &mut WarpTx, ctx: &WarpCtx, lane: usize, addr: Addr) -> u32 {
         let mut addrs = [Addr::NULL; WARP_SIZE];

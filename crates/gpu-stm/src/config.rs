@@ -34,16 +34,61 @@ pub struct StmConfig {
 impl StmConfig {
     /// Paper defaults, scaled: 2^20 global version locks, hash-table
     /// lock-log, coalesced sets, no pre-commit validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_locks` is not a power of two; use [`StmConfig::try_new`]
+    /// for a structured error instead.
     pub fn new(n_locks: u32) -> Self {
-        assert!(n_locks.is_power_of_two(), "n_locks must be a power of two");
-        StmConfig {
+        StmConfig::try_new(n_locks).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor for user-supplied lock-table sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint if `n_locks` is
+    /// not a power of two.
+    pub fn try_new(n_locks: u32) -> Result<Self, String> {
+        let cfg = StmConfig {
             n_locks,
             pre_commit_vbv: false,
             coalesced_sets: true,
-            locklog_buckets: 16,
+            // Bucket count cannot exceed the lock-table size; tiny test
+            // tables get a correspondingly smaller (still pow2) default.
+            locklog_buckets: 16.min(n_locks.max(1)),
             lock_read_set: true,
             write_set_bloom: true,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Checks the cross-field invariants of a (possibly hand-assembled)
+    /// configuration. Called by [`StmShared::init`](crate::StmShared::init)
+    /// so that a bad config surfaces as a structured launch error instead
+    /// of a panic deep inside kernel state construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.n_locks.is_power_of_two() {
+            return Err(format!("n_locks must be a power of two, got {}", self.n_locks));
         }
+        if !self.locklog_buckets.is_power_of_two() {
+            return Err(format!(
+                "locklog_buckets must be a power of two, got {}",
+                self.locklog_buckets
+            ));
+        }
+        if self.locklog_buckets > self.n_locks {
+            return Err(format!(
+                "locklog_buckets ({}) must not exceed n_locks ({})",
+                self.locklog_buckets, self.n_locks
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -94,5 +139,26 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_pow2_locks_rejected() {
         let _ = StmConfig::new(1000);
+    }
+
+    #[test]
+    fn try_new_reports_instead_of_panicking() {
+        assert!(StmConfig::try_new(1 << 12).is_ok());
+        let err = StmConfig::try_new(1000).unwrap_err();
+        assert!(err.contains("power of two"), "{err}");
+    }
+
+    #[test]
+    fn validate_catches_hand_assembled_invariant_breaks() {
+        let good = StmConfig::new(1 << 8);
+        assert!(good.validate().is_ok());
+
+        let mut bad = good;
+        bad.locklog_buckets = 3;
+        assert!(bad.validate().unwrap_err().contains("locklog_buckets"));
+
+        let mut bad = good;
+        bad.locklog_buckets = good.n_locks * 2;
+        assert!(bad.validate().unwrap_err().contains("exceed"));
     }
 }

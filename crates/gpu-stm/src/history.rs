@@ -90,13 +90,7 @@ mod tests {
 
     #[test]
     fn read_only_detection() {
-        let tx = CommittedTx {
-            tid: 0,
-            version: None,
-            snapshot: 4,
-            reads: vec![],
-            writes: vec![],
-        };
+        let tx = CommittedTx { tid: 0, version: None, snapshot: 4, reads: vec![], writes: vec![] };
         assert!(tx.is_read_only());
     }
 }

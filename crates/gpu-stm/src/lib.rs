@@ -64,6 +64,7 @@ mod api;
 mod config;
 pub mod history;
 pub mod locklog;
+pub mod robust;
 pub mod scheduler;
 pub mod sets;
 mod shared;
@@ -74,9 +75,10 @@ mod version_lock;
 mod warptx;
 
 pub use api::{lane_addrs, lane_vals, Stm};
-pub use scheduler::{Scheduled, SchedulerConfig};
 pub use config::{Locking, StmConfig, Validation};
 pub use history::{recorder, History, Recorder};
+pub use robust::{Robust, RobustConfig};
+pub use scheduler::{Scheduled, SchedulerConfig};
 pub use shared::StmShared;
 pub use stats::{phase_label, AbortCause, Breakdown, Phase, StatsHandle, TxStats, PHASES};
 pub use variants::{CglStm, EgpgvStm, LockStm, NorecStm, OptimizedStm};

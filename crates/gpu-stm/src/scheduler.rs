@@ -57,6 +57,44 @@ impl Default for SchedulerConfig {
     }
 }
 
+impl SchedulerConfig {
+    /// Checks the configuration for internal consistency: non-zero window
+    /// and limits, `min_limit <= max_limit`, and watermarks in `(0, 1)`
+    /// with `low_water < high_water` (an inversion would make the AIMD
+    /// loop oscillate between growing and halving on the same rate).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window == 0 {
+            return Err("scheduler window must be at least 1 attempt".into());
+        }
+        if self.min_limit == 0 {
+            return Err("min_limit must be at least 1 (0 admits no lanes, ever)".into());
+        }
+        if self.min_limit > self.max_limit {
+            return Err(format!(
+                "min_limit ({}) exceeds max_limit ({})",
+                self.min_limit, self.max_limit
+            ));
+        }
+        if !(self.high_water > 0.0 && self.high_water <= 1.0) {
+            return Err(format!("high_water ({}) must lie in (0, 1]", self.high_water));
+        }
+        if !(self.low_water >= 0.0 && self.low_water < 1.0) {
+            return Err(format!("low_water ({}) must lie in [0, 1)", self.low_water));
+        }
+        if self.low_water >= self.high_water {
+            return Err(format!(
+                "low_water ({}) must be below high_water ({})",
+                self.low_water, self.high_water
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[derive(Debug)]
 struct SchedState {
     cfg: SchedulerConfig,
@@ -65,6 +103,10 @@ struct SchedState {
     window_commits: u64,
     window_aborts: u64,
     adaptations: u64,
+    /// Set while the last completed window's abort rate exceeded the
+    /// high-water mark — the abort-storm signal `Stm::abort_storm`
+    /// surfaces to the `Robust` degradation layer.
+    storm: bool,
 }
 
 impl SchedState {
@@ -74,6 +116,7 @@ impl SchedState {
         let total = self.window_commits + self.window_aborts;
         if total >= self.cfg.window {
             let rate = self.window_aborts as f64 / total as f64;
+            self.storm = rate > self.cfg.high_water;
             if rate > self.cfg.high_water {
                 self.limit = (self.limit / 2).max(self.cfg.min_limit);
             } else if rate < self.cfg.low_water {
@@ -108,7 +151,15 @@ impl<S: std::fmt::Debug> std::fmt::Debug for Scheduled<S> {
 
 impl<S: Stm> Scheduled<S> {
     /// Wraps `inner` with the given scheduler configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SchedulerConfig::validate`]
+    /// (for fallible construction, validate first).
     pub fn new(inner: S, cfg: SchedulerConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid SchedulerConfig: {e}");
+        }
         let state = SchedState {
             limit: cfg.initial_limit.clamp(cfg.min_limit, cfg.max_limit),
             cfg,
@@ -116,6 +167,7 @@ impl<S: Stm> Scheduled<S> {
             window_commits: 0,
             window_aborts: 0,
             adaptations: 0,
+            storm: false,
         };
         Scheduled { inner, state: Rc::new(RefCell::new(state)) }
     }
@@ -216,6 +268,10 @@ impl<S: Stm> Stm for Scheduled<S> {
     fn opaque(&self, w: &WarpTx) -> LaneMask {
         self.inner.opaque(w)
     }
+
+    fn abort_storm(&self) -> bool {
+        self.state.borrow().storm
+    }
 }
 
 #[cfg(test)]
@@ -291,11 +347,7 @@ mod tests {
 
     #[test]
     fn high_conflict_throttles_limit() {
-        let cfg = SchedulerConfig {
-            initial_limit: 1024,
-            window: 64,
-            ..SchedulerConfig::default()
-        };
+        let cfg = SchedulerConfig { initial_limit: 1024, window: 64, ..SchedulerConfig::default() };
         // 2 counters, 256 threads: extreme conflict.
         let (stm, total, expected) = run_contended(cfg, 2, LaunchConfig::new(4, 64), 4);
         assert_eq!(total, expected);
@@ -309,11 +361,7 @@ mod tests {
 
     #[test]
     fn low_conflict_grows_limit() {
-        let cfg = SchedulerConfig {
-            initial_limit: 16,
-            window: 64,
-            ..SchedulerConfig::default()
-        };
+        let cfg = SchedulerConfig { initial_limit: 16, window: 64, ..SchedulerConfig::default() };
         // Many counters, few threads: nearly conflict-free.
         let (stm, total, expected) = run_contended(cfg, 4096, LaunchConfig::new(4, 64), 4);
         assert_eq!(total, expected);
@@ -322,6 +370,109 @@ mod tests {
             "limit should grow when aborts are rare, is {}",
             stm.current_limit()
         );
+    }
+
+    #[test]
+    fn validate_rejects_each_degenerate_knob() {
+        let ok = SchedulerConfig::default();
+        assert!(ok.validate().is_ok());
+
+        let cases: &[(&str, SchedulerConfig)] = &[
+            ("window", SchedulerConfig { window: 0, ..ok }),
+            ("min_limit", SchedulerConfig { min_limit: 0, ..ok }),
+            ("max_limit", SchedulerConfig { min_limit: 64, max_limit: 8, ..ok }),
+            ("high_water", SchedulerConfig { high_water: 1.5, ..ok }),
+            ("high_water", SchedulerConfig { high_water: 0.0, ..ok }),
+            ("low_water", SchedulerConfig { low_water: -0.1, ..ok }),
+            ("low_water", SchedulerConfig { low_water: 0.6, high_water: 0.5, ..ok }),
+        ];
+        for (field, cfg) in cases {
+            let err = cfg.validate().expect_err(field);
+            assert!(err.contains(field), "{field}: {err}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SchedulerConfig")]
+    fn inverted_watermarks_rejected_at_construction() {
+        let (_, shared, cfg) = setup(1 << 6);
+        let bad = SchedulerConfig { low_water: 0.9, high_water: 0.2, ..SchedulerConfig::default() };
+        let _ = Scheduled::new(LockStm::hv_sorting(shared, cfg), bad);
+    }
+
+    #[test]
+    fn initial_limit_is_clamped_into_bounds() {
+        let (_, shared, cfg) = setup(1 << 6);
+        let sched = SchedulerConfig {
+            initial_limit: 1 << 30,
+            max_limit: 128,
+            ..SchedulerConfig::default()
+        };
+        let stm = Scheduled::new(LockStm::hv_sorting(shared, cfg), sched);
+        assert_eq!(stm.current_limit(), 128);
+
+        let (_, shared, cfg) = setup(1 << 6);
+        let sched =
+            SchedulerConfig { initial_limit: 1, min_limit: 16, ..SchedulerConfig::default() };
+        let stm = Scheduled::new(LockStm::hv_sorting(shared, cfg), sched);
+        assert_eq!(stm.current_limit(), 16);
+    }
+
+    /// Drives `SchedState::record` directly to pin the window-boundary
+    /// semantics: adaptation happens exactly when the attempt count
+    /// reaches the window, never before, and the counters reset after.
+    #[test]
+    fn adaptation_fires_exactly_at_window_boundary() {
+        let cfg = SchedulerConfig { window: 10, ..SchedulerConfig::default() };
+        let mut st = SchedState {
+            limit: 64,
+            cfg,
+            in_flight: 0,
+            window_commits: 0,
+            window_aborts: 0,
+            adaptations: 0,
+            storm: false,
+        };
+        st.record(9, 0); // one short of the window
+        assert_eq!(st.adaptations, 0);
+        assert_eq!(st.limit, 64, "no adaptation before the boundary");
+        st.record(1, 0); // 10th attempt: zero-abort window -> slow-start
+        assert_eq!(st.adaptations, 1);
+        assert_eq!(st.limit, 128);
+        assert_eq!(st.window_commits + st.window_aborts, 0, "window must reset");
+        // A single record() overshooting the window still counts once.
+        st.record(25, 0);
+        assert_eq!(st.adaptations, 2);
+    }
+
+    #[test]
+    fn record_clamps_at_both_limits_and_flags_storms() {
+        let cfg = SchedulerConfig {
+            min_limit: 8,
+            max_limit: 32,
+            window: 4,
+            ..SchedulerConfig::default()
+        };
+        let mut st = SchedState {
+            limit: 8,
+            cfg,
+            in_flight: 0,
+            window_commits: 0,
+            window_aborts: 0,
+            adaptations: 0,
+            storm: false,
+        };
+        // All-abort windows: halving must not go below min_limit, and the
+        // storm flag must latch on.
+        st.record(0, 4);
+        assert_eq!(st.limit, 8);
+        assert!(st.storm, "an all-abort window is a storm");
+        // Clean windows: doubling saturates at max_limit and clears storm.
+        for _ in 0..4 {
+            st.record(4, 0);
+        }
+        assert_eq!(st.limit, 32);
+        assert!(!st.storm, "clean windows must clear the storm flag");
     }
 
     #[test]

@@ -21,8 +21,11 @@ impl StmShared {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::OutOfMemory`] if the lock table does not fit.
+    /// Returns [`SimError::BadLaunch`] if the configuration fails
+    /// [`StmConfig::validate`], and [`SimError::OutOfMemory`] if the lock
+    /// table does not fit.
     pub fn init(sim: &mut Sim, cfg: &StmConfig) -> Result<Self, SimError> {
+        cfg.validate().map_err(|e| SimError::BadLaunch(format!("invalid StmConfig: {e}")))?;
         let clock = sim.alloc(1)?;
         let lock_tab = sim.alloc(cfg.n_locks)?;
         Ok(StmShared { clock, lock_tab, n_locks: cfg.n_locks })
@@ -59,6 +62,16 @@ mod tests {
         assert_eq!(sh.n_locks, 256);
         // Whole table addressable.
         assert_eq!(sim.read(sh.lock_addr(255)), 0);
+    }
+
+    #[test]
+    fn init_rejects_invalid_config_structurally() {
+        let mut sim = Sim::new(SimConfig::with_memory(1 << 16));
+        let mut cfg = StmConfig::new(1 << 8);
+        cfg.locklog_buckets = 3; // hand-assembled invariant break
+        let err = StmShared::init(&mut sim, &cfg).unwrap_err();
+        assert!(matches!(err, SimError::BadLaunch(_)), "{err:?}");
+        assert!(err.to_string().contains("locklog_buckets"), "{err}");
     }
 
     #[test]

@@ -150,6 +150,14 @@ pub struct TxStats {
     /// Total write-set entries across committed transactions
     /// (`writes_committed / commits` = the paper's WR/TX).
     pub writes_committed: u64,
+    /// Longest run of consecutive aborts any single transaction suffered
+    /// (starvation measure, tracked by the `Robust` wrapper).
+    pub max_consec_aborts: u64,
+    /// Times a starving transaction escalated to the serialized
+    /// fallback-lock commit path.
+    pub escalations: u64,
+    /// Commits that completed while holding the fallback lock.
+    pub fallback_commits: u64,
     /// Per-phase time attribution.
     pub breakdown: Breakdown,
 }

@@ -101,7 +101,7 @@ pub async fn post_validation(
 mod tests {
     use super::*;
     use crate::config::StmConfig;
-    use gpu_sim::{Addr, LaunchConfig, Sim, SimConfig};
+    use gpu_sim::{LaunchConfig, Sim, SimConfig};
     use std::cell::RefCell;
     use std::rc::Rc;
 

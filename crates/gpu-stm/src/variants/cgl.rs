@@ -159,8 +159,11 @@ impl Stm for CglStm {
         }
         w.reset_lane(leader);
         w.enter_phase(ctx.now(), Phase::Native);
-        let mut st = self.stats.borrow_mut();
-        w.flush_attempt(&mut st.breakdown, 1, 0);
+        {
+            let mut st = self.stats.borrow_mut();
+            w.flush_attempt(&mut st.breakdown, 1, 0);
+        }
+        ctx.mark_progress();
         mask
     }
 }

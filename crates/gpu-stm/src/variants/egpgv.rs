@@ -20,7 +20,9 @@ use crate::shared::StmShared;
 use crate::stats::{stats_handle, AbortCause, Phase, StatsHandle};
 use crate::version_lock::VersionLock;
 use crate::warptx::WarpTx;
-use gpu_sim::{Addr, AtomicOp, LaneAddrs, LaneMask, LaneVals, LaunchConfig, Sim, SimError, WarpCtx, WARP_SIZE};
+use gpu_sim::{
+    Addr, AtomicOp, LaneAddrs, LaneMask, LaneVals, LaunchConfig, Sim, SimError, WarpCtx, WARP_SIZE,
+};
 
 /// The per-thread-block blocking STM.
 #[derive(Clone)]
@@ -88,7 +90,7 @@ impl EgpgvStm {
         w.acquired[lane] = w.locklog[lane].len();
         let max = w.acquired[lane];
         for k in 0..max {
-            let e = w.locklog[lane].nth_sorted(k).unwrap();
+            let e = w.locklog[lane].nth_sorted(k).expect("lock-log cursor in range");
             ctx.atomic_rmw(
                 m,
                 AtomicOp::Add,
@@ -243,10 +245,14 @@ impl Stm for EgpgvStm {
             let version = old[l] + 1;
             // Release stripes: written ones publish the new version.
             for k in 0..w.locklog[l].len() {
-                let e = w.locklog[l].nth_sorted(k).unwrap();
+                let e = w.locklog[l].nth_sorted(k).expect("lock-log cursor in range");
                 if e.write {
-                    ctx.store_one(l, self.shared.lock_addr(e.lock), VersionLock::unlocked(version).bits())
-                        .await;
+                    ctx.store_one(
+                        l,
+                        self.shared.lock_addr(e.lock),
+                        VersionLock::unlocked(version).bits(),
+                    )
+                    .await;
                 } else {
                     let mut a = [Addr::NULL; WARP_SIZE];
                     a[l] = self.shared.lock_addr(e.lock);
@@ -267,7 +273,11 @@ impl Stm for EgpgvStm {
                     tid: ctx.id().thread_id(l),
                     version: Some(version),
                     snapshot: version.saturating_sub(1),
-                    reads: w.reads.iter_lane(l).map(|e| Access { addr: e.addr, val: e.val }).collect(),
+                    reads: w
+                        .reads
+                        .iter_lane(l)
+                        .map(|e| Access { addr: e.addr, val: e.val })
+                        .collect(),
                     writes: w
                         .writes
                         .iter_lane(l)
@@ -281,8 +291,13 @@ impl Stm for EgpgvStm {
         ctx.store_one(l, self.block_lock(ctx), 0).await;
         w.reset_lane(l);
         w.enter_phase(ctx.now(), Phase::Native);
-        let mut st = self.stats.borrow_mut();
-        w.flush_attempt(&mut st.breakdown, committed.count(), m.count() - committed.count());
+        {
+            let mut st = self.stats.borrow_mut();
+            w.flush_attempt(&mut st.breakdown, committed.count(), m.count() - committed.count());
+        }
+        if committed.any() {
+            ctx.mark_progress();
+        }
         committed
     }
 }

@@ -151,7 +151,8 @@ impl LockStm {
             if m.none() {
                 break;
             }
-            let wr = m.filter(|l| w.locklog[l].nth_sorted(k).unwrap().write);
+            let wr =
+                m.filter(|l| w.locklog[l].nth_sorted(k).expect("lock-log cursor in range").write);
             let rd = m & !wr;
             if wr.any() {
                 let addrs = self.lock_word_addrs(w, wr, k);
@@ -197,7 +198,7 @@ impl LockStm {
                     trying = trying.without(l);
                 } else {
                     w.acquired[l] = k + 1;
-                    let e = w.locklog[l].nth_sorted(k).unwrap();
+                    let e = w.locklog[l].nth_sorted(k).expect("lock-log cursor in range");
                     if e.read && vl.version() > w.snapshot[l] {
                         w.pass_tbv[l] = false; // line 51
                     }
@@ -249,8 +250,9 @@ impl LockStm {
             if m.none() {
                 break;
             }
-            let laddrs =
-                lane_addrs(m, |l| self.shared.lock_addr(self.shared.lock_index(w.reads.get(l, k).addr)));
+            let laddrs = lane_addrs(m, |l| {
+                self.shared.lock_addr(self.shared.lock_index(w.reads.get(l, k).addr))
+            });
             let words = ctx.load(m, &laddrs).await;
             for l in m.iter() {
                 let vl = VersionLock(words[l]);
@@ -268,12 +270,7 @@ impl LockStm {
     /// Commit tail for lanes that hold all their locks: validation,
     /// write-back, clock increment, version publication (lines 75–85).
     /// Returns the lanes that committed (the rest aborted).
-    async fn commit_locked(
-        &self,
-        w: &mut WarpTx,
-        ctx: &WarpCtx,
-        lanes: LaneMask,
-    ) -> LaneMask {
+    async fn commit_locked(&self, w: &mut WarpTx, ctx: &WarpCtx, lanes: LaneMask) -> LaneMask {
         w.enter_phase(ctx.now(), Phase::Commit);
         // Write-only-locking ablation: reads must be validated while
         // unlocked, TL2-style. A stripe held by another transaction is a
@@ -331,7 +328,7 @@ impl LockStm {
         }
 
         ctx.fence(ok).await; // line 79
-        // Lines 80–81: publish the write-set.
+                             // Lines 80–81: publish the write-set.
         let rounds = ok.iter().map(|l| w.writes.len(l)).max().unwrap_or(0);
         for k in 0..rounds {
             let m = ok.filter(|l| k < w.writes.len(l));
@@ -371,7 +368,11 @@ impl LockStm {
                     tid: ctx.id().thread_id(l),
                     version: Some(versions[l]),
                     snapshot: w.snapshot[l],
-                    reads: w.reads.iter_lane(l).map(|e| Access { addr: e.addr, val: e.val }).collect(),
+                    reads: w
+                        .reads
+                        .iter_lane(l)
+                        .map(|e| Access { addr: e.addr, val: e.val })
+                        .collect(),
                     writes: w
                         .writes
                         .iter_lane(l)
@@ -436,8 +437,7 @@ impl Stm for LockStm {
                 hits |= LaneMask::lane(l);
             }
         }
-        let probe_cost =
-            if self.cfg.write_set_bloom { 1 } else { 1 + w.writes.max_len() as u32 };
+        let probe_cost = if self.cfg.write_set_bloom { 1 } else { 1 + w.writes.max_len() as u32 };
         ctx.local_access(mask, probe_cost).await; // filter probe
         let need = mask & !hits;
         if need.none() {
@@ -456,7 +456,8 @@ impl Stm for LockStm {
 
         // Lines 27–33: consistency check.
         w.enter_phase(ctx.now(), Phase::Consistency);
-        let lock_addrs = lane_addrs(need, |l| self.shared.lock_addr(self.shared.lock_index(addrs[l])));
+        let lock_addrs =
+            lane_addrs(need, |l| self.shared.lock_addr(self.shared.lock_index(addrs[l])));
         let mut words = ctx.load(need, &lock_addrs).await; // line 28
         loop {
             // Lines 27–29: wait for committing writers to release.
@@ -469,8 +470,8 @@ impl Stm for LockStm {
                 words[l] = re[l];
             }
         }
-        let stale =
-            need.filter(|l| VersionLock(words[l]).version() > w.snapshot[l] && w.opaque.contains(l));
+        let stale = need
+            .filter(|l| VersionLock(words[l]).version() > w.snapshot[l] && w.opaque.contains(l));
         if stale.any() {
             match self.validation {
                 Validation::Tbv => {
@@ -640,9 +641,17 @@ impl Stm for LockStm {
 
         w.enter_phase(ctx.now(), Phase::Native);
         let resolved_aborts = (mask & !committed).count();
-        let mut st = self.stats.borrow_mut();
-        let breakdown = &mut st.breakdown;
-        w.flush_attempt(breakdown, committed.count(), resolved_aborts);
+        {
+            let mut st = self.stats.borrow_mut();
+            let breakdown = &mut st.breakdown;
+            w.flush_attempt(breakdown, committed.count(), resolved_aborts);
+        }
+        if committed.any() {
+            // Tell the simulator's progress monitor a transaction landed,
+            // so contention shows up as livelock/budget pressure rather
+            // than a false deadlock diagnosis.
+            ctx.mark_progress();
+        }
         committed
     }
 }

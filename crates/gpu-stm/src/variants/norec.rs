@@ -241,7 +241,7 @@ impl Stm for NorecStm {
                 let m = LaneMask::lane(l);
                 w.enter_phase(ctx.now(), Phase::Commit);
                 let version = w.snapshot[l] + 1; // odd: lock held
-                // Publish the write-set (serialised behind the one lock).
+                                                 // Publish the write-set (serialised behind the one lock).
                 for k in 0..w.writes.len(l) {
                     let e = w.writes.get(l, k);
                     ctx.store_one(l, e.addr, e.val).await;
@@ -300,8 +300,13 @@ impl Stm for NorecStm {
 
         w.enter_phase(ctx.now(), Phase::Native);
         let aborted = (mask & !committed).count();
-        let mut st = self.stats.borrow_mut();
-        w.flush_attempt(&mut st.breakdown, committed.count(), aborted);
+        {
+            let mut st = self.stats.borrow_mut();
+            w.flush_attempt(&mut st.breakdown, committed.count(), aborted);
+        }
+        if committed.any() {
+            ctx.mark_progress();
+        }
         committed
     }
 }

@@ -33,6 +33,13 @@ pub struct WarpTx {
     pub acquired: [usize; WARP_SIZE],
     /// Warp-local backoff state for retry jitter.
     pub backoff: u64,
+    /// Per-lane count of *consecutive* aborted attempts of the current
+    /// logical transaction. Deliberately **not** cleared by
+    /// [`reset_lane`](Self::reset_lane) — an abort resets the lane for
+    /// its retry, and the streak must survive that. The
+    /// [`Robust`](crate::Robust) wrapper maintains it (zeroing on commit)
+    /// and escalates starving lanes to the serialized fallback path.
+    pub consec_aborts: [u32; WARP_SIZE],
 
     cur_phase: Phase,
     phase_start: u64,
@@ -53,6 +60,7 @@ impl WarpTx {
             pass_tbv: [true; WARP_SIZE],
             acquired: [0; WARP_SIZE],
             backoff: 0,
+            consec_aborts: [0; WARP_SIZE],
             cur_phase: Phase::Native,
             phase_start: 0,
             attempt: [0.0; NUM_PHASES],

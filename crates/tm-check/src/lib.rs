@@ -179,7 +179,8 @@ pub fn check_final_state(
     addrs: impl IntoIterator<Item = Addr>,
 ) -> Vec<Violation> {
     let mut overlay: HashMap<Addr, u32> = HashMap::new();
-    let mut writers: Vec<&CommittedTx> = history.commits.iter().filter(|t| t.version.is_some()).collect();
+    let mut writers: Vec<&CommittedTx> =
+        history.commits.iter().filter(|t| t.version.is_some()).collect();
     writers.sort_by_key(|tx| tx.version.unwrap());
     for tx in writers {
         for w in &tx.writes {
@@ -265,7 +266,10 @@ mod tests {
             aborts: 0,
         };
         let rep = check_history(&h, |_| 0);
-        assert!(rep.violations.iter().any(|v| matches!(v, Violation::DuplicateVersion { version: 5 })));
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DuplicateVersion { version: 5 })));
     }
 
     #[test]
@@ -325,30 +329,26 @@ mod tests {
     #[test]
     fn final_state_check_passes_clean_history() {
         let h = History { commits: vec![wtx(0, 1, vec![], vec![(10, 5)])], aborts: 0 };
-        let violations =
-            check_final_state(&h, |_| 0, |a| if a == Addr(10) { 5 } else { 0 }, [Addr(10), Addr(11)]);
+        let violations = check_final_state(
+            &h,
+            |_| 0,
+            |a| if a == Addr(10) { 5 } else { 0 },
+            [Addr(10), Addr(11)],
+        );
         assert!(violations.is_empty());
     }
 
     #[test]
     #[should_panic(expected = "violates opacity")]
     fn assert_opaque_panics_on_bad_history() {
-        let h = History {
-            commits: vec![wtx(0, 1, vec![(10, 99)], vec![])],
-            aborts: 0,
-        };
+        let h = History { commits: vec![wtx(0, 1, vec![(10, 99)], vec![])], aborts: 0 };
         assert_opaque(&h, |_| 0);
     }
 
     #[test]
     fn display_messages() {
-        let v = Violation::InconsistentRead {
-            tid: 1,
-            point: 2,
-            addr: Addr(3),
-            expected: 4,
-            got: 5,
-        };
+        let v =
+            Violation::InconsistentRead { tid: 1, point: 2, addr: Addr(3), expected: 4, got: 5 };
         assert!(v.to_string().contains("tid 1"));
     }
 }

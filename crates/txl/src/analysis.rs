@@ -221,7 +221,8 @@ mod tests {
     #[test]
     fn unconditional_overwrite_is_not_checkpointed() {
         // x is must-defined before any read: a retry recomputes it.
-        let c = checkpoints("kernel k(a: array) { let x = 0; atomic { x = 5; a[x] = 1; } a[0] = x; }");
+        let c =
+            checkpoints("kernel k(a: array) { let x = 0; atomic { x = 5; a[x] = 1; } a[0] = x; }");
         assert!(c.is_empty(), "got {c:?}");
     }
 
@@ -243,9 +244,7 @@ mod tests {
     #[test]
     fn transaction_local_temp_is_not_checkpointed() {
         // t is declared inside the atomic: it has no pre-state to restore.
-        let c = checkpoints(
-            "kernel k(a: array) { atomic { let t = a[0]; a[1] = t + 1; } }",
-        );
+        let c = checkpoints("kernel k(a: array) { atomic { let t = a[0]; a[1] = t + 1; } }");
         assert!(c.is_empty(), "got {c:?}");
     }
 

@@ -33,10 +33,8 @@ fn slot_names(kernel: &Kernel) -> Vec<String> {
     fn walk(stmts: &[Stmt], names: &mut [String]) {
         for s in stmts {
             match s {
-                Stmt::Let { name, slot, .. } => {
-                    if names[*slot].is_empty() {
-                        names[*slot] = name.clone();
-                    }
+                Stmt::Let { name, slot, .. } if names[*slot].is_empty() => {
+                    names[*slot] = name.clone();
                 }
                 Stmt::If { then_blk, else_blk, .. } => {
                     walk(then_blk, names);

@@ -140,9 +140,7 @@ impl Checker<'_> {
                 }
                 None => {
                     if self.params.contains_key(name.as_str()) {
-                        self.err(format!(
-                            "array `{name}` used as a scalar (index it with `[..]`)"
-                        ))
+                        self.err(format!("array `{name}` used as a scalar (index it with `[..]`)"))
                     } else {
                         self.err(format!("use of undeclared variable `{name}`"))
                     }

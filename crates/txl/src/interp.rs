@@ -18,7 +18,9 @@
 
 use crate::ast::{BinOp, Expr, Kernel, Stmt};
 use crate::error::TxlError;
-use gpu_sim::{Addr, LaneMask, LaneVals, LaunchConfig, RunReport, Sim, WarpCtx, WarpRng, WARP_SIZE};
+use gpu_sim::{
+    Addr, LaneMask, LaneVals, LaunchConfig, RunReport, Sim, WarpCtx, WarpRng, WARP_SIZE,
+};
 use gpu_stm::{lane_addrs, Stm, WarpTx};
 use std::cell::RefCell;
 use std::future::Future;

@@ -55,10 +55,7 @@ impl Parser {
     }
 
     fn line(&self) -> u32 {
-        self.toks.get(self.pos).map_or_else(
-            || self.toks.last().map_or(0, |t| t.line),
-            |t| t.line,
-        )
+        self.toks.get(self.pos).map_or_else(|| self.toks.last().map_or(0, |t| t.line), |t| t.line)
     }
 
     fn peek(&self) -> Option<&Tok> {

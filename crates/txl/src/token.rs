@@ -182,9 +182,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, TxlError> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &src[start..i];
@@ -259,12 +257,7 @@ mod tests {
     fn keywords_and_idents() {
         assert_eq!(
             toks("kernel foo atomic barx"),
-            vec![
-                Tok::Kernel,
-                Tok::Ident("foo".into()),
-                Tok::Atomic,
-                Tok::Ident("barx".into())
-            ]
+            vec![Tok::Kernel, Tok::Ident("foo".into()), Tok::Atomic, Tok::Ident("barx".into())]
         );
     }
 

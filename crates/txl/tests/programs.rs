@@ -198,7 +198,7 @@ fn divergent_control_flow_per_lane() {
     let host_collatz = |mut x: u32| {
         let mut n = 0;
         while x != 1 {
-            x = if x % 2 == 0 { x / 2 } else { 3 * x + 1 };
+            x = if x.is_multiple_of(2) { x / 2 } else { 3 * x + 1 };
             n += 1;
         }
         n

@@ -127,7 +127,9 @@ impl StmRunner for EbRunner {
                         for _ in 0..params.cold_ops {
                             let addrs = lane_addrs(committed, |l| {
                                 let tid = ctx.id().thread_id(l);
-                                cold.offset(tid * params.cold_words + rng.below(l, params.cold_words))
+                                cold.offset(
+                                    tid * params.cold_words + rng.below(l, params.cold_words),
+                                )
                             });
                             let vals = ctx.load(committed, &addrs).await;
                             let upd = lane_vals(committed, |l| vals[l].wrapping_add(1));

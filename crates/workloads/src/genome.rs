@@ -282,8 +282,7 @@ mod tests {
     use super::*;
 
     fn tiny() -> (GnParams, LaunchConfig, LaunchConfig, RunConfig) {
-        let params =
-            GnParams { n_segments: 128, value_space: 64, table_words: 1 << 9, seed: 21 };
+        let params = GnParams { n_segments: 128, value_space: 64, table_words: 1 << 9, seed: 21 };
         let cfg = RunConfig::with_memory(1 << 16).with_locks(1 << 8);
         (params, LaunchConfig::new(2, 64), LaunchConfig::new(2, 32), cfg)
     }

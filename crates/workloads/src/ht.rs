@@ -198,7 +198,8 @@ mod tests {
     #[test]
     fn contended_table_still_correct() {
         // Small table + tiny lock table: heavy conflicts, keys must survive.
-        let params = HtParams { table_words: 1 << 9, inserts_per_tx: 1, txs_per_thread: 1, seed: 9 };
+        let params =
+            HtParams { table_words: 1 << 9, inserts_per_tx: 1, txs_per_thread: 1, seed: 9 };
         let cfg = RunConfig::with_memory(1 << 16).with_locks(1 << 4);
         let grid = LaunchConfig::new(2, 64);
         let out = run(&params, Variant::HvSorting, grid, &cfg).unwrap();

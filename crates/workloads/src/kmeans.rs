@@ -55,8 +55,7 @@ impl KmParams {
         for c in 0..self.clusters {
             let mut d2 = 0u64;
             for d in 0..self.dims {
-                let diff =
-                    self.point(tid, j, d) as i64 - self.centroid(c, d) as i64;
+                let diff = self.point(tid, j, d) as i64 - self.centroid(c, d) as i64;
                 d2 += (diff * diff) as u64;
             }
             if d2 < best_d {
@@ -120,9 +119,8 @@ impl StmRunner for KmRunner {
                         if ok.none() {
                             break;
                         }
-                        let addrs = lane_addrs(ok, |l| {
-                            accum.offset(assigned[l] * (params.dims + 1) + d)
-                        });
+                        let addrs =
+                            lane_addrs(ok, |l| accum.offset(assigned[l] * (params.dims + 1) + d));
                         let sums = stm.read(&mut w, &ctx, ok, &addrs).await;
                         let ok2 = ok & stm.opaque(&w);
                         let upd = lane_vals(ok2, |l| {
@@ -184,8 +182,7 @@ pub fn run(
         for j in 0..params.points_per_thread {
             let c = params.assignment(tid, j);
             for d in 0..params.dims {
-                expect[(c * (params.dims + 1) + d) as usize] +=
-                    params.point(tid, j, d) as u64;
+                expect[(c * (params.dims + 1) + d) as usize] += params.point(tid, j, d) as u64;
             }
             expect[(c * (params.dims + 1) + params.dims) as usize] += 1;
         }
@@ -193,9 +190,7 @@ pub fn run(
     let got = sim.read_slice(accum, params.shared_words());
     for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
         if *g as u64 != *e {
-            return Err(RunError::Verification(format!(
-                "accumulator {i}: device {g}, host {e}"
-            )));
+            return Err(RunError::Verification(format!("accumulator {i}: device {g}, host {e}")));
         }
     }
     Ok(out)

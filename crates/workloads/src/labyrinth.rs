@@ -282,9 +282,7 @@ pub fn run(
                     owned[c as usize] = p + 1;
                 }
             }
-            other => {
-                return Err(RunError::Verification(format!("result[{p}] corrupted: {other}")))
-            }
+            other => return Err(RunError::Verification(format!("result[{p}] corrupted: {other}"))),
         }
     }
     for (c, v) in grid_v.iter().enumerate() {

@@ -90,4 +90,13 @@ mod tests {
         assert!(RunError::Unsupported("x").to_string().contains("unsupported"));
         assert!(RunError::Verification("y".into()).to_string().contains("verification"));
     }
+
+    #[test]
+    fn source_chains_to_sim_error_and_only_there() {
+        let e: RunError = SimError::Deadlock { cycle: 7, unfinished: vec![] }.into();
+        let src = e.source().expect("Sim wraps a cause");
+        assert!(src.downcast_ref::<SimError>().is_some());
+        assert!(RunError::Unsupported("x").source().is_none());
+        assert!(RunError::Verification("y".into()).source().is_none());
+    }
 }

@@ -75,8 +75,7 @@ impl StmRunner for RaRunner {
                             break;
                         }
                         // Per-lane random action and address (Figure 1).
-                        let do_write =
-                            ok.filter(|l| rng.chance(l, params.write_pct, 100));
+                        let do_write = ok.filter(|l| rng.chance(l, params.write_pct, 100));
                         let addrs =
                             lane_addrs(ok, |l| data.offset(rng.below(l, params.shared_words)));
                         let readers = ok & !do_write;

@@ -4,10 +4,10 @@
 //! for each concrete variant of the paper's evaluation (Section 4.2).
 
 use crate::outcome::RunError;
+use gpu_sim::{LaunchConfig, Sim};
 use gpu_stm::{
     CglStm, EgpgvStm, LockStm, NorecStm, OptimizedStm, Recorder, Stm, StmConfig, StmShared,
 };
-use gpu_sim::{LaunchConfig, Sim};
 use std::rc::Rc;
 
 /// One of the evaluated concurrency-control schemes.

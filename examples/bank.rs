@@ -28,8 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stm = Rc::new(OptimizedStm::new(shared, cfg, ACCOUNTS as u64));
 
     let grid = LaunchConfig::new(32, 128);
-    let total_before: u64 =
-        sim.read_slice(accounts, ACCOUNTS).iter().map(|v| *v as u64).sum();
+    let total_before: u64 = sim.read_slice(accounts, ACCOUNTS).iter().map(|v| *v as u64).sum();
     println!(
         "{} accounts × {} balance; {} threads × {} transfers under {}",
         ACCOUNTS,

@@ -9,12 +9,8 @@ use workloads::ht::{self, HtParams};
 use workloads::{RunConfig, Variant};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let params = HtParams {
-        table_words: 1 << 16,
-        inserts_per_tx: 4,
-        txs_per_thread: 1,
-        seed: 0xf00d,
-    };
+    let params =
+        HtParams { table_words: 1 << 16, inserts_per_tx: 4, txs_per_thread: 1, seed: 0xf00d };
     let grid = LaunchConfig::new(16, 128);
     let cfg = RunConfig::with_memory(1 << 20).with_locks(1 << 12);
 

@@ -13,8 +13,8 @@
 //! Run: `cargo run --release --example lock_pitfalls`
 
 use gpu_locks::{
-    spin_lock_lockstep, spin_lock_one, try_lock_multi, try_lock_sorted, unlock_one,
-    unlock_sorted, unprotected_add, GpuMutex,
+    spin_lock_lockstep, spin_lock_one, try_lock_multi, try_lock_sorted, unlock_one, unlock_sorted,
+    unprotected_add, GpuMutex,
 };
 use gpu_sim::{simt::serialize_lanes, LaneMask, LaunchConfig, Sim, SimConfig, SimError, WARP_SIZE};
 
@@ -32,8 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     match s.launch(LaunchConfig::new(1, 32), move |ctx| async move {
         spin_lock_lockstep(&ctx, LaneMask::first_n(2), lock).await;
     }) {
-        Err(SimError::Watchdog { cycle, .. }) => {
-            println!("  DEADLOCK detected by watchdog at cycle {cycle} (as the paper predicts)\n")
+        Err(SimError::Deadlock { cycle, .. }) => {
+            println!("  DEADLOCK diagnosed by the progress monitor at cycle {cycle} (as the paper predicts)\n")
         }
         other => panic!("expected deadlock, got {other:?}"),
     }
@@ -70,8 +70,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             pending &= !got; // (never succeeds: circular contention recurs)
         }
     }) {
-        Err(SimError::Watchdog { cycle, .. }) => {
-            println!("  LIVELOCK detected by watchdog at cycle {cycle} — circular locking\n")
+        Err(SimError::Livelock { cycle, .. }) => {
+            println!("  LIVELOCK diagnosed by the progress monitor at cycle {cycle} — circular locking\n")
         }
         other => panic!("expected livelock, got {other:?}"),
     }
@@ -89,8 +89,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .await;
             if got.any() {
                 ctx.atomic_add_uniform(got, done, 1).await;
-                unlock_sorted(&ctx, got, 2, |_| 2, |l, k| locks.offset(((l + k) % 2) as u32))
-                    .await;
+                unlock_sorted(&ctx, got, 2, |_| 2, |l, k| locks.offset(((l + k) % 2) as u32)).await;
                 pending &= !got;
             }
         }

@@ -126,7 +126,6 @@ fn non_transactional_writes_are_outside_the_checker_model() {
     // Host-side (non-transactional) dirty write after the kernel.
     sim.write(data, 0xffff_ffff);
     let h = rec.borrow();
-    let violations =
-        check_final_state(&h, |_| 0, |a| sim.read(a), [Addr(data.0)]);
+    let violations = check_final_state(&h, |_| 0, |a| sim.read(a), [Addr(data.0)]);
     assert_eq!(violations.len(), 1, "the dirty word must surface as a mismatch");
 }

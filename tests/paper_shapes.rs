@@ -55,11 +55,7 @@ fn optimized_matches_hv_on_large_shared_data() {
 /// at identical lock counts.
 #[test]
 fn hv_abort_rate_beats_tbv_under_aliasing() {
-    let params = EbParams {
-        hot_words: 1 << 13,
-        txs_per_thread: 3,
-        ..EbParams::default()
-    };
+    let params = EbParams { hot_words: 1 << 13, txs_per_thread: 3, ..EbParams::default() };
     let grid = LaunchConfig::new(4, 64);
     // 64 locks guard 8192 words: massive stripe aliasing.
     let cfg = RunConfig::with_memory(1 << 18).with_locks(1 << 6);

@@ -1,57 +1,96 @@
-//! Property-based tests (proptest) over the core data structures and
-//! end-to-end transactional invariants.
+//! Randomised property tests over the core data structures and end-to-end
+//! transactional invariants.
+//!
+//! The container builds offline, so these use a deterministic seeded
+//! generator (splitmix64) instead of an external property-testing crate:
+//! each property is exercised over a few hundred pseudo-random cases, and a
+//! failing case prints its seed so it can be replayed exactly.
 
 use gpu_sim::coalesce::{atomic_conflict_depth, coalesce, SEGMENT_WORDS};
 use gpu_sim::{Addr, LaneMask, LaunchConfig, Sim, SimConfig, WARP_SIZE};
 use gpu_stm::locklog::LockLog;
 use gpu_stm::sets::WriteSet;
 use gpu_stm::{lane_addrs, lane_vals, LockStm, Stm, StmConfig, StmShared};
-use proptest::prelude::*;
 use std::collections::{BTreeMap, HashSet};
 use std::rc::Rc;
 
-proptest! {
-    /// Lane-mask algebra is Boolean algebra on 32-bit sets.
-    #[test]
-    fn lane_mask_set_algebra(a: u32, b: u32) {
-        let (ma, mb) = (LaneMask::from_bits(a), LaneMask::from_bits(b));
-        prop_assert_eq!((ma | mb).bits(), a | b);
-        prop_assert_eq!((ma & mb).bits(), a & b);
-        prop_assert_eq!((!(ma)).bits(), !a);
-        prop_assert_eq!((ma & !mb) | (ma & mb), ma);
-        let from_iter: LaneMask = ma.iter().collect();
-        prop_assert_eq!(from_iter, ma);
+/// Deterministic case generator: splitmix64 stream.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed)
     }
 
-    /// Coalescing: the transaction count equals the number of distinct
-    /// segments, is at most the active-lane count, and is at least one
-    /// when any lane is active.
-    #[test]
-    fn coalesce_counts_distinct_segments(
-        bits: u32,
-        raw in proptest::collection::vec(0u32..4096, WARP_SIZE),
-    ) {
-        let mask = LaneMask::from_bits(bits);
-        let addrs: [Addr; WARP_SIZE] = std::array::from_fn(|i| Addr(raw[i]));
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn below(&mut self, n: u32) -> u32 {
+        assert!(n > 0);
+        self.next_u32() % n
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Lane-mask algebra is Boolean algebra on 32-bit sets.
+#[test]
+fn lane_mask_set_algebra() {
+    let mut g = Gen::new(0xa1);
+    for case in 0..512 {
+        let (a, b) = (g.next_u32(), g.next_u32());
+        let (ma, mb) = (LaneMask::from_bits(a), LaneMask::from_bits(b));
+        assert_eq!((ma | mb).bits(), a | b, "case {case}: a={a:#x} b={b:#x}");
+        assert_eq!((ma & mb).bits(), a & b, "case {case}: a={a:#x} b={b:#x}");
+        assert_eq!((!(ma)).bits(), !a, "case {case}: a={a:#x}");
+        assert_eq!((ma & !mb) | (ma & mb), ma, "case {case}: a={a:#x} b={b:#x}");
+        let from_iter: LaneMask = ma.iter().collect();
+        assert_eq!(from_iter, ma, "case {case}: a={a:#x}");
+    }
+}
+
+/// Coalescing: the transaction count equals the number of distinct
+/// segments, is at most the active-lane count, and is at least one when
+/// any lane is active.
+#[test]
+fn coalesce_counts_distinct_segments() {
+    let mut g = Gen::new(0xc0);
+    for case in 0..512 {
+        let mask = LaneMask::from_bits(g.next_u32());
+        let addrs: [Addr; WARP_SIZE] = std::array::from_fn(|_| Addr(g.below(4096)));
         let c = coalesce(mask, &addrs);
-        let distinct: HashSet<u32> =
-            mask.iter().map(|l| addrs[l].0 / SEGMENT_WORDS).collect();
-        prop_assert_eq!(c.transactions() as usize, distinct.len());
-        prop_assert!(c.transactions() <= mask.count());
+        let distinct: HashSet<u32> = mask.iter().map(|l| addrs[l].0 / SEGMENT_WORDS).collect();
+        assert_eq!(c.transactions() as usize, distinct.len(), "case {case}");
+        assert!(c.transactions() <= mask.count(), "case {case}");
         if mask.any() {
-            prop_assert!(c.transactions() >= 1);
+            assert!(c.transactions() >= 1, "case {case}");
         }
         let depth = atomic_conflict_depth(mask, &addrs);
-        prop_assert!(depth <= mask.count());
+        assert!(depth <= mask.count(), "case {case}");
     }
+}
 
-    /// The lock-log yields a sorted, deduplicated sequence whose contents
-    /// and bits match a BTreeMap reference model, for any bucket count.
-    #[test]
-    fn locklog_matches_reference_model(
-        ops in proptest::collection::vec((0u32..256, any::<bool>(), any::<bool>()), 0..64),
-        buckets in 0u32..5,
-    ) {
+/// The lock-log yields a sorted, deduplicated sequence whose contents and
+/// bits match a BTreeMap reference model, for any bucket count.
+#[test]
+fn locklog_matches_reference_model() {
+    let mut g = Gen::new(0x10c);
+    for case in 0..256 {
+        let buckets = g.below(5);
+        let n_ops = g.below(64) as usize;
+        let ops: Vec<(u32, bool, bool)> =
+            (0..n_ops).map(|_| (g.below(256), g.bool(), g.bool())).collect();
         let mut log = LockLog::new(1 << buckets, 256);
         let mut model: BTreeMap<u32, (bool, bool)> = BTreeMap::new();
         for (lock, rd, wr) in &ops {
@@ -60,55 +99,59 @@ proptest! {
             e.0 |= *rd;
             e.1 |= *wr;
         }
-        prop_assert_eq!(log.len(), model.len());
+        assert_eq!(log.len(), model.len(), "case {case}");
         let got: Vec<(u32, bool, bool)> =
             log.iter_sorted().map(|e| (e.lock, e.read, e.write)).collect();
-        let want: Vec<(u32, bool, bool)> =
-            model.iter().map(|(k, (r, w))| (*k, *r, *w)).collect();
-        prop_assert_eq!(got, want);
+        let want: Vec<(u32, bool, bool)> = model.iter().map(|(k, (r, w))| (*k, *r, *w)).collect();
+        assert_eq!(got, want, "case {case}");
         // nth_sorted agrees with iteration.
         for (k, e) in log.iter_sorted().enumerate() {
-            prop_assert_eq!(log.nth_sorted(k), Some(e));
+            assert_eq!(log.nth_sorted(k), Some(e), "case {case}");
         }
-        prop_assert_eq!(log.nth_sorted(model.len()), None);
+        assert_eq!(log.nth_sorted(model.len()), None, "case {case}");
     }
+}
 
-    /// The write-set (Bloom filter + log) behaves like a per-lane map
-    /// with last-write-wins semantics.
-    #[test]
-    fn writeset_matches_map_model(
-        ops in proptest::collection::vec((0usize..4, 0u32..64, any::<u32>()), 0..100),
-    ) {
+/// The write-set (Bloom filter + log) behaves like a per-lane map with
+/// last-write-wins semantics.
+#[test]
+fn writeset_matches_map_model() {
+    let mut g = Gen::new(0x3e7);
+    for case in 0..256 {
+        let n_ops = g.below(100) as usize;
         let mut ws = WriteSet::new();
         let mut model: BTreeMap<(usize, u32), u32> = BTreeMap::new();
-        for (lane, addr, val) in &ops {
-            ws.insert(*lane, Addr(*addr), *val);
-            model.insert((*lane, *addr), *val);
+        for _ in 0..n_ops {
+            let (lane, addr, val) = (g.below(4) as usize, g.below(64), g.next_u32());
+            ws.insert(lane, Addr(addr), val);
+            model.insert((lane, addr), val);
         }
         for lane in 0..4 {
             for addr in 0..64u32 {
-                prop_assert_eq!(
+                assert_eq!(
                     ws.lookup(lane, Addr(addr)),
                     model.get(&(lane, addr)).copied(),
-                    "lane {} addr {}", lane, addr
+                    "case {case} lane {lane} addr {addr}"
                 );
             }
             let expected_len = model.keys().filter(|(l, _)| *l == lane).count();
-            prop_assert_eq!(ws.len(lane), expected_len);
+            assert_eq!(ws.len(lane), expected_len, "case {case} lane {lane}");
         }
     }
+}
 
-    /// End-to-end conservation: random counter-increment workloads under
-    /// GPU-STM never lose or duplicate increments, for arbitrary small
-    /// configurations (lock-table size, counters, threads, increments).
-    #[test]
-    fn stm_conserves_increments(
-        lock_bits in 2u32..8,
-        n_counters in 1u32..32,
-        warps in 1u32..3,
-        incr in 1u32..4,
-        seed: u64,
-    ) {
+/// End-to-end conservation: random counter-increment workloads under
+/// GPU-STM never lose or duplicate increments, for arbitrary small
+/// configurations (lock-table size, counters, threads, increments).
+#[test]
+fn stm_conserves_increments() {
+    let mut g = Gen::new(0x57a);
+    for case in 0..12 {
+        let lock_bits = 2 + g.below(6);
+        let n_counters = 1 + g.below(31);
+        let warps = 1 + g.below(2);
+        let incr = 1 + g.below(3);
+        let seed = g.next_u64();
         let mut cfg = SimConfig::with_memory(1 << 16);
         cfg.watchdog_cycles = 1 << 32;
         let mut sim = Sim::new(cfg);
@@ -149,25 +192,25 @@ proptest! {
         })
         .unwrap();
         let total: u64 = sim.read_slice(counters, n_counters).iter().map(|v| *v as u64).sum();
-        prop_assert_eq!(total, grid.total_threads() * incr as u64);
+        assert_eq!(total, grid.total_threads() * incr as u64, "case {case} seed {seed:#x}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The version-lock word encoding round-trips for any version that
-    /// fits in 31 bits.
-    #[test]
-    fn version_lock_roundtrip(version in 0u32..(1 << 31)) {
-        use gpu_stm::VersionLock;
+/// The version-lock word encoding round-trips for any version that fits in
+/// 31 bits.
+#[test]
+fn version_lock_roundtrip() {
+    use gpu_stm::VersionLock;
+    let mut g = Gen::new(0x10c4);
+    for case in 0..256 {
+        let version = g.next_u32() & ((1 << 31) - 1);
         let v = VersionLock::unlocked(version);
-        prop_assert!(!v.is_locked());
-        prop_assert_eq!(v.version(), version);
-        prop_assert!(v.locked().is_locked());
-        prop_assert_eq!(v.locked().version(), version);
-        prop_assert_eq!(v.locked().released(), v);
+        assert!(!v.is_locked(), "case {case}");
+        assert_eq!(v.version(), version, "case {case}");
+        assert!(v.locked().is_locked(), "case {case}");
+        assert_eq!(v.locked().version(), version, "case {case}");
+        assert_eq!(v.locked().released(), v, "case {case}");
         // Algorithm 3's release-by-decrement preserves the version.
-        prop_assert_eq!(VersionLock(v.locked().bits() - 1), v);
+        assert_eq!(VersionLock(v.locked().bits() - 1), v, "case {case}");
     }
 }
