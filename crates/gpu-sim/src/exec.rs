@@ -20,6 +20,7 @@ use crate::error::{SimError, WarpProgress};
 use crate::fault::{splitmix64, FaultPlan, FaultState};
 use crate::mask::{LaneMask, WARP_SIZE};
 use crate::memory::{Addr, GlobalMemory};
+use crate::race::{RaceDetector, RaceSink};
 use crate::stats::SimStats;
 use crate::timing::TimingModel;
 use crate::warp::WarpCtx;
@@ -85,6 +86,12 @@ pub struct SimConfig {
     /// Seed-controlled fault injection (schedule shuffle, latency jitter,
     /// spurious CAS failures). Defaults to no faults.
     pub fault: FaultPlan,
+    /// When set, a happens-before race detector observes every
+    /// global-memory access and publishes unordered conflicting pairs to
+    /// this sink (see [`crate::race`]). Detection is pure observation:
+    /// it charges no cycles, so enabling it never perturbs a run.
+    /// Defaults to `None` (off).
+    pub race: Option<RaceSink>,
 }
 
 impl SimConfig {
@@ -104,6 +111,7 @@ impl Default for SimConfig {
             watchdog_cycles: 1 << 40,
             stall_cycles: u64::MAX,
             fault: FaultPlan::none(),
+            race: None,
         }
     }
 }
@@ -193,6 +201,7 @@ pub(crate) struct SimState {
     pub(crate) now: u64,
     pub(crate) fault: FaultState,
     pub(crate) progress: ProgressBoard,
+    pub(crate) race: Option<RaceDetector>,
 }
 
 /// Per-warp progress accounting for one launch: who issued what, and when
@@ -296,6 +305,7 @@ impl Sim {
             now: 0,
             fault: FaultState::new(config.fault),
             progress: ProgressBoard::default(),
+            race: config.race.clone().map(RaceDetector::new),
         };
         Sim { state: Rc::new(RefCell::new(state)), config }
     }
@@ -366,6 +376,9 @@ impl Sim {
             st.stats = SimStats::new();
             st.fault = FaultState::new(self.config.fault);
             st.progress = ProgressBoard::default();
+            // Fresh vector clocks per launch (warp slots are per-launch);
+            // the sink keeps accumulating across launches.
+            st.race = self.config.race.clone().map(RaceDetector::new);
         }
 
         let wpb = grid.warps_per_block();

@@ -45,6 +45,7 @@ mod exec;
 pub mod fault;
 pub mod mask;
 pub mod memory;
+pub mod race;
 pub mod rng;
 pub mod simt;
 pub mod stats;
@@ -57,6 +58,7 @@ pub use exec::{GpuConfig, LaunchConfig, RunReport, Sim, SimConfig, WarpId};
 pub use fault::FaultPlan;
 pub use mask::{LaneMask, WARP_SIZE};
 pub use memory::{Addr, AtomicOp, GlobalMemory};
+pub use race::{race_sink, AccessKind, DataRace, RaceAccess, RaceLog, RaceSink};
 pub use rng::WarpRng;
 pub use stats::SimStats;
 pub use timing::TimingModel;

@@ -1,0 +1,511 @@
+//! Happens-before data-race detection over global memory.
+//!
+//! A FastTrack-style vector-clock detector adapted to the simulator's
+//! warp-synchronous execution model (paper Section 3.2.1 motivates it:
+//! GPU-STM is *weakly isolated*, so any non-transactional access that
+//! conflicts with a transactional one is a correctness hazard that commit
+//! history replay cannot see).
+//!
+//! Design choices, in the order they matter:
+//!
+//! - **Warps are the "threads".** A warp executes its lanes in lockstep
+//!   and the simulator applies each warp instruction's memory effects
+//!   atomically, so intra-warp conflicts (e.g. the deterministic
+//!   highest-lane-wins store) are ordered by construction. Vector clocks
+//!   are indexed by the warp's progress-board slot.
+//! - **Sync addresses are learned, not declared.** Any word ever touched
+//!   by an atomic instruction is permanently classified as a
+//!   synchronization variable: an atomic access joins the warp's clock
+//!   with the address's clock and publishes the result (acquire +
+//!   release), a plain store to it publishes the warp's clock (release —
+//!   the STM's lock-release and version-unlock idiom), and a plain load
+//!   from it joins (acquire — spin-wait observation). Sync addresses are
+//!   never race-checked themselves.
+//! - **Speculative accesses are scoped, not ignored.** Kernels bracket
+//!   transactions with [`WarpCtx::set_speculative`](crate::WarpCtx::set_speculative);
+//!   a conflict in which *both* accesses are speculative is suppressed,
+//!   because optimistic STMs race benignly on data words and resolve the
+//!   conflict by validation/abort (tm-check's opacity replay covers
+//!   those). A conflict with at least one *non-speculative* side is
+//!   exactly the weak-isolation hazard and is reported.
+//! - **Fences add no edges.** The simulator is sequentially consistent
+//!   per warp instruction, so `threadfence` only orders a warp against
+//!   itself, which program order already provides.
+//!
+//! Detection is pure observation: hooks charge no cycles and perturb no
+//! schedules, so a run with detection enabled is cycle-identical to the
+//! same run without it.
+
+use crate::exec::WarpId;
+use crate::memory::Addr;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// What an access did to the word.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Plain (non-atomic) load.
+    Read,
+    /// Plain (non-atomic) store.
+    Write,
+}
+
+impl std::fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        })
+    }
+}
+
+/// One side of a racing pair.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RaceAccess {
+    /// Block index of the accessing warp.
+    pub block: u32,
+    /// Warp index within its block.
+    pub warp_in_block: u32,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Whether the access was inside a transaction's speculative scope.
+    pub speculative: bool,
+    /// Simulated cycle at which the access was issued.
+    pub cycle: u64,
+}
+
+/// An unordered conflicting pair of global-memory accesses.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DataRace {
+    /// The contended word.
+    pub addr: Addr,
+    /// The earlier access (already recorded when the race was found).
+    pub prior: RaceAccess,
+    /// The access that completed the racing pair.
+    pub current: RaceAccess,
+}
+
+impl std::fmt::Display for DataRace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let tag = |s: bool| if s { " (tx)" } else { "" };
+        write!(
+            f,
+            "data race on {:?}: {}{} by warp {}.{} at cycle {} is unordered with {}{} by warp {}.{} at cycle {}",
+            self.addr,
+            self.prior.kind,
+            tag(self.prior.speculative),
+            self.prior.block,
+            self.prior.warp_in_block,
+            self.prior.cycle,
+            self.current.kind,
+            tag(self.current.speculative),
+            self.current.block,
+            self.current.warp_in_block,
+            self.current.cycle,
+        )
+    }
+}
+
+/// Collected races for a launch (one report per contended word).
+#[derive(Clone, Debug, Default)]
+pub struct RaceLog {
+    /// Races in detection order.
+    pub races: Vec<DataRace>,
+}
+
+impl RaceLog {
+    /// True when no race was observed.
+    pub fn is_empty(&self) -> bool {
+        self.races.is_empty()
+    }
+}
+
+/// Shared handle through which the detector publishes races.
+///
+/// Store a clone in [`SimConfig::race`](crate::SimConfig) and inspect it
+/// after the launch.
+pub type RaceSink = Rc<RefCell<RaceLog>>;
+
+/// Creates an empty [`RaceSink`].
+pub fn race_sink() -> RaceSink {
+    Rc::new(RefCell::new(RaceLog::default()))
+}
+
+type VectorClock = Vec<u64>;
+
+fn join(into: &mut VectorClock, from: &VectorClock) {
+    if into.len() < from.len() {
+        into.resize(from.len(), 0);
+    }
+    for (i, v) in from.iter().enumerate() {
+        into[i] = into[i].max(*v);
+    }
+}
+
+#[derive(Clone, Debug)]
+struct WarpClock {
+    vc: VectorClock,
+    speculative: bool,
+    block: u32,
+    warp_in_block: u32,
+}
+
+/// A recorded access epoch: warp `pslot` at its local time `clock`.
+#[derive(Copy, Clone, Debug)]
+struct Epoch {
+    pslot: usize,
+    clock: u64,
+    speculative: bool,
+    cycle: u64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct WordState {
+    write: Option<Epoch>,
+    /// Last read per warp slot (kept sparse; warps re-reading overwrite).
+    reads: Vec<Epoch>,
+}
+
+/// The per-launch detector state. Owned by the simulator; reset on every
+/// launch while the sink accumulates across launches.
+#[derive(Debug)]
+pub(crate) struct RaceDetector {
+    sink: RaceSink,
+    warps: Vec<WarpClock>,
+    /// Addresses ever touched by an atomic: permanent sync variables.
+    sync_addrs: HashSet<u32>,
+    /// Release clocks of sync variables.
+    sync_clocks: HashMap<u32, VectorClock>,
+    /// Read/write history of ordinary data words.
+    words: HashMap<u32, WordState>,
+    /// Words already reported (one report per word keeps logs readable).
+    reported: HashSet<u32>,
+}
+
+impl RaceDetector {
+    pub(crate) fn new(sink: RaceSink) -> Self {
+        RaceDetector {
+            sink,
+            warps: Vec::new(),
+            sync_addrs: HashSet::new(),
+            sync_clocks: HashMap::new(),
+            words: HashMap::new(),
+            reported: HashSet::new(),
+        }
+    }
+
+    fn ensure(&mut self, pslot: usize, id: WarpId) {
+        while self.warps.len() <= pslot {
+            let p = self.warps.len();
+            let mut vc = vec![0; p + 1];
+            vc[p] = 1;
+            self.warps.push(WarpClock {
+                vc,
+                speculative: false,
+                block: id.block,
+                warp_in_block: id.warp_in_block,
+            });
+        }
+    }
+
+    pub(crate) fn set_speculative(&mut self, pslot: usize, id: WarpId, on: bool) {
+        self.ensure(pslot, id);
+        self.warps[pslot].speculative = on;
+    }
+
+    /// `epoch` happens-before the current state of warp `pslot`.
+    fn ordered(&self, pslot: usize, epoch: &Epoch) -> bool {
+        epoch.pslot == pslot
+            || self.warps[pslot].vc.get(epoch.pslot).copied().unwrap_or(0) >= epoch.clock
+    }
+
+    fn access(&self, pslot: usize, kind: AccessKind, cycle: u64) -> RaceAccess {
+        let w = &self.warps[pslot];
+        RaceAccess {
+            block: w.block,
+            warp_in_block: w.warp_in_block,
+            kind,
+            speculative: w.speculative,
+            cycle,
+        }
+    }
+
+    fn epoch_access(&self, epoch: &Epoch, kind: AccessKind) -> RaceAccess {
+        let w = &self.warps[epoch.pslot];
+        RaceAccess {
+            block: w.block,
+            warp_in_block: w.warp_in_block,
+            kind,
+            speculative: epoch.speculative,
+            cycle: epoch.cycle,
+        }
+    }
+
+    fn report(&mut self, addr: u32, prior: RaceAccess, current: RaceAccess) {
+        if self.reported.insert(addr) {
+            self.sink.borrow_mut().races.push(DataRace { addr: Addr(addr), prior, current });
+        }
+    }
+
+    /// Atomic instruction on `addr`: classify it as a sync variable and
+    /// perform acquire + release (join both ways), then advance the warp's
+    /// local clock so later accesses are distinguishable from this one.
+    pub(crate) fn on_atomic(&mut self, pslot: usize, id: WarpId, addr: Addr, _cycle: u64) {
+        self.ensure(pslot, id);
+        let a = addr.0;
+        if self.sync_addrs.insert(a) {
+            // Newly classified: its plain-access history is retroactively
+            // synchronization traffic, not data.
+            self.words.remove(&a);
+        }
+        let lock = self.sync_clocks.entry(a).or_default();
+        join(&mut self.warps[pslot].vc, lock);
+        lock.clone_from(&self.warps[pslot].vc);
+        self.tick(pslot);
+    }
+
+    /// Plain load of `addr` by warp `pslot`.
+    pub(crate) fn on_read(&mut self, pslot: usize, id: WarpId, addr: Addr, cycle: u64) {
+        self.ensure(pslot, id);
+        let a = addr.0;
+        if self.sync_addrs.contains(&a) {
+            // Acquire: observing a sync word orders this warp after its
+            // releasers (spin-wait on a lock or a published flag).
+            if let Some(lock) = self.sync_clocks.get(&a) {
+                let lock = lock.clone();
+                join(&mut self.warps[pslot].vc, &lock);
+            }
+            return;
+        }
+        let spec = self.warps[pslot].speculative;
+        let entry = self.words.entry(a).or_default();
+        let write = entry.write;
+        if let Some(wr) = write {
+            if !(self.ordered(pslot, &wr) || (wr.speculative && spec)) {
+                let prior = self.epoch_access(&wr, AccessKind::Write);
+                let current = self.access(pslot, AccessKind::Read, cycle);
+                self.report(a, prior, current);
+            }
+        }
+        let clock = self.warps[pslot].vc[pslot];
+        let entry = self.words.entry(a).or_default();
+        match entry.reads.iter_mut().find(|e| e.pslot == pslot) {
+            Some(e) => *e = Epoch { pslot, clock, speculative: spec, cycle },
+            None => entry.reads.push(Epoch { pslot, clock, speculative: spec, cycle }),
+        }
+    }
+
+    /// Plain store to `addr` by warp `pslot`.
+    pub(crate) fn on_write(&mut self, pslot: usize, id: WarpId, addr: Addr, cycle: u64) {
+        self.ensure(pslot, id);
+        let a = addr.0;
+        if self.sync_addrs.contains(&a) {
+            // Release: publishing to a sync word (lock release, version
+            // unlock) makes this warp's history visible to later acquirers.
+            let vc = self.warps[pslot].vc.clone();
+            join(self.sync_clocks.entry(a).or_default(), &vc);
+            self.tick(pslot);
+            return;
+        }
+        let spec = self.warps[pslot].speculative;
+        let state = self.words.entry(a).or_default();
+        let write = state.write;
+        let reads = state.reads.clone();
+        if let Some(wr) = write {
+            if !(self.ordered(pslot, &wr) || (wr.speculative && spec)) {
+                let prior = self.epoch_access(&wr, AccessKind::Write);
+                let current = self.access(pslot, AccessKind::Write, cycle);
+                self.report(a, prior, current);
+            }
+        }
+        for rd in &reads {
+            if rd.pslot != pslot && !self.ordered(pslot, rd) && !(rd.speculative && spec) {
+                let prior = self.epoch_access(rd, AccessKind::Read);
+                let current = self.access(pslot, AccessKind::Write, cycle);
+                self.report(a, prior, current);
+            }
+        }
+        let clock = self.warps[pslot].vc[pslot];
+        let state = self.words.entry(a).or_default();
+        state.write = Some(Epoch { pslot, clock, speculative: spec, cycle });
+        state.reads.clear();
+    }
+
+    fn tick(&mut self, pslot: usize) {
+        let w = &mut self.warps[pslot];
+        w.vc[pslot] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{LaunchConfig, Sim, SimConfig};
+    use crate::mask::LaneMask;
+    use crate::memory::AtomicOp;
+
+    fn traced_sim() -> (Sim, RaceSink) {
+        let sink = race_sink();
+        let mut cfg = SimConfig::with_memory(1 << 16);
+        cfg.race = Some(sink.clone());
+        (Sim::new(cfg), sink)
+    }
+
+    #[test]
+    fn unordered_cross_warp_writes_race() {
+        let (mut sim, sink) = traced_sim();
+        let word = sim.alloc(1).unwrap();
+        sim.launch(LaunchConfig::new(1, 64), move |ctx| async move {
+            ctx.store_one(0, word, ctx.id().warp_in_block + 1).await;
+        })
+        .unwrap();
+        let log = sink.borrow();
+        assert_eq!(log.races.len(), 1, "{:?}", log.races);
+        let r = &log.races[0];
+        assert_eq!(r.addr, word);
+        assert_eq!(r.prior.kind, AccessKind::Write);
+        assert_eq!(r.current.kind, AccessKind::Write);
+        assert!(!r.prior.speculative && !r.current.speculative);
+    }
+
+    #[test]
+    fn read_write_conflict_races_and_read_read_does_not() {
+        let (mut sim, sink) = traced_sim();
+        let a = sim.alloc(2).unwrap();
+        sim.launch(LaunchConfig::new(1, 64), move |ctx| async move {
+            // Every warp reads word 0 (read/read: fine); warp 1 also
+            // writes word 1 that warp 0 read (read/write: race).
+            let _ = ctx.load_one(0, a).await;
+            if ctx.id().warp_in_block == 0 {
+                let _ = ctx.load_one(0, a.offset(1)).await;
+            } else {
+                ctx.store_one(0, a.offset(1), 7).await;
+            }
+        })
+        .unwrap();
+        let log = sink.borrow();
+        assert_eq!(log.races.len(), 1, "{:?}", log.races);
+        assert_eq!(log.races[0].addr, a.offset(1));
+    }
+
+    #[test]
+    fn intra_warp_conflicts_are_ordered_by_lockstep() {
+        let (mut sim, sink) = traced_sim();
+        let word = sim.alloc(1).unwrap();
+        sim.launch(LaunchConfig::new(1, 32), move |ctx| async move {
+            // All 32 lanes store the same word in one instruction
+            // (highest lane wins) and then read it back.
+            let mask = ctx.id().launch_mask;
+            let addrs = [word; crate::mask::WARP_SIZE];
+            let vals: [u32; crate::mask::WARP_SIZE] = std::array::from_fn(|l| l as u32);
+            ctx.store(mask, &addrs, &vals).await;
+            let _ = ctx.load(mask, &addrs).await;
+        })
+        .unwrap();
+        assert!(sink.borrow().is_empty(), "{:?}", sink.borrow().races);
+    }
+
+    #[test]
+    fn atomic_handoff_orders_accesses() {
+        let (mut sim, sink) = traced_sim();
+        let word = sim.alloc(1).unwrap();
+        let flag = sim.alloc(1).unwrap();
+        sim.launch(LaunchConfig::new(1, 64), move |ctx| async move {
+            if ctx.id().warp_in_block == 0 {
+                ctx.store_one(0, word, 42).await;
+                // Release: atomically publish the flag.
+                ctx.atomic_rmw(
+                    LaneMask::lane(0),
+                    AtomicOp::Or,
+                    &[flag; crate::mask::WARP_SIZE],
+                    &[1; crate::mask::WARP_SIZE],
+                )
+                .await;
+            } else {
+                // Acquire: spin on the flag, then read the word.
+                while ctx.load_one(0, flag).await == 0 {
+                    ctx.idle(50).await;
+                }
+                let v = ctx.load_one(0, word).await;
+                assert_eq!(v, 42);
+            }
+        })
+        .unwrap();
+        assert!(sink.borrow().is_empty(), "{:?}", sink.borrow().races);
+    }
+
+    #[test]
+    fn speculative_pairs_are_suppressed_but_mixed_pairs_flagged() {
+        let (mut sim, sink) = traced_sim();
+        let a = sim.alloc(2).unwrap();
+        sim.launch(LaunchConfig::new(1, 96), move |ctx| async move {
+            match ctx.id().warp_in_block {
+                0 => {
+                    // Transaction racing with warp 1's transaction on
+                    // word 0 (benign: validation arbitrates) and with
+                    // warp 2's *plain* write on word 1 (weak-isolation
+                    // hazard).
+                    ctx.set_speculative(true);
+                    ctx.store_one(0, a, 1).await;
+                    ctx.store_one(0, a.offset(1), 5).await;
+                    ctx.set_speculative(false);
+                }
+                1 => {
+                    ctx.set_speculative(true);
+                    ctx.store_one(0, a, 2).await;
+                    ctx.set_speculative(false);
+                }
+                _ => {
+                    ctx.store_one(0, a.offset(1), 6).await;
+                }
+            }
+        })
+        .unwrap();
+        let log = sink.borrow();
+        assert_eq!(log.races.len(), 1, "{:?}", log.races);
+        assert_eq!(log.races[0].addr, a.offset(1));
+        assert!(log.races[0].prior.speculative != log.races[0].current.speculative);
+    }
+
+    #[test]
+    fn sync_addresses_are_never_race_checked() {
+        let (mut sim, sink) = traced_sim();
+        let lock = sim.alloc(1).unwrap();
+        sim.launch(LaunchConfig::new(1, 64), move |ctx| async move {
+            // Acquire-by-atomic, release-by-plain-store: the STM's lock
+            // idiom. The lock word itself must not be reported.
+            loop {
+                let old = ctx.atomic_cas_one(0, lock, 0, 1).await;
+                if old == 0 {
+                    break;
+                }
+                ctx.idle(30).await;
+            }
+            ctx.store_one(0, lock, 0).await;
+        })
+        .unwrap();
+        assert!(sink.borrow().is_empty(), "{:?}", sink.borrow().races);
+    }
+
+    #[test]
+    fn detection_is_cycle_invariant() {
+        let run = |race: Option<RaceSink>| {
+            let mut cfg = SimConfig::with_memory(1 << 16);
+            cfg.race = race;
+            let mut sim = Sim::new(cfg);
+            let buf = sim.alloc(64).unwrap();
+            sim.launch(LaunchConfig::new(4, 64), move |ctx| async move {
+                let mask = ctx.id().launch_mask;
+                for i in 0..8 {
+                    ctx.atomic_add_uniform(mask, buf.offset(i), 1).await;
+                    let addrs = std::array::from_fn(|l| buf.offset(32 + ((l as u32 + i) % 32)));
+                    let _ = ctx.load(mask, &addrs).await;
+                }
+            })
+            .unwrap()
+            .cycles
+        };
+        assert_eq!(run(None), run(Some(race_sink())));
+    }
+}

@@ -106,6 +106,19 @@ impl WarpCtx {
         }
     }
 
+    /// Marks the warp's subsequent accesses as speculative (inside a
+    /// transaction) or not, for happens-before race classification: a
+    /// conflict where *both* sides are speculative is the STM's to
+    /// resolve (validation/abort), while a speculative/non-speculative
+    /// conflict is the weak-isolation hazard the detector reports. A
+    /// no-op when no race sink is configured; never charges cycles.
+    pub fn set_speculative(&self, on: bool) {
+        let st = &mut *self.st.borrow_mut();
+        if let Some(r) = st.race.as_mut() {
+            r.set_speculative(self.pslot, self.id, on);
+        }
+    }
+
     fn charge(&self, cost: u64) -> YieldOnce {
         self.pending_cost.set(self.pending_cost.get() + cost);
         YieldOnce(false)
@@ -141,9 +154,14 @@ impl WarpCtx {
         let cost = {
             let co = coalesce(mask, addrs);
             let cost = self.mem_access(MemKind::Load, mask, &co, 0);
-            let st = self.st.borrow();
+            let st = &mut *self.st.borrow_mut();
             for lane in mask.iter() {
                 out[lane] = st.mem.read(addrs[lane]);
+            }
+            if let Some(r) = st.race.as_mut() {
+                for lane in mask.iter() {
+                    r.on_read(self.pslot, self.id, addrs[lane], st.now);
+                }
             }
             cost
         };
@@ -159,7 +177,13 @@ impl WarpCtx {
             let co = coalesce_uniform(mask, addr);
             self.mem_access(MemKind::Load, mask, &co, 0)
         };
-        let v = self.st.borrow().mem.read(addr);
+        let v = {
+            let st = &mut *self.st.borrow_mut();
+            if let Some(r) = st.race.as_mut() {
+                r.on_read(self.pslot, self.id, addr, st.now);
+            }
+            st.mem.read(addr)
+        };
         self.charge(cost).await;
         v
     }
@@ -177,6 +201,11 @@ impl WarpCtx {
             let m0 = st.mem.mutations();
             for lane in mask.iter() {
                 st.mem.write(addrs[lane], vals[lane]);
+            }
+            if let Some(r) = st.race.as_mut() {
+                for lane in mask.iter() {
+                    r.on_write(self.pslot, self.id, addrs[lane], st.now);
+                }
             }
             Self::note_mutation(st, m0);
             cost
@@ -216,6 +245,11 @@ impl WarpCtx {
                 }
                 out[lane] = st.mem.atomic_cas(addrs[lane], cmps[lane], news[lane]);
             }
+            if let Some(r) = st.race.as_mut() {
+                for lane in mask.iter() {
+                    r.on_atomic(self.pslot, self.id, addrs[lane], st.now);
+                }
+            }
             Self::note_mutation(st, m0);
             cost
         };
@@ -252,6 +286,11 @@ impl WarpCtx {
                     continue;
                 }
                 out[lane] = st.mem.atomic_rmw(op, addrs[lane], vals[lane]);
+            }
+            if let Some(r) = st.race.as_mut() {
+                for lane in mask.iter() {
+                    r.on_atomic(self.pslot, self.id, addrs[lane], st.now);
+                }
             }
             Self::note_mutation(st, m0);
             cost

@@ -54,6 +54,14 @@ pub enum Violation {
         /// Actual simulator memory value.
         got: u32,
     },
+    /// The simulator's happens-before detector observed an unordered
+    /// conflicting pair of global-memory accesses — the weak-isolation
+    /// hazard of the paper's Section 3.2.1, invisible to commit-history
+    /// replay because at least one side bypassed the STM.
+    DataRace {
+        /// The full detector report.
+        race: gpu_sim::DataRace,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -69,8 +77,15 @@ impl fmt::Display for Violation {
             Violation::FinalStateMismatch { addr, expected, got } => {
                 write!(f, "final state at {addr}: replay says {expected}, memory has {got}")
             }
+            Violation::DataRace { race } => write!(f, "{race}"),
         }
     }
+}
+
+/// Lifts the simulator's race reports into [`Violation`]s so race-freedom
+/// composes with the opacity checks in one violation list.
+pub fn races_to_violations(races: &[gpu_sim::DataRace]) -> Vec<Violation> {
+    races.iter().map(|r| Violation::DataRace { race: *r }).collect()
 }
 
 /// Summary of a successful (or failed) check.
@@ -350,5 +365,26 @@ mod tests {
         let v =
             Violation::InconsistentRead { tid: 1, point: 2, addr: Addr(3), expected: 4, got: 5 };
         assert!(v.to_string().contains("tid 1"));
+    }
+
+    #[test]
+    fn races_lift_to_violations() {
+        use gpu_sim::{AccessKind, DataRace, RaceAccess};
+        let acc = |kind, spec| RaceAccess {
+            block: 0,
+            warp_in_block: 1,
+            kind,
+            speculative: spec,
+            cycle: 10,
+        };
+        let race = DataRace {
+            addr: Addr(7),
+            prior: acc(AccessKind::Write, true),
+            current: acc(AccessKind::Read, false),
+        };
+        let vs = races_to_violations(&[race]);
+        assert_eq!(vs.len(), 1);
+        assert!(matches!(&vs[0], Violation::DataRace { race: r } if r.addr == Addr(7)));
+        assert!(vs[0].to_string().contains("data race"));
     }
 }

@@ -59,13 +59,13 @@ fn live_stmt(stmt: &Stmt, mut live: Slots) -> Slots {
             expr_uses(value, &mut live);
             live
         }
-        Stmt::If { cond, then_blk, else_blk } => {
+        Stmt::If { cond, then_blk, else_blk, .. } => {
             let mut before = live_block(then_blk, live.clone());
             before.extend(live_block(else_blk, live));
             expr_uses(cond, &mut before);
             before
         }
-        Stmt::While { cond, body } => {
+        Stmt::While { cond, body, .. } => {
             // Fixpoint: the body may execute any number of times.
             let mut current = live;
             loop {
@@ -144,7 +144,7 @@ pub fn annotate_checkpoints(kernel: &mut Kernel) {
     // traversal that rewrites checkpoint annotations as it goes.
     fn walk_block(stmts: &mut [Stmt], mut live: Slots) -> Slots {
         for stmt in stmts.iter_mut().rev() {
-            if let Stmt::Atomic { body, checkpoint } = stmt {
+            if let Stmt::Atomic { body, checkpoint, .. } = stmt {
                 let live_out = live.clone();
                 let may = may_def_block(body);
                 let must = must_def_block(body);

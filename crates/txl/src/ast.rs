@@ -4,6 +4,11 @@
 //! Comparisons and logical operators produce 0/1. Local variables are
 //! resolved to dense slots by the checker; array parameters are bound to
 //! device allocations at launch.
+//!
+//! Statements and array accesses carry their source [`Span`] so semantic
+//! diagnostics and [`crate::lint`] findings point at real source bytes.
+
+use crate::token::Span;
 
 /// Binary operators.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -66,6 +71,8 @@ pub enum Expr {
         param: usize,
         /// Element index expression.
         index: Box<Expr>,
+        /// Source bytes of the whole `name[index]` access.
+        span: Span,
     },
     /// Binary operation.
     Bin {
@@ -97,6 +104,8 @@ pub enum Stmt {
         slot: usize,
         /// Initialiser.
         init: Expr,
+        /// Source bytes of the statement.
+        span: Span,
     },
     /// `name = expr;`
     Assign {
@@ -106,6 +115,8 @@ pub enum Stmt {
         slot: usize,
         /// New value.
         value: Expr,
+        /// Source bytes of the statement.
+        span: Span,
     },
     /// `array[index] = value;`
     Store {
@@ -117,6 +128,8 @@ pub enum Stmt {
         index: Expr,
         /// Value expression.
         value: Expr,
+        /// Source bytes of the statement.
+        span: Span,
     },
     /// `if cond { .. } else { .. }`
     If {
@@ -126,6 +139,8 @@ pub enum Stmt {
         then_blk: Vec<Stmt>,
         /// Else-branch (possibly empty).
         else_blk: Vec<Stmt>,
+        /// Source bytes of the statement.
+        span: Span,
     },
     /// `while cond { .. }`
     While {
@@ -133,6 +148,8 @@ pub enum Stmt {
         cond: Expr,
         /// Body.
         body: Vec<Stmt>,
+        /// Source bytes of the statement.
+        span: Span,
     },
     /// `atomic { .. }` — a transaction. `checkpoint` is the set of local
     /// slots the instrumentation pass determined must be saved/restored
@@ -143,7 +160,23 @@ pub enum Stmt {
         body: Vec<Stmt>,
         /// Local slots to checkpoint before each attempt.
         checkpoint: Vec<usize>,
+        /// Source bytes of the statement.
+        span: Span,
     },
+}
+
+impl Stmt {
+    /// The statement's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Let { span, .. }
+            | Stmt::Assign { span, .. }
+            | Stmt::Store { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::Atomic { span, .. } => *span,
+        }
+    }
 }
 
 /// An array parameter of a kernel.

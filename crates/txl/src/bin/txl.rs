@@ -1,0 +1,106 @@
+//! `txl` — the TXL tool driver.
+//!
+//! Usage:
+//! ```text
+//! txl lint [--capacity N] <file.txl ...|->   # run the tm-lint pass
+//! txl compile <file.txl ...|->               # parse + check only
+//! ```
+//!
+//! `lint` prints one finding per line (`TLnnn [kernel:line span] message`)
+//! followed by the offending source snippet, and exits nonzero when any
+//! finding is produced, so it can gate CI. `--capacity N` supplies the
+//! ownership-table size for rule TL003. A file named `-` reads stdin.
+
+use std::io::Read;
+use std::process::ExitCode;
+use txl::lint::{lint_source, LintConfig};
+
+fn read_source(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf).map_err(|e| format!("cannot read stdin: {e}"))?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: txl lint [--capacity N] <file.txl ...|->");
+    eprintln!("       txl compile <file.txl ...|->");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(mode) = args.first().map(String::as_str) else { return usage() };
+
+    let mut cfg = LintConfig::default();
+    let mut files: Vec<&str> = Vec::new();
+    let mut rest = args[1..].iter();
+    while let Some(a) = rest.next() {
+        if a == "--capacity" {
+            let Some(n) = rest.next().and_then(|v| v.parse::<u32>().ok()) else {
+                eprintln!("txl: --capacity needs an integer argument");
+                return ExitCode::FAILURE;
+            };
+            cfg.write_set_capacity = Some(n);
+        } else {
+            files.push(a);
+        }
+    }
+    if files.is_empty() {
+        return usage();
+    }
+
+    let mut findings = 0usize;
+    for path in files {
+        let source = match read_source(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("txl: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match mode {
+            "compile" => match txl::compile(&source) {
+                Ok(p) => println!("{path}: ok ({} kernel(s))", p.kernels.len()),
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "lint" => match lint_source(&source, &cfg) {
+                Ok(diags) => {
+                    for d in &diags {
+                        println!("{path}: {d}");
+                        let snippet = d.span.snippet(&source);
+                        if !snippet.is_empty() {
+                            // Show only the first line of multi-line spans.
+                            let first = snippet.lines().next().unwrap_or(snippet);
+                            println!("    | {first}");
+                        }
+                        println!("    = note: {} — {}", d.rule.title(), d.rule.paper_ref());
+                    }
+                    findings += diags.len();
+                }
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ => return usage(),
+        }
+    }
+    if mode == "lint" {
+        if findings == 0 {
+            println!("txl lint: clean");
+            ExitCode::SUCCESS
+        } else {
+            println!("txl lint: {findings} finding(s)");
+            ExitCode::FAILURE
+        }
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -76,7 +76,7 @@ impl Checker<'_> {
 
     fn stmt(&mut self, stmt: &mut Stmt) -> Result<(), TxlError> {
         match stmt {
-            Stmt::Let { name, slot, init } => {
+            Stmt::Let { name, slot, init, .. } => {
                 self.expr(init)?;
                 if self.params.contains_key(name.as_str()) {
                     return self.err(format!("local `{name}` shadows an array parameter"));
@@ -88,7 +88,7 @@ impl Checker<'_> {
                 *slot = s;
                 Ok(())
             }
-            Stmt::Assign { name, slot, value } => {
+            Stmt::Assign { name, slot, value, .. } => {
                 self.expr(value)?;
                 match self.lookup(name) {
                     Some(s) => {
@@ -98,7 +98,7 @@ impl Checker<'_> {
                     None => self.err(format!("assignment to undeclared variable `{name}`")),
                 }
             }
-            Stmt::Store { array, param, index, value } => {
+            Stmt::Store { array, param, index, value, .. } => {
                 self.expr(index)?;
                 self.expr(value)?;
                 match self.params.get(array.as_str()) {
@@ -109,12 +109,12 @@ impl Checker<'_> {
                     None => self.err(format!("store to undeclared array `{array}`")),
                 }
             }
-            Stmt::If { cond, then_blk, else_blk } => {
+            Stmt::If { cond, then_blk, else_blk, .. } => {
                 self.expr(cond)?;
                 self.block(then_blk)?;
                 self.block(else_blk)
             }
-            Stmt::While { cond, body } => {
+            Stmt::While { cond, body, .. } => {
                 self.expr(cond)?;
                 self.block(body)
             }
@@ -146,7 +146,7 @@ impl Checker<'_> {
                     }
                 }
             },
-            Expr::Index { array, param, index } => {
+            Expr::Index { array, param, index, .. } => {
                 self.expr(index)?;
                 match self.params.get(array.as_str()) {
                     Some(p) => {

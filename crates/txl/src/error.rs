@@ -1,5 +1,6 @@
 //! TXL error types: lexing, parsing, semantic checking and runtime.
 
+use crate::token::Span;
 use std::error::Error;
 use std::fmt;
 
@@ -11,6 +12,8 @@ pub enum TxlError {
     Lex {
         /// 1-based source line.
         line: u32,
+        /// Byte range of the offending text.
+        span: Span,
         /// Description.
         message: String,
     },
@@ -18,6 +21,8 @@ pub enum TxlError {
     Parse {
         /// 1-based source line (0 = end of input).
         line: u32,
+        /// Byte range of the offending token (empty at end of input).
+        span: Span,
         /// Description.
         message: String,
     },
@@ -40,9 +45,11 @@ pub enum TxlError {
 impl fmt::Display for TxlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TxlError::Lex { line, message } => write!(f, "lex error at line {line}: {message}"),
-            TxlError::Parse { line, message } => {
-                write!(f, "parse error at line {line}: {message}")
+            TxlError::Lex { line, span, message } => {
+                write!(f, "lex error at line {line} ({span}): {message}")
+            }
+            TxlError::Parse { line, span, message } => {
+                write!(f, "parse error at line {line} ({span}): {message}")
             }
             TxlError::Check { kernel, message } => {
                 write!(f, "check error in kernel `{kernel}`: {message}")

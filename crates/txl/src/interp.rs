@@ -224,7 +224,7 @@ fn exec_stmt<'a, S: Stm>(st: &'a mut St<S>, stmt: &'a Stmt, mask: LaneMask) -> F
                     st.ctx.store(m, &addrs, &val).await;
                 }
             }
-            Stmt::If { cond, then_blk, else_blk } => {
+            Stmt::If { cond, then_blk, else_blk, .. } => {
                 st.ctx.alu(mask).await;
                 let c = eval(st, cond, mask).await?;
                 let base = st.effective(mask);
@@ -239,7 +239,7 @@ fn exec_stmt<'a, S: Stm>(st: &'a mut St<S>, stmt: &'a Stmt, mask: LaneMask) -> F
                     exec_block(st, else_blk, not_taken).await?;
                 }
             }
-            Stmt::While { cond, body } => {
+            Stmt::While { cond, body, .. } => {
                 let mut active = mask;
                 loop {
                     active = st.effective(active);
@@ -255,8 +255,12 @@ fn exec_stmt<'a, S: Stm>(st: &'a mut St<S>, stmt: &'a Stmt, mask: LaneMask) -> F
                     exec_block(st, body, active).await?;
                 }
             }
-            Stmt::Atomic { body, checkpoint } => {
+            Stmt::Atomic { body, checkpoint, .. } => {
                 let mut pending = mask;
+                // Everything from begin to commit (including STM metadata
+                // traffic) is speculative: the race detector must not pair
+                // two transactional accesses (the STM itself orders them).
+                st.ctx.set_speculative(true);
                 while pending.any() {
                     let stm = Rc::clone(&st.stm);
                     let active = stm.begin(&mut st.w, &st.ctx, pending).await;
@@ -284,6 +288,7 @@ fn exec_stmt<'a, S: Stm>(st: &'a mut St<S>, stmt: &'a Stmt, mask: LaneMask) -> F
                     }
                     pending &= !committed;
                 }
+                st.ctx.set_speculative(false);
             }
         }
         Ok(())

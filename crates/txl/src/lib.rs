@@ -58,13 +58,16 @@ pub mod ast;
 pub mod check;
 mod error;
 mod interp;
+pub mod lint;
 pub mod parse;
 pub mod token;
 
 pub use ast::{Kernel, Program};
 pub use error::TxlError;
 pub use interp::{launch, ArrayBinding};
+pub use lint::{lint_program, lint_source, Diagnostic, LintConfig, Rule};
 pub use parse::parse;
+pub use token::Span;
 
 /// Parses, checks and instruments a TXL program: the full front-end.
 ///

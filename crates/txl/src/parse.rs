@@ -26,7 +26,7 @@
 
 use crate::ast::{BinOp, Expr, Kernel, Param, Program, Stmt};
 use crate::error::TxlError;
-use crate::token::{lex, Spanned, Tok};
+use crate::token::{lex, Span, Spanned, Tok};
 
 /// Parses a TXL program (without semantic checking; see
 /// [`crate::check::check_program`]).
@@ -55,7 +55,27 @@ impl Parser {
     }
 
     fn line(&self) -> u32 {
-        self.toks.get(self.pos).map_or_else(|| self.toks.last().map_or(0, |t| t.line), |t| t.line)
+        self.toks
+            .get(self.pos)
+            .map_or_else(|| self.toks.last().map_or(0, |t| t.span.line), |t| t.span.line)
+    }
+
+    /// Span of the token about to be consumed; empty at end of input
+    /// (anchored just past the last token).
+    fn cur_span(&self) -> Span {
+        match self.toks.get(self.pos) {
+            Some(t) => t.span,
+            None => self.toks.last().map_or(Span::DUMMY, |t| Span {
+                start: t.span.end,
+                end: t.span.end,
+                line: t.span.line,
+            }),
+        }
+    }
+
+    /// Span of the most recently consumed token.
+    fn prev_span(&self) -> Span {
+        self.pos.checked_sub(1).and_then(|p| self.toks.get(p)).map_or(Span::DUMMY, |t| t.span)
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -69,7 +89,7 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, TxlError> {
-        Err(TxlError::Parse { line: self.line(), message: message.into() })
+        Err(TxlError::Parse { line: self.line(), span: self.cur_span(), message: message.into() })
     }
 
     fn expect(&mut self, want: &Tok) -> Result<(), TxlError> {
@@ -145,6 +165,7 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> Result<Stmt, TxlError> {
+        let start = self.cur_span();
         match self.peek() {
             Some(Tok::Let) => {
                 self.pos += 1;
@@ -152,7 +173,7 @@ impl Parser {
                 self.expect(&Tok::Assign)?;
                 let init = self.expr()?;
                 self.expect(&Tok::Semi)?;
-                Ok(Stmt::Let { name, slot: usize::MAX, init })
+                Ok(Stmt::Let { name, slot: usize::MAX, init, span: start.to(self.prev_span()) })
             }
             Some(Tok::If) => {
                 self.pos += 1;
@@ -164,18 +185,18 @@ impl Parser {
                 } else {
                     Vec::new()
                 };
-                Ok(Stmt::If { cond, then_blk, else_blk })
+                Ok(Stmt::If { cond, then_blk, else_blk, span: start.to(self.prev_span()) })
             }
             Some(Tok::While) => {
                 self.pos += 1;
                 let cond = self.expr()?;
                 let body = self.block()?;
-                Ok(Stmt::While { cond, body })
+                Ok(Stmt::While { cond, body, span: start.to(self.prev_span()) })
             }
             Some(Tok::Atomic) => {
                 self.pos += 1;
                 let body = self.block()?;
-                Ok(Stmt::Atomic { body, checkpoint: Vec::new() })
+                Ok(Stmt::Atomic { body, checkpoint: Vec::new(), span: start.to(self.prev_span()) })
             }
             Some(Tok::Ident(_)) => {
                 let name = self.ident()?;
@@ -184,7 +205,12 @@ impl Parser {
                         self.pos += 1;
                         let value = self.expr()?;
                         self.expect(&Tok::Semi)?;
-                        Ok(Stmt::Assign { name, slot: usize::MAX, value })
+                        Ok(Stmt::Assign {
+                            name,
+                            slot: usize::MAX,
+                            value,
+                            span: start.to(self.prev_span()),
+                        })
                     }
                     Some(Tok::LBracket) => {
                         self.pos += 1;
@@ -193,7 +219,13 @@ impl Parser {
                         self.expect(&Tok::Assign)?;
                         let value = self.expr()?;
                         self.expect(&Tok::Semi)?;
-                        Ok(Stmt::Store { array: name, param: usize::MAX, index, value })
+                        Ok(Stmt::Store {
+                            array: name,
+                            param: usize::MAX,
+                            index,
+                            value,
+                            span: start.to(self.prev_span()),
+                        })
                     }
                     _ => self.err("expected `=` or `[` after identifier"),
                 }
@@ -266,10 +298,16 @@ impl Parser {
             }
             Some(Tok::Ident(name)) => match self.peek() {
                 Some(Tok::LBracket) => {
+                    let start = self.prev_span();
                     self.pos += 1;
                     let index = self.expr()?;
                     self.expect(&Tok::RBracket)?;
-                    Ok(Expr::Index { array: name, param: usize::MAX, index: Box::new(index) })
+                    Ok(Expr::Index {
+                        array: name,
+                        param: usize::MAX,
+                        index: Box::new(index),
+                        span: start.to(self.prev_span()),
+                    })
                 }
                 Some(Tok::LParen) => {
                     self.pos += 1;
@@ -356,6 +394,63 @@ mod tests {
         match err {
             TxlError::Parse { line, .. } => assert_eq!(line, 2),
             other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn parse_error_span_points_at_offending_token() {
+        let src = "kernel k() {\n let = 3;\n}";
+        let err = parse(src).unwrap_err();
+        let TxlError::Parse { span, .. } = err else { panic!("{err}") };
+        // The error is "expected identifier, found `=`": span covers the `=`.
+        assert_eq!(span.snippet(src), "=");
+    }
+
+    #[test]
+    fn parse_error_at_eof_anchors_past_last_token() {
+        let src = "kernel k() { let x = 1;";
+        let err = parse(src).unwrap_err();
+        let TxlError::Parse { span, .. } = err else { panic!("{err}") };
+        assert_eq!(span.start, src.len() as u32);
+        assert_eq!(span.start, span.end, "EOF span is empty");
+    }
+
+    #[test]
+    fn stmt_spans_cover_source_text() {
+        let src = "kernel k(a: array) { let x = 1; a[x] = x + 2; atomic { a[0] = 1; } }";
+        let p = parse(src).unwrap();
+        let body = &p.kernels[0].body;
+        assert_eq!(body[0].span().snippet(src), "let x = 1;");
+        assert_eq!(body[1].span().snippet(src), "a[x] = x + 2;");
+        assert_eq!(body[2].span().snippet(src), "atomic { a[0] = 1; }");
+    }
+
+    #[test]
+    fn index_expr_spans_cover_access() {
+        let src = "kernel k(a: array) { let x = a[3 + 4]; }";
+        let p = parse(src).unwrap();
+        let Stmt::Let { init, .. } = &p.kernels[0].body[0] else { panic!() };
+        let Expr::Index { span, .. } = init else { panic!("got {init:?}") };
+        assert_eq!(span.snippet(src), "a[3 + 4]");
+    }
+
+    #[test]
+    fn malformed_programs_reject_with_spans() {
+        // Every span must land inside the source and carry the right line.
+        for (src, line) in [
+            ("kernel", 1),
+            ("kernel k(", 1),
+            ("kernel k(a: foo) { }", 1),
+            ("kernel k() { x }", 1),
+            ("kernel k() {\n a[1] 2; }", 2),
+            ("kernel k() {\n\n let x = ; }", 3),
+            ("kernel k() { let x = (1; }", 1),
+        ] {
+            let err = parse(src).unwrap_err();
+            let TxlError::Parse { line: l, span, .. } = err else { panic!("{src}: {err}") };
+            assert_eq!(l, line, "line for {src:?}");
+            assert!(span.end as usize <= src.len(), "span {span} inside {src:?}");
+            assert!(span.start <= span.end, "well-formed span for {src:?}");
         }
     }
 

@@ -135,13 +135,53 @@ impl fmt::Display for Tok {
     }
 }
 
-/// A token plus its 1-based source line (for diagnostics).
+/// A half-open byte range `[start, end)` into the source text, plus the
+/// 1-based line its start falls on. Spans survive the whole pipeline:
+/// the lexer stamps them on tokens, the parser merges them onto AST
+/// nodes and parse errors, and the linter reports them in diagnostics.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+    /// 1-based source line of `start`.
+    pub line: u32,
+}
+
+impl Span {
+    /// A span covering nothing (used for synthesized nodes).
+    pub const DUMMY: Span = Span { start: 0, end: 0, line: 0 };
+
+    /// The smallest span covering both `self` and `other`.
+    #[must_use]
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: if other.line != 0 && other.line < self.line { other.line } else { self.line },
+        }
+    }
+
+    /// The source text this span covers.
+    pub fn snippet<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start as usize..self.end as usize).unwrap_or("")
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A token plus its source span (for diagnostics).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Spanned {
     /// The token.
     pub tok: Tok,
-    /// 1-based source line.
-    pub line: u32,
+    /// Source bytes the token occupies.
+    pub span: Span,
 }
 
 /// Tokenises TXL source. `//` starts a line comment.
@@ -174,11 +214,13 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, TxlError> {
                     i += 1;
                 }
                 let text = &src[start..i];
+                let span = Span { start: start as u32, end: i as u32, line };
                 let v: u32 = text.parse().map_err(|_| TxlError::Lex {
                     line,
+                    span,
                     message: format!("integer literal `{text}` out of range"),
                 })?;
-                out.push(Spanned { tok: Tok::Int(v), line });
+                out.push(Spanned { tok: Tok::Int(v), span });
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
@@ -196,10 +238,9 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, TxlError> {
                     "array" => Tok::Array,
                     _ => Tok::Ident(word.to_string()),
                 };
-                out.push(Spanned { tok, line });
+                out.push(Spanned { tok, span: Span { start: start as u32, end: i as u32, line } });
             }
             _ => {
-                let two = |a: Tok| Spanned { tok: a, line };
                 let (tok, len) = match (c, bytes.get(i + 1).map(|b| *b as char)) {
                     ('<', Some('<')) => (Tok::Shl, 2),
                     ('>', Some('>')) => (Tok::Shr, 2),
@@ -233,11 +274,15 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, TxlError> {
                     _ => {
                         return Err(TxlError::Lex {
                             line,
+                            span: Span { start: i as u32, end: i as u32 + 1, line },
                             message: format!("unexpected character `{c}`"),
                         })
                     }
                 };
-                out.push(two(tok));
+                out.push(Spanned {
+                    tok,
+                    span: Span { start: i as u32, end: (i + len) as u32, line },
+                });
                 i += len;
             }
         }
@@ -283,8 +328,39 @@ mod tests {
     fn comments_and_lines() {
         let ts = lex("a // comment\nb").unwrap();
         assert_eq!(ts.len(), 2);
-        assert_eq!(ts[0].line, 1);
-        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[0].span.line, 1);
+        assert_eq!(ts[1].span.line, 2);
+    }
+
+    #[test]
+    fn spans_cover_token_bytes() {
+        let src = "let abc = 42;";
+        let ts = lex(src).unwrap();
+        assert_eq!(ts[0].span.snippet(src), "let");
+        assert_eq!(ts[1].span.snippet(src), "abc");
+        assert_eq!(ts[2].span.snippet(src), "=");
+        assert_eq!(ts[3].span.snippet(src), "42");
+        assert_eq!(ts[4].span.snippet(src), ";");
+    }
+
+    #[test]
+    fn lex_error_carries_span() {
+        let src = "ab $ cd";
+        match lex(src).unwrap_err() {
+            TxlError::Lex { span, line, .. } => {
+                assert_eq!(span.snippet(src), "$");
+                assert_eq!(line, 1);
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span { start: 2, end: 5, line: 1 };
+        let b = Span { start: 8, end: 12, line: 2 };
+        assert_eq!(a.to(b), Span { start: 2, end: 12, line: 1 });
+        assert_eq!(b.to(a), Span { start: 2, end: 12, line: 1 });
     }
 
     #[test]

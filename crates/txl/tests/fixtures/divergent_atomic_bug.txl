@@ -1,0 +1,5 @@
+kernel vote(tally: array) {
+    if tid() % 2 {
+        atomic { tally[0] = tally[0] + 1; }
+    }
+}

@@ -1,0 +1,4 @@
+kernel vote(tally: array) {
+    let v = tid() % 2;
+    atomic { tally[v] = tally[v] + 1; }
+}

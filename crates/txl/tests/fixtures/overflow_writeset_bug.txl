@@ -1,0 +1,9 @@
+kernel scatter(out: array) {
+    let i = 0;
+    atomic {
+        while i < 64 {
+            out[i] = out[i] + 1;
+            i = i + 1;
+        }
+    }
+}

@@ -1,0 +1,6 @@
+kernel scatter(out: array) {
+    atomic {
+        out[0] = out[0] + 1;
+        out[1] = out[1] + 1;
+    }
+}

@@ -1,0 +1,11 @@
+kernel locks(lock: array, data: array) {
+    let a = tid() % 4;
+    let b = 3 - a;
+    while lock[a] { }
+    lock[a] = 1;
+    while lock[b] { }
+    lock[b] = 1;
+    data[a] = data[a] + 1;
+    lock[b] = 0;
+    lock[a] = 0;
+}

@@ -1,0 +1,10 @@
+kernel locks(lock: array, data: array) {
+    let a = tid() % 4;
+    while lock[a] { }
+    lock[a] = 1;
+    while lock[a + 4] { }
+    lock[a + 4] = 1;
+    data[a] = data[a] + 1;
+    lock[a + 4] = 0;
+    lock[a] = 0;
+}

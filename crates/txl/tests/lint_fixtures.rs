@@ -1,0 +1,82 @@
+//! Seeded-bug fixtures and their clean twins: the lint pass must flag
+//! every seeded pitfall with the right rule ID at the right source span,
+//! and stay silent on the corrected version of the same program.
+
+use txl::lint::{lint_source, LintConfig, Rule};
+
+const WEAK_ISO_BUG: &str = include_str!("fixtures/weak_isolation_bug.txl");
+const WEAK_ISO_CLEAN: &str = include_str!("fixtures/weak_isolation_clean.txl");
+const LOCKS_BUG: &str = include_str!("fixtures/unsorted_locks_bug.txl");
+const LOCKS_CLEAN: &str = include_str!("fixtures/unsorted_locks_clean.txl");
+const OVERFLOW_BUG: &str = include_str!("fixtures/overflow_writeset_bug.txl");
+const OVERFLOW_CLEAN: &str = include_str!("fixtures/overflow_writeset_clean.txl");
+const DIVERGENT_BUG: &str = include_str!("fixtures/divergent_atomic_bug.txl");
+const DIVERGENT_CLEAN: &str = include_str!("fixtures/divergent_atomic_clean.txl");
+
+fn lint(src: &str) -> Vec<txl::Diagnostic> {
+    lint_source(src, &LintConfig::default()).unwrap()
+}
+
+#[test]
+fn weak_isolation_bug_is_flagged_at_the_plain_store() {
+    let d = lint(WEAK_ISO_BUG);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].rule, Rule::NonAtomicSharedAccess);
+    assert_eq!(d[0].rule.id(), "TL001");
+    assert_eq!(d[0].span.snippet(WEAK_ISO_BUG), "acct[7] = 0;");
+    assert_eq!(d[0].line, 4);
+}
+
+#[test]
+fn unsorted_locks_bug_is_flagged_at_the_second_spin() {
+    let d = lint(LOCKS_BUG);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].rule, Rule::UnsortedLockAcquisition);
+    assert_eq!(d[0].rule.id(), "TL002");
+    assert_eq!(d[0].span.snippet(LOCKS_BUG), "while lock[b] { }");
+    assert_eq!(d[0].line, 6);
+}
+
+#[test]
+fn overflow_writeset_bug_is_flagged_at_the_atomic() {
+    let d = lint(OVERFLOW_BUG);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].rule, Rule::UnboundedWriteSet);
+    assert_eq!(d[0].rule.id(), "TL003");
+    assert!(d[0].span.snippet(OVERFLOW_BUG).starts_with("atomic {"));
+    assert_eq!(d[0].line, 3);
+}
+
+#[test]
+fn divergent_atomic_bug_is_flagged_at_the_atomic() {
+    let d = lint(DIVERGENT_BUG);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].rule, Rule::DivergentAtomic);
+    assert_eq!(d[0].rule.id(), "TL004");
+    assert_eq!(d[0].span.snippet(DIVERGENT_BUG), "atomic { tally[0] = tally[0] + 1; }");
+    assert_eq!(d[0].line, 3);
+}
+
+#[test]
+fn clean_twins_lint_clean() {
+    for (name, src) in [
+        ("weak_isolation_clean", WEAK_ISO_CLEAN),
+        ("unsorted_locks_clean", LOCKS_CLEAN),
+        ("overflow_writeset_clean", OVERFLOW_CLEAN),
+        ("divergent_atomic_clean", DIVERGENT_CLEAN),
+    ] {
+        let d = lint(src);
+        assert!(d.is_empty(), "{name}: {d:?}");
+    }
+}
+
+#[test]
+fn capacity_config_tightens_overflow_rule() {
+    // The clean twin writes 2 words; a 1-entry table makes it a finding.
+    let d = lint_source(OVERFLOW_CLEAN, &LintConfig { write_set_capacity: Some(1) }).unwrap();
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].rule, Rule::UnboundedWriteSet);
+    assert!(lint_source(OVERFLOW_CLEAN, &LintConfig { write_set_capacity: Some(2) })
+        .unwrap()
+        .is_empty());
+}

@@ -82,8 +82,13 @@ impl StmRunner for EbRunner {
                     if pending.none() {
                         break;
                     }
+                    // Only begin..commit is speculative: the cold phase
+                    // below is genuinely non-transactional (thread-private)
+                    // and must stay visible to the race detector.
+                    ctx.set_speculative(true);
                     let active = stm.begin(&mut w, &ctx, pending).await;
                     if active.none() {
+                        ctx.set_speculative(false);
                         continue;
                     }
                     let mut ok = active;
@@ -119,6 +124,7 @@ impl StmRunner for EbRunner {
                         }
                     }
                     let committed = stm.commit(&mut w, &ctx, active).await;
+                    ctx.set_speculative(false);
                     for l in committed.iter() {
                         remaining[l] -= 1;
                     }

@@ -93,6 +93,7 @@ impl StmRunner for DedupRunner {
                 // Native phase: segment hashing/packing before insertion
                 // (the STAMP kernel's non-transactional work).
                 ctx.idle(160).await;
+                ctx.set_speculative(true);
                 while pending.any() {
                     let active = stm.begin(&mut w, &ctx, pending).await;
                     if active.none() {
@@ -122,6 +123,7 @@ impl StmRunner for DedupRunner {
                     let committed = stm.commit(&mut w, &ctx, active).await;
                     pending &= !committed;
                 }
+                ctx.set_speculative(false);
             }
         })?;
         Ok(outcome(vec![report], &*stm))
@@ -151,6 +153,7 @@ impl StmRunner for LinkRunner {
                 let mut pending = launch;
                 // Native phase: overlap computation for the match step.
                 ctx.idle(80).await;
+                ctx.set_speculative(true);
                 while pending.any() {
                     let active = stm.begin(&mut w, &ctx, pending).await;
                     if active.none() {
@@ -187,6 +190,7 @@ impl StmRunner for LinkRunner {
                     let committed = stm.commit(&mut w, &ctx, active).await;
                     pending &= !committed;
                 }
+                ctx.set_speculative(false);
             }
         })?;
         Ok(outcome(vec![report], &*stm))

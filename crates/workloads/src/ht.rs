@@ -69,6 +69,7 @@ impl StmRunner for HtRunner {
                 let mut w = stm.new_warp();
                 let launch = ctx.id().launch_mask;
                 let mut remaining = [params.txs_per_thread; 32];
+                ctx.set_speculative(true);
                 loop {
                     let pending = launch.filter(|l| remaining[l] > 0);
                     if pending.none() {
@@ -118,6 +119,7 @@ impl StmRunner for HtRunner {
                         remaining[l] -= 1;
                     }
                 }
+                ctx.set_speculative(false);
             }
         })?;
         Ok(outcome(vec![report], &*stm))

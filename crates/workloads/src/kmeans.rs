@@ -92,6 +92,7 @@ impl StmRunner for KmRunner {
                 let mut remaining = [params.points_per_thread; 32];
                 let mut assigned: [u32; 32] = [0; 32];
                 let mut fresh = launch;
+                ctx.set_speculative(true);
                 loop {
                     let pending = launch.filter(|l| remaining[l] > 0);
                     if pending.none() {
@@ -145,6 +146,7 @@ impl StmRunner for KmRunner {
                     }
                     fresh |= committed;
                 }
+                ctx.set_speculative(false);
             }
         })?;
         Ok(outcome(vec![report], &*stm))

@@ -137,6 +137,7 @@ impl StmRunner for LbRunner {
                 let mut attempt_bend: [bool; WARP_SIZE] = [true; WARP_SIZE];
                 let mut routes: Vec<Vec<u32>> = vec![Vec::new(); WARP_SIZE];
                 let mut done = LaneMask::EMPTY;
+                ctx.set_speculative(true);
                 loop {
                     // Claim new work items for idle lanes (non-transactional
                     // queue pop, as in the STAMP port).
@@ -226,6 +227,7 @@ impl StmRunner for LbRunner {
                         }
                     }
                 }
+                ctx.set_speculative(false);
             }
         })?;
         Ok(outcome(vec![report], &*stm))

@@ -59,6 +59,9 @@ impl StmRunner for RaRunner {
                 let mut rng = WarpRng::new(params.seed, ctx.id().thread_id(0));
                 let launch = ctx.id().launch_mask;
                 let mut remaining = [params.txs_per_thread; 32];
+                // The whole retry loop is speculative: the race detector
+                // must not pair transactional accesses (STM orders them).
+                ctx.set_speculative(true);
                 loop {
                     let pending = launch.filter(|l| remaining[l] > 0);
                     if pending.none() {
@@ -93,6 +96,7 @@ impl StmRunner for RaRunner {
                         remaining[l] -= 1;
                     }
                 }
+                ctx.set_speculative(false);
             }
         })?;
         Ok(outcome(vec![report], &*stm))

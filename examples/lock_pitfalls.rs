@@ -9,6 +9,11 @@
 //!    taking two locks in opposite orders *livelock* forever.
 //! 4. **Lock-sorting** — imposing a global acquisition order (the idea
 //!    GPU-STM builds on) fixes the livelock.
+//! 5. **Weak isolation** — a non-transactional store racing with
+//!    transactions is caught twice: statically by `tm-lint` (TL001) and
+//!    dynamically by the simulator's happens-before race detector.
+//! 6. **tm-lint** — the same static pass flags the unsorted-lock and
+//!    divergent-atomic pitfalls of schemes #1–#3 from source alone.
 //!
 //! Run: `cargo run --release --example lock_pitfalls`
 
@@ -16,7 +21,11 @@ use gpu_locks::{
     spin_lock_lockstep, spin_lock_one, try_lock_multi, try_lock_sorted, unlock_one, unlock_sorted,
     unprotected_add, GpuMutex,
 };
-use gpu_sim::{simt::serialize_lanes, LaneMask, LaunchConfig, Sim, SimConfig, SimError, WARP_SIZE};
+use gpu_sim::{
+    race_sink, simt::serialize_lanes, LaneMask, LaunchConfig, Sim, SimConfig, SimError, WARP_SIZE,
+};
+use gpu_stm::{LockStm, StmConfig, StmShared};
+use std::rc::Rc;
 
 fn sim(watchdog: u64) -> Sim {
     let mut cfg = SimConfig::with_memory(1 << 16);
@@ -100,6 +109,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         s.read(done)
     );
     println!("\nThis global-order idea, applied per transaction at commit time, is");
-    println!("GPU-STM's encounter-time lock-sorting (paper Section 3.1).");
+    println!("GPU-STM's encounter-time lock-sorting (paper Section 3.1).\n");
+
+    // --- 5. Weak isolation, caught statically AND dynamically ---
+    let weak_iso = "kernel weak_iso(acct: array) {
+    let i = tid() % 8;
+    atomic { acct[i] = acct[i] + 1; }
+    acct[7] = 0;
+}";
+    println!("Weak isolation: a plain store races with transactions on `acct` ...");
+    for d in txl::lint::lint_source(weak_iso, &txl::lint::LintConfig::default())? {
+        println!("  static : {d}");
+    }
+    let sink = race_sink();
+    let mut cfg = SimConfig::with_memory(1 << 16);
+    cfg.watchdog_cycles = 1 << 40;
+    cfg.race = Some(Rc::clone(&sink));
+    let mut s = Sim::new(cfg);
+    let stm_cfg = StmConfig::new(1 << 5);
+    let shared = StmShared::init(&mut s, &stm_cfg)?;
+    let acct = s.alloc(8)?;
+    let stm = Rc::new(LockStm::hv_sorting(shared, stm_cfg));
+    let program = txl::compile(weak_iso)?;
+    txl::launch(
+        &mut s,
+        &stm,
+        program.kernel("weak_iso").unwrap(),
+        LaunchConfig::new(2, 64),
+        9,
+        &[txl::ArrayBinding::new("acct", acct, 8)],
+    )?;
+    for race in &sink.borrow().races {
+        println!("  dynamic: {race}");
+    }
+    assert!(!sink.borrow().is_empty(), "the seeded race must be observed");
+
+    // --- 6. The other pitfalls, flagged from source alone ---
+    println!("\ntm-lint on the remaining pitfall kernels ...");
+    let pitfalls = "kernel locks(lock: array, data: array) {
+    let a = tid() % 4;
+    let b = 3 - a;
+    while lock[a] { }
+    lock[a] = 1;
+    while lock[b] { }
+    lock[b] = 1;
+    data[a] = data[a] + 1;
+    lock[b] = 0;
+    lock[a] = 0;
+}
+kernel vote(tally: array) {
+    if tid() % 2 {
+        atomic { tally[0] = tally[0] + 1; }
+    }
+}";
+    for d in txl::lint::lint_source(pitfalls, &txl::lint::LintConfig::default())? {
+        println!("  {d}  [{}]", d.rule.paper_ref());
+    }
     Ok(())
 }

@@ -1,0 +1,168 @@
+//! Happens-before race-detection sweep: every STM variant must run every
+//! workload without a single unordered conflicting access pair. The STM
+//! runtimes synchronise exclusively through the simulator's atomics, so
+//! the detector sees their lock/version traffic as sync edges and their
+//! speculative data traffic as STM-ordered — anything left over would be
+//! a real data race in the runtime itself.
+
+use gpu_sim::{race_sink, LaunchConfig, Sim, SimConfig, WarpCtx};
+use tm_check::{races_to_violations, Violation};
+use workloads::{eigenbench, genome, ht, kmeans, labyrinth, ra, RunConfig, RunError, Variant};
+
+fn race_config(mem: usize) -> (RunConfig, gpu_sim::RaceSink) {
+    let sink = race_sink();
+    let mut cfg = RunConfig::with_memory(mem).with_locks(1 << 8);
+    cfg.sim.race = Some(std::rc::Rc::clone(&sink));
+    cfg.sim.watchdog_cycles = 1 << 32;
+    (cfg, sink)
+}
+
+fn assert_race_free(label: &str, sink: &gpu_sim::RaceSink) {
+    let log = sink.borrow();
+    assert!(log.is_empty(), "{label}: {} data race(s), first: {}", log.races.len(), log.races[0]);
+}
+
+/// Positive control: the detector is live in exactly this configuration —
+/// two warps storing to the same word without synchronisation are caught,
+/// and the report lifts into a tm-check violation.
+#[test]
+fn unsynchronised_stores_are_detected() {
+    let sink = race_sink();
+    let mut cfg = SimConfig::with_memory(1 << 12);
+    cfg.race = Some(std::rc::Rc::clone(&sink));
+    let mut sim = Sim::new(cfg);
+    let target = sim.alloc(4).unwrap();
+    sim.launch(LaunchConfig::new(1, 64), move |ctx: WarpCtx| async move {
+        let mask = ctx.id().launch_mask;
+        let vals = [ctx.id().warp_in_block + 1; 32];
+        ctx.store(mask, &[target; 32], &vals).await;
+    })
+    .unwrap();
+    let log = sink.borrow();
+    assert!(!log.is_empty(), "cross-warp conflicting stores must be flagged");
+    let violations = races_to_violations(&log.races);
+    assert_eq!(violations.len(), log.races.len());
+    assert!(matches!(violations[0], Violation::DataRace { .. }));
+}
+
+#[test]
+fn ra_is_race_free_across_all_variants() {
+    let params = ra::RaParams {
+        shared_words: 256,
+        actions_per_tx: 4,
+        txs_per_thread: 2,
+        write_pct: 60,
+        seed: 4242,
+    };
+    for v in Variant::ALL {
+        let (cfg, sink) = race_config(1 << 16);
+        match ra::run(&params, v, LaunchConfig::new(2, 64), &cfg) {
+            Ok(_) => assert_race_free(&format!("ra/{v}"), &sink),
+            Err(RunError::Unsupported(_)) => continue,
+            Err(e) => panic!("ra/{v}: {e}"),
+        }
+    }
+}
+
+#[test]
+fn ht_is_race_free_across_all_variants() {
+    let params =
+        ht::HtParams { table_words: 1 << 11, inserts_per_tx: 2, txs_per_thread: 1, seed: 3 };
+    for v in Variant::ALL {
+        let (cfg, sink) = race_config(1 << 16);
+        match ht::run(&params, v, LaunchConfig::new(2, 64), &cfg) {
+            Ok(_) => assert_race_free(&format!("ht/{v}"), &sink),
+            Err(RunError::Unsupported(_)) => continue,
+            Err(e) => panic!("ht/{v}: {e}"),
+        }
+    }
+}
+
+#[test]
+fn kmeans_is_race_free_across_all_variants() {
+    let params =
+        kmeans::KmParams { clusters: 4, dims: 4, points_per_thread: 2, range: 32, seed: 13 };
+    for v in Variant::ALL {
+        let (cfg, sink) = race_config(1 << 16);
+        match kmeans::run(&params, v, LaunchConfig::new(2, 32), &cfg) {
+            Ok(_) => assert_race_free(&format!("kmeans/{v}"), &sink),
+            Err(RunError::Unsupported(_)) => continue,
+            Err(e) => panic!("kmeans/{v}: {e}"),
+        }
+    }
+}
+
+#[test]
+fn genome_is_race_free_across_all_variants() {
+    let params =
+        genome::GnParams { n_segments: 128, value_space: 64, table_words: 1 << 9, seed: 21 };
+    for v in Variant::ALL {
+        let (cfg, sink) = race_config(1 << 16);
+        match genome::run(&params, v, LaunchConfig::new(2, 64), LaunchConfig::new(2, 32), &cfg) {
+            Ok(_) => assert_race_free(&format!("genome/{v}"), &sink),
+            Err(RunError::Unsupported(_)) => continue,
+            Err(e) => panic!("genome/{v}: {e}"),
+        }
+    }
+}
+
+#[test]
+fn labyrinth_is_race_free_across_all_variants() {
+    let params = labyrinth::LbParams { width: 32, height: 32, n_paths: 12, max_span: 8, seed: 5 };
+    for v in Variant::ALL {
+        let (cfg, sink) = race_config(1 << 16);
+        match labyrinth::run(&params, v, LaunchConfig::new(2, 32), &cfg) {
+            Ok(_) => assert_race_free(&format!("labyrinth/{v}"), &sink),
+            Err(RunError::Unsupported(_)) => continue,
+            Err(e) => panic!("labyrinth/{v}: {e}"),
+        }
+    }
+}
+
+#[test]
+fn eigenbench_is_race_free_across_all_variants() {
+    let params = eigenbench::EbParams {
+        hot_words: 1 << 10,
+        hot_reads: 4,
+        hot_writes: 2,
+        mild_words: 4,
+        mild_ops: 1,
+        cold_words: 4,
+        cold_ops: 2,
+        txs_per_thread: 2,
+        seed: 11,
+    };
+    for v in Variant::ALL {
+        let (cfg, sink) = race_config(1 << 17);
+        match eigenbench::run(&params, v, LaunchConfig::new(2, 64), &cfg) {
+            Ok(_) => assert_race_free(&format!("eigenbench/{v}"), &sink),
+            Err(RunError::Unsupported(_)) => continue,
+            Err(e) => panic!("eigenbench/{v}: {e}"),
+        }
+    }
+}
+
+/// Turning detection on must not perturb execution: cycle counts and
+/// commit totals match a detection-off run exactly (pure observation).
+#[test]
+fn detection_does_not_perturb_workload_timing() {
+    let params = ra::RaParams {
+        shared_words: 256,
+        actions_per_tx: 4,
+        txs_per_thread: 2,
+        write_pct: 60,
+        seed: 4242,
+    };
+    let grid = LaunchConfig::new(2, 64);
+    let plain_cfg = {
+        let mut c = RunConfig::with_memory(1 << 16).with_locks(1 << 8);
+        c.sim.watchdog_cycles = 1 << 32;
+        c
+    };
+    let plain = ra::run(&params, Variant::HvSorting, grid, &plain_cfg).unwrap();
+    let (cfg, sink) = race_config(1 << 16);
+    let traced = ra::run(&params, Variant::HvSorting, grid, &cfg).unwrap();
+    assert_race_free("ra/HvSorting", &sink);
+    assert_eq!(plain.cycles(), traced.cycles(), "detection changed timing");
+    assert_eq!(plain.tx.commits, traced.tx.commits, "detection changed commits");
+}
