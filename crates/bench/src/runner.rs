@@ -1,9 +1,9 @@
 //! Uniform workload execution used by the table/figure binaries.
 
 use crate::{square_grid, Suite};
-use gpu_sim::LaunchConfig;
-use gpu_stm::TxStats;
-use workloads::{eigenbench, genome, ht, kmeans, labyrinth, ra, RunError, Variant};
+use gpu_sim::{LaunchConfig, RunReport, SimStats, TraceSink};
+use gpu_stm::{TxStats, TxTraceSink};
+use workloads::{eigenbench, genome, ht, kmeans, labyrinth, ra, RunConfig, RunError, Variant};
 
 /// The five figure-2 workloads plus EigenBench.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -50,6 +50,17 @@ impl Workload {
             Workload::Km => "KM",
         }
     }
+
+    /// Every workload, in Figure 2 order plus EigenBench.
+    pub const ALL: [Workload; 6] =
+        [Workload::Ra, Workload::Ht, Workload::Gn, Workload::Lb, Workload::Km, Workload::Eb];
+
+    /// Parses a workload from its short name or paper label
+    /// (case-insensitive).
+    pub fn parse(s: &str) -> Option<Workload> {
+        let lower = s.to_ascii_lowercase();
+        Workload::ALL.into_iter().find(|w| w.short() == lower)
+    }
 }
 
 /// Metrics from one workload × variant execution.
@@ -61,8 +72,36 @@ pub struct WlOutcome {
     pub kernel_cycles: Vec<u64>,
     /// Aggregate transactional statistics (genome: both kernels).
     pub tx: TxStats,
+    /// Aggregate simulator counters, merged over all kernels.
+    pub sim: SimStats,
     /// The launch geometry used.
     pub grid: LaunchConfig,
+}
+
+/// Optional observation sinks threaded into a run ([`run_workload_traced`]).
+///
+/// Both sinks are pure observers: attaching them changes no simulated
+/// cycle count (verified by tests in `gpu-sim` and `tests/trace_invariants`).
+#[derive(Clone, Default)]
+pub struct TraceHooks {
+    /// Simulator-side machine events (warp scheduling, memory, fences).
+    pub sim: Option<TraceSink>,
+    /// STM-side transaction-lifecycle events (begin/commit/abort/…).
+    pub tx: Option<TxTraceSink>,
+}
+
+fn apply_hooks(mut cfg: RunConfig, hooks: &TraceHooks) -> RunConfig {
+    cfg.sim.trace = hooks.sim.clone();
+    cfg.trace = hooks.tx.clone();
+    cfg
+}
+
+fn merge_sim(kernels: &[RunReport]) -> SimStats {
+    let mut out = SimStats::new();
+    for k in kernels {
+        out.merge(&k.stats);
+    }
+    out
 }
 
 fn merge_tx(a: &TxStats, b: &TxStats) -> TxStats {
@@ -99,15 +138,34 @@ pub fn run_workload(
     variant: Variant,
     threads: Option<u64>,
 ) -> Result<WlOutcome, RunError> {
+    run_workload_traced(suite, workload, variant, threads, &TraceHooks::default())
+}
+
+/// [`run_workload`] with optional trace sinks attached to the simulator
+/// and the STM ([`TraceHooks`]). Used by the `trace` binary and the
+/// telemetry tests; passing default hooks is identical to `run_workload`.
+///
+/// # Errors
+///
+/// Propagates workload errors exactly as [`run_workload`] does.
+pub fn run_workload_traced(
+    suite: &Suite,
+    workload: Workload,
+    variant: Variant,
+    threads: Option<u64>,
+    hooks: &TraceHooks,
+) -> Result<WlOutcome, RunError> {
     match workload {
         Workload::Ra => {
             let (params, grid) = suite.ra();
             let grid = threads.map_or(grid, square_grid);
             let cfg = suite.run_config(params.shared_words as u64, grid.total_threads());
+            let cfg = apply_hooks(cfg, hooks);
             let out = ra::run(&params, variant, grid, &cfg)?;
             Ok(WlOutcome {
                 cycles: out.cycles(),
                 kernel_cycles: out.kernel_cycles(),
+                sim: merge_sim(&out.kernels),
                 tx: out.tx,
                 grid,
             })
@@ -121,10 +179,12 @@ pub fn run_workload(
                     .next_power_of_two();
             }
             let cfg = suite.run_config(params.table_words as u64, grid.total_threads());
+            let cfg = apply_hooks(cfg, hooks);
             let out = ht::run(&params, variant, grid, &cfg)?;
             Ok(WlOutcome {
                 cycles: out.cycles(),
                 kernel_cycles: out.kernel_cycles(),
+                sim: merge_sim(&out.kernels),
                 tx: out.tx,
                 grid,
             })
@@ -135,10 +195,12 @@ pub fn run_workload(
             let data = params.hot_words as u64
                 + grid.total_threads() * (params.mild_words + params.cold_words) as u64;
             let cfg = suite.run_config(data, grid.total_threads());
+            let cfg = apply_hooks(cfg, hooks);
             let out = eigenbench::run(&params, variant, grid, &cfg)?;
             Ok(WlOutcome {
                 cycles: out.cycles(),
                 kernel_cycles: out.kernel_cycles(),
+                sim: merge_sim(&out.kernels),
                 tx: out.tx,
                 grid,
             })
@@ -153,10 +215,14 @@ pub fn run_workload(
                 g2 = square_grid((params.n_segments / 2).max(32) as u64);
             }
             let cfg = suite.run_config(params.table_words as u64, g1.total_threads());
+            let cfg = apply_hooks(cfg, hooks);
             let out = genome::run(&params, variant, g1, g2, &cfg)?;
+            let mut sim = merge_sim(&out.k1.kernels);
+            sim.merge(&merge_sim(&out.k2.kernels));
             Ok(WlOutcome {
                 cycles: out.k1.cycles() + out.k2.cycles(),
                 kernel_cycles: vec![out.k1.cycles(), out.k2.cycles()],
+                sim,
                 tx: merge_tx(&out.k1.tx, &out.k2.tx),
                 grid: g1,
             })
@@ -166,10 +232,12 @@ pub fn run_workload(
             let grid = threads.map_or(grid, |t| LaunchConfig::new((t as u32 / 32).max(1), 32));
             let cells = (params.width * params.height) as u64;
             let cfg = suite.run_config(cells, grid.total_threads());
+            let cfg = apply_hooks(cfg, hooks);
             let out = labyrinth::run(&params, variant, grid, &cfg)?;
             Ok(WlOutcome {
                 cycles: out.base.cycles(),
                 kernel_cycles: out.base.kernel_cycles(),
+                sim: merge_sim(&out.base.kernels),
                 tx: out.base.tx,
                 grid,
             })
@@ -178,10 +246,12 @@ pub fn run_workload(
             let (params, grid) = suite.km();
             let grid = threads.map_or(grid, |t| LaunchConfig::new((t as u32 / 2).max(1), 2));
             let cfg = suite.run_config(params.shared_words() as u64, grid.total_threads());
+            let cfg = apply_hooks(cfg, hooks);
             let out = kmeans::run(&params, variant, grid, &cfg)?;
             Ok(WlOutcome {
                 cycles: out.cycles(),
                 kernel_cycles: out.kernel_cycles(),
+                sim: merge_sim(&out.kernels),
                 tx: out.tx,
                 grid,
             })
@@ -207,6 +277,25 @@ mod tests {
             assert!(out.tx.commits > 0, "{w:?}");
             assert!(out.cycles > 0, "{w:?}");
         }
+    }
+
+    #[test]
+    fn workload_parse_round_trips() {
+        for w in Workload::ALL {
+            assert_eq!(Workload::parse(w.short()), Some(w));
+            assert_eq!(Workload::parse(w.label()), Some(w));
+        }
+        assert_eq!(Workload::parse("no-such-workload"), None);
+    }
+
+    #[test]
+    fn outcome_carries_merged_sim_stats() {
+        let suite = quick_suite();
+        let out = run_workload(&suite, Workload::Gn, Variant::HvSorting, Some(64)).unwrap();
+        // Two kernels merged: instruction and lane counters must be live.
+        assert!(out.sim.instructions > 0);
+        assert!(out.sim.lane_slots >= out.sim.active_lanes);
+        assert!(out.sim.blocks_completed > 0);
     }
 
     #[test]

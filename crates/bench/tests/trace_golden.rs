@@ -1,0 +1,98 @@
+//! Golden-file test for the telemetry layer: the Chrome-trace export of a
+//! small deterministic workload must be byte-identical run-over-run and
+//! match the checked-in golden, and attaching the trace sinks must not
+//! change a single simulated cycle.
+//!
+//! Regenerate the golden after an intentional format change with:
+//!
+//! ```text
+//! TRACE_GOLDEN_UPDATE=1 cargo test -p bench --test trace_golden
+//! ```
+
+use bench::runner::{run_workload, run_workload_traced, TraceHooks, Workload};
+use bench::Suite;
+use gpu_sim::trace_sink;
+use gpu_stm::{chrome_trace, tx_trace_sink};
+use workloads::Variant;
+
+fn tiny_suite() -> Suite {
+    Suite { data_scale: 1024, thread_scale: 256, only: None }
+}
+
+/// Runs the golden workload (HT under STM-HV-Sorting, 64 threads — a
+/// single kernel, so cycle timestamps are monotone) with both sinks
+/// attached and returns the Chrome-trace JSON plus total cycles.
+fn capture() -> (String, u64) {
+    let sim_sink = trace_sink(1 << 20);
+    let tx_sink = tx_trace_sink(1 << 20);
+    let hooks = TraceHooks { sim: Some(sim_sink.clone()), tx: Some(tx_sink.clone()) };
+    let out =
+        run_workload_traced(&tiny_suite(), Workload::Ht, Variant::HvSorting, Some(64), &hooks)
+            .expect("golden workload runs");
+    assert_eq!(sim_sink.borrow().dropped(), 0, "sim ring buffer overflowed");
+    assert_eq!(tx_sink.borrow().dropped(), 0, "tx ring buffer overflowed");
+    let json = chrome_trace(&sim_sink.borrow().snapshot(), &tx_sink.borrow().snapshot());
+    (json, out.cycles)
+}
+
+/// Points at the first byte where two strings diverge, with context —
+/// `assert_eq!` on a 50 KB string would flood the test log.
+fn assert_same(actual: &str, expected: &str) {
+    if actual == expected {
+        return;
+    }
+    let diff = actual
+        .bytes()
+        .zip(expected.bytes())
+        .position(|(a, b)| a != b)
+        .unwrap_or(actual.len().min(expected.len()));
+    let lo = diff.saturating_sub(60);
+    panic!(
+        "trace differs from golden at byte {diff} (lengths {} vs {}):\n  actual:   …{}\n  \
+         expected: …{}\nregenerate intentionally with TRACE_GOLDEN_UPDATE=1",
+        actual.len(),
+        expected.len(),
+        &actual[lo..(diff + 60).min(actual.len())],
+        &expected[lo..(diff + 60).min(expected.len())],
+    );
+}
+
+#[test]
+fn chrome_trace_matches_golden_byte_for_byte() {
+    let (json, _) = capture();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/trace.golden");
+    if std::env::var("TRACE_GOLDEN_UPDATE").is_ok() {
+        std::fs::write(path, &json).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden/trace.golden missing — regenerate with TRACE_GOLDEN_UPDATE=1");
+    assert_same(&json, &golden);
+}
+
+#[test]
+fn chrome_trace_is_deterministic_run_over_run() {
+    let (a, _) = capture();
+    let (b, _) = capture();
+    assert_same(&a, &b);
+}
+
+#[test]
+fn tracing_does_not_change_workload_cycles() {
+    let (_, traced_cycles) = capture();
+    let plain = run_workload(&tiny_suite(), Workload::Ht, Variant::HvSorting, Some(64))
+        .expect("plain workload runs");
+    assert_eq!(plain.cycles, traced_cycles, "trace sinks must be pure observers");
+}
+
+#[test]
+fn chrome_trace_is_valid_shape() {
+    let (json, _) = capture();
+    assert!(json.starts_with(r#"{"traceEvents":["#));
+    assert!(json.ends_with(r#"],"displayTimeUnit":"ns"}"#));
+    // Every event object opens with a name field; the stream is non-trivial.
+    assert!(json.matches(r#"{"name":"#).count() > 100);
+    // Both thread blocks of the 2×32 grid appear as Chrome processes.
+    assert!(json.contains(r#""process_name","ph":"M","pid":0"#));
+    assert!(json.contains(r#""process_name","ph":"M","pid":1"#));
+}

@@ -23,6 +23,7 @@ use crate::memory::{Addr, GlobalMemory};
 use crate::race::{RaceDetector, RaceSink};
 use crate::stats::SimStats;
 use crate::timing::TimingModel;
+use crate::trace::{SimEvent, SimEventKind, TraceSink};
 use crate::warp::WarpCtx;
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
@@ -92,6 +93,13 @@ pub struct SimConfig {
     /// it charges no cycles, so enabling it never perturbs a run.
     /// Defaults to `None` (off).
     pub race: Option<RaceSink>,
+    /// When set, the executor and [`WarpCtx`] emit cycle-timestamped
+    /// structured events (warp scheduling, memory/coalescing, atomics,
+    /// fences, idle spans) into this bounded ring buffer (see
+    /// [`crate::trace`]). Like race detection, tracing is pure
+    /// observation: it charges no cycles, so enabling it never perturbs
+    /// a run. Defaults to `None` (off).
+    pub trace: Option<TraceSink>,
 }
 
 impl SimConfig {
@@ -112,6 +120,7 @@ impl Default for SimConfig {
             stall_cycles: u64::MAX,
             fault: FaultPlan::none(),
             race: None,
+            trace: None,
         }
     }
 }
@@ -202,6 +211,17 @@ pub(crate) struct SimState {
     pub(crate) fault: FaultState,
     pub(crate) progress: ProgressBoard,
     pub(crate) race: Option<RaceDetector>,
+    pub(crate) trace: Option<TraceSink>,
+}
+
+impl SimState {
+    /// Emits a trace event when a sink is attached. Pure observation:
+    /// never charges cycles.
+    pub(crate) fn emit(&self, block: u32, warp: u32, kind: SimEventKind) {
+        if let Some(t) = self.trace.as_ref() {
+            t.borrow_mut().push(SimEvent { cycle: self.now, block, warp, kind });
+        }
+    }
 }
 
 /// Per-warp progress accounting for one launch: who issued what, and when
@@ -306,6 +326,7 @@ impl Sim {
             fault: FaultState::new(config.fault),
             progress: ProgressBoard::default(),
             race: config.race.clone().map(RaceDetector::new),
+            trace: config.trace.clone(),
         };
         Sim { state: Rc::new(RefCell::new(state)), config }
     }
@@ -377,8 +398,9 @@ impl Sim {
             st.fault = FaultState::new(self.config.fault);
             st.progress = ProgressBoard::default();
             // Fresh vector clocks per launch (warp slots are per-launch);
-            // the sink keeps accumulating across launches.
+            // the sinks keep accumulating across launches.
             st.race = self.config.race.clone().map(RaceDetector::new);
+            st.trace = self.config.trace.clone();
         }
 
         let wpb = grid.warps_per_block();
@@ -425,7 +447,11 @@ impl Sim {
                         launch_mask,
                     };
                     let pending = Rc::new(Cell::new(0u64));
-                    let pslot = self.state.borrow_mut().progress.register(b, w, now);
+                    let pslot = {
+                        let st = &mut *self.state.borrow_mut();
+                        st.emit(b, w, SimEventKind::WarpStart);
+                        st.progress.register(b, w, now)
+                    };
                     let ctx = WarpCtx::new(Rc::clone(&self.state), id, Rc::clone(&pending), pslot);
                     let fut: Pin<Box<dyn Future<Output = ()>>> = Box::pin(kernel(ctx));
                     scheduler.spawn(fut, pending, b, pslot, now);
@@ -472,6 +498,8 @@ impl Sim {
                         let st = &mut *self.state.borrow_mut();
                         st.progress.mark(pslot, now);
                         st.progress.warps[pslot].retired = true;
+                        let w = st.progress.warps[pslot].warp_in_block;
+                        st.emit(block, w, SimEventKind::WarpRetire);
                     }
                     let live = &mut block_live[block as usize];
                     *live -= 1;

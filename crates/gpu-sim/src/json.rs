@@ -1,0 +1,224 @@
+//! A minimal deterministic JSON emitter.
+//!
+//! The workspace is deliberately dependency-free (CI builds fully
+//! offline), so instead of `serde` every machine-readable artifact —
+//! `SimStats`/`TxStats` run reports, Chrome traces, contention profiles —
+//! is serialized through this writer. Two properties matter more than
+//! generality:
+//!
+//! 1. **Stable field order** — fields appear exactly in the order the
+//!    caller writes them, so JSON diffs between runs and PRs are
+//!    reviewable line-by-line.
+//! 2. **Deterministic formatting** — floats are emitted with a fixed
+//!    precision (6 decimal places, trailing zeros kept), integers
+//!    verbatim, so the same run produces byte-identical output on every
+//!    platform. Golden-file tests rely on this.
+
+/// Streaming JSON writer with explicit begin/end calls.
+///
+/// The writer tracks, per nesting level, whether a comma is needed before
+/// the next element; callers are responsible for matching `begin_*`/`end_*`
+/// pairs and for writing a key before each value inside an object.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::json::JsonWriter;
+///
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.field_u64("cycles", 1200);
+/// w.field_f64("rate", 0.25);
+/// w.key("tags");
+/// w.begin_array();
+/// w.string("ht");
+/// w.end_array();
+/// w.end_object();
+/// assert_eq!(w.finish(), r#"{"cycles":1200,"rate":0.250000,"tags":["ht"]}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: `true` once a separator is needed.
+    needs_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    fn separate(&mut self) {
+        if let Some(top) = self.needs_comma.last_mut() {
+            if *top {
+                self.out.push(',');
+            }
+            *top = true;
+        }
+    }
+
+    /// Opens a `{` object (as a value: separated from any sibling).
+    pub fn begin_object(&mut self) {
+        self.separate();
+        self.out.push('{');
+        self.needs_comma.push(false);
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) {
+        self.needs_comma.pop();
+        self.out.push('}');
+    }
+
+    /// Opens a `[` array (as a value: separated from any sibling).
+    pub fn begin_array(&mut self) {
+        self.separate();
+        self.out.push('[');
+        self.needs_comma.push(false);
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) {
+        self.needs_comma.pop();
+        self.out.push(']');
+    }
+
+    /// Writes an object key; the next `string`/`u64`/… call is its value.
+    pub fn key(&mut self, k: &str) {
+        self.separate();
+        self.push_escaped(k);
+        self.out.push(':');
+        // The value that follows must not emit another comma.
+        if let Some(top) = self.needs_comma.last_mut() {
+            *top = false;
+        }
+    }
+
+    /// Writes a string value.
+    pub fn string(&mut self, s: &str) {
+        self.separate();
+        self.push_escaped(s);
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn u64(&mut self, v: u64) {
+        self.separate();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Writes a float value with fixed 6-decimal formatting (NaN and
+    /// infinities become `null`, which JSON cannot represent otherwise).
+    pub fn f64(&mut self, v: f64) {
+        self.separate();
+        if v.is_finite() {
+            self.out.push_str(&format!("{v:.6}"));
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Writes a boolean value.
+    pub fn bool(&mut self, v: bool) {
+        self.separate();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Convenience: `key` + string value.
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.string(v);
+    }
+
+    /// Convenience: `key` + unsigned integer value.
+    pub fn field_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.u64(v);
+    }
+
+    /// Convenience: `key` + float value.
+    pub fn field_f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.f64(v);
+    }
+
+    /// Convenience: `key` + boolean value.
+    pub fn field_bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.bool(v);
+    }
+
+    fn push_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// Consumes the writer and returns the JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_structures() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.begin_array();
+        w.u64(1);
+        w.u64(2);
+        w.begin_object();
+        w.field_bool("ok", true);
+        w.end_object();
+        w.end_array();
+        w.field_str("b", "x");
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":[1,2,{"ok":true}],"b":"x"}"#);
+    }
+
+    #[test]
+    fn escapes_specials() {
+        let mut w = JsonWriter::new();
+        w.string("a\"b\\c\nd\u{1}");
+        assert_eq!(w.finish(), r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn floats_fixed_precision_and_nonfinite() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.f64(0.5);
+        w.f64(f64::NAN);
+        w.f64(f64::INFINITY);
+        w.end_array();
+        assert_eq!(w.finish(), "[0.500000,null,null]");
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("xs");
+        w.begin_array();
+        w.end_array();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"xs":[]}"#);
+    }
+}

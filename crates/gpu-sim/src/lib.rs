@@ -43,6 +43,7 @@ pub mod coalesce;
 mod error;
 mod exec;
 pub mod fault;
+pub mod json;
 pub mod mask;
 pub mod memory;
 pub mod race;
@@ -50,16 +51,19 @@ pub mod rng;
 pub mod simt;
 pub mod stats;
 pub mod timing;
+pub mod trace;
 mod warp;
 
 pub use cache::{CacheConfig, L2Cache};
 pub use error::{SimError, WarpProgress};
 pub use exec::{GpuConfig, LaunchConfig, RunReport, Sim, SimConfig, WarpId};
 pub use fault::FaultPlan;
+pub use json::JsonWriter;
 pub use mask::{LaneMask, WARP_SIZE};
 pub use memory::{Addr, AtomicOp, GlobalMemory};
 pub use race::{race_sink, AccessKind, DataRace, RaceAccess, RaceLog, RaceSink};
 pub use rng::WarpRng;
 pub use stats::SimStats;
 pub use timing::TimingModel;
+pub use trace::{trace_sink, MemOp, SimEvent, SimEventKind, TraceBuffer, TraceSink};
 pub use warp::{LaneAddrs, LaneVals, WarpCtx};

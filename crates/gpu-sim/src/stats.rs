@@ -1,5 +1,7 @@
 //! Execution statistics collected by the simulator.
 
+use crate::json::JsonWriter;
+
 /// Counters accumulated over a kernel launch.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SimStats {
@@ -76,6 +78,75 @@ impl SimStats {
             self.mem_transactions as f64 / self.uncoalesced_transactions as f64
         }
     }
+
+    /// Coalescing efficiency in `[0, 1]`: fraction of per-lane
+    /// transactions *eliminated* by coalescing (the complement of
+    /// [`coalescing_ratio`](Self::coalescing_ratio)). 1.0 means every
+    /// warp access merged into a single transaction's worth of traffic;
+    /// 0.0 means nothing merged. Returns 0.0 for an empty run.
+    pub fn coalescing_efficiency(&self) -> f64 {
+        if self.uncoalesced_transactions == 0 {
+            0.0
+        } else {
+            1.0 - self.coalescing_ratio()
+        }
+    }
+
+    /// Accumulates another launch's counters into this one (multi-kernel
+    /// workloads report one merged `SimStats`).
+    pub fn merge(&mut self, other: &SimStats) {
+        self.instructions += other.instructions;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.atomics += other.atomics;
+        self.fences += other.fences;
+        self.mem_transactions += other.mem_transactions;
+        self.uncoalesced_transactions += other.uncoalesced_transactions;
+        self.l2_hits += other.l2_hits;
+        self.l2_misses += other.l2_misses;
+        self.divergent_instructions += other.divergent_instructions;
+        self.active_lanes += other.active_lanes;
+        self.lane_slots += other.lane_slots;
+        self.idle_cycles += other.idle_cycles;
+        self.blocks_completed += other.blocks_completed;
+        self.spurious_cas_failures += other.spurious_cas_failures;
+        self.injected_jitter_cycles += other.injected_jitter_cycles;
+    }
+
+    /// Serializes the counters plus derived metrics into `w` as a JSON
+    /// object, in a stable field order (raw counters first, derived rates
+    /// last) so report diffs are reviewable.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_u64("instructions", self.instructions);
+        w.field_u64("loads", self.loads);
+        w.field_u64("stores", self.stores);
+        w.field_u64("atomics", self.atomics);
+        w.field_u64("fences", self.fences);
+        w.field_u64("mem_transactions", self.mem_transactions);
+        w.field_u64("uncoalesced_transactions", self.uncoalesced_transactions);
+        w.field_u64("l2_hits", self.l2_hits);
+        w.field_u64("l2_misses", self.l2_misses);
+        w.field_u64("divergent_instructions", self.divergent_instructions);
+        w.field_u64("active_lanes", self.active_lanes);
+        w.field_u64("lane_slots", self.lane_slots);
+        w.field_u64("idle_cycles", self.idle_cycles);
+        w.field_u64("blocks_completed", self.blocks_completed);
+        w.field_u64("spurious_cas_failures", self.spurious_cas_failures);
+        w.field_u64("injected_jitter_cycles", self.injected_jitter_cycles);
+        w.field_f64("simt_efficiency", self.simt_efficiency());
+        w.field_f64("l2_hit_rate", self.l2_hit_rate());
+        w.field_f64("coalescing_efficiency", self.coalescing_efficiency());
+        w.end_object();
+    }
+
+    /// The counters as a standalone JSON object (see
+    /// [`write_json`](Self::write_json)).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
 }
 
 #[cfg(test)]
@@ -104,5 +175,27 @@ mod tests {
         assert!((s.simt_efficiency() - 0.5).abs() < 1e-12);
         assert!((s.l2_hit_rate() - 0.75).abs() < 1e-12);
         assert!((s.coalescing_ratio() - 0.25).abs() < 1e-12);
+        assert!((s.coalescing_efficiency() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let a = SimStats { instructions: 1, loads: 2, idle_cycles: 3, ..SimStats::default() };
+        let b = SimStats { instructions: 10, loads: 20, l2_hits: 5, ..SimStats::default() };
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.instructions, 11);
+        assert_eq!(m.loads, 22);
+        assert_eq!(m.idle_cycles, 3);
+        assert_eq!(m.l2_hits, 5);
+    }
+
+    #[test]
+    fn json_has_stable_field_order() {
+        let s = SimStats { instructions: 7, l2_hits: 3, l2_misses: 1, ..SimStats::default() };
+        let j = s.to_json();
+        assert!(j.starts_with(r#"{"instructions":7,"#), "{j}");
+        assert!(j.contains(r#""l2_hit_rate":0.750000"#), "{j}");
+        assert!(j.ends_with(r#""coalescing_efficiency":0.000000}"#), "{j}");
     }
 }

@@ -8,6 +8,7 @@
 //! rather than exact magnitudes.
 
 use crate::cache::CacheOutcome;
+use crate::json::JsonWriter;
 
 /// Cycle costs charged per warp instruction.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -86,6 +87,22 @@ impl TimingModel {
         self.atomic
             + (transactions as u64 - 1) * self.extra_transaction
             + depth.saturating_sub(1) as u64 * self.atomic_same_word
+    }
+
+    /// Serializes the latency table into `w` as a JSON object (stable
+    /// field order), so run reports record the model they were produced
+    /// under.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_u64("alu", self.alu);
+        w.field_u64("l2_hit", self.l2_hit);
+        w.field_u64("dram", self.dram);
+        w.field_u64("extra_transaction", self.extra_transaction);
+        w.field_u64("atomic", self.atomic);
+        w.field_u64("atomic_same_word", self.atomic_same_word);
+        w.field_u64("fence", self.fence);
+        w.field_u64("local_access", self.local_access);
+        w.end_object();
     }
 }
 

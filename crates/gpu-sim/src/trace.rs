@@ -1,0 +1,245 @@
+//! Cycle-timestamped structured event tracing for the simulator.
+//!
+//! Observability substrate for the telemetry layer (DESIGN.md §10): the
+//! executor and [`WarpCtx`](crate::WarpCtx) emit one [`SimEvent`] per
+//! interesting warp instruction — scheduling (spawn/retire), memory
+//! accesses with their coalescing and cache outcome, atomics, fences and
+//! idle/backoff spans — into a bounded ring buffer shared through a
+//! [`TraceSink`].
+//!
+//! Tracing follows the same contract as the race detector
+//! ([`crate::race`]): it is **pure observation**. Emission charges no
+//! cycles and perturbs no schedules, so a run with a sink attached is
+//! cycle-identical to the same run without one, and the default
+//! (`SimConfig::trace == None`) makes every hook a no-op. The buffer is
+//! bounded: once `capacity` events are held, the oldest event is dropped
+//! and counted, so a pathological run cannot exhaust host memory.
+//!
+//! Consumers (the Chrome-trace exporter and the contention profiler) live
+//! in `gpu-stm::trace` / `gpu-stm::profile`, where simulator events can be
+//! merged with transaction-lifecycle events.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// The flavour of a traced memory instruction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MemOp {
+    /// Warp load (coalesced or broadcast).
+    Load,
+    /// Warp store.
+    Store,
+    /// Warp atomic (CAS or read-modify-write).
+    Atomic,
+}
+
+impl MemOp {
+    /// Short lowercase label, used by exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemOp::Load => "load",
+            MemOp::Store => "store",
+            MemOp::Atomic => "atomic",
+        }
+    }
+}
+
+/// What happened (the payload of a [`SimEvent`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SimEventKind {
+    /// The warp's future was created and admitted to the GPU.
+    WarpStart,
+    /// The warp ran to completion and released its residency slot.
+    WarpRetire,
+    /// A memory instruction, with its coalescing and cache outcome.
+    Mem {
+        /// Load, store or atomic.
+        op: MemOp,
+        /// Active lanes participating in the instruction.
+        lanes: u32,
+        /// 128-byte transactions the lane addresses coalesced into.
+        transactions: u32,
+        /// Transactions served from L2.
+        l2_hits: u32,
+        /// Transactions that went to DRAM.
+        l2_misses: u32,
+    },
+    /// A `threadfence`.
+    Fence,
+    /// Busy/idle time explicitly charged by the kernel (pipeline work,
+    /// backoff delays); `cycles` is the charged span.
+    Idle {
+        /// Length of the idle span in cycles.
+        cycles: u64,
+    },
+}
+
+/// One cycle-timestamped simulator event.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SimEvent {
+    /// Simulated cycle at which the instruction was issued.
+    pub cycle: u64,
+    /// Block index of the emitting warp.
+    pub block: u32,
+    /// Warp index within its block.
+    pub warp: u32,
+    /// Event payload.
+    pub kind: SimEventKind,
+}
+
+/// Bounded ring buffer of [`SimEvent`]s.
+///
+/// `push` is O(1); once full, the oldest event is discarded and counted in
+/// [`dropped`](TraceBuffer::dropped), so consumers can tell a complete
+/// trace from a truncated one.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    events: VecDeque<SimEvent>,
+    capacity: usize,
+    emitted: u64,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceBuffer {
+            events: VecDeque::with_capacity(capacity.min(1 << 16)),
+            capacity,
+            emitted: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, ev: SimEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+        self.emitted += 1;
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &SimEvent> {
+        self.events.iter()
+    }
+
+    /// Copies the retained events out, oldest first.
+    pub fn snapshot(&self) -> Vec<SimEvent> {
+        self.events.iter().copied().collect()
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events ever pushed (including later-dropped ones).
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Discards all retained events (counters keep accumulating).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+/// Shared handle to a [`TraceBuffer`], cloned into
+/// [`SimConfig::trace`](crate::SimConfig) and retained by the caller for
+/// inspection after the run.
+pub type TraceSink = Rc<RefCell<TraceBuffer>>;
+
+/// Creates a [`TraceSink`] with the given ring capacity.
+pub fn trace_sink(capacity: usize) -> TraceSink {
+    Rc::new(RefCell::new(TraceBuffer::new(capacity)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{LaunchConfig, Sim, SimConfig};
+
+    fn ev(cycle: u64) -> SimEvent {
+        SimEvent { cycle, block: 0, warp: 0, kind: SimEventKind::Fence }
+    }
+
+    #[test]
+    fn ring_drops_oldest_when_full() {
+        let mut b = TraceBuffer::new(2);
+        b.push(ev(1));
+        b.push(ev(2));
+        b.push(ev(3));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.emitted(), 3);
+        assert_eq!(b.dropped(), 1);
+        let cycles: Vec<u64> = b.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3]);
+    }
+
+    #[test]
+    fn sim_emits_scheduling_memory_and_fence_events() {
+        let sink = trace_sink(1 << 16);
+        let mut cfg = SimConfig::with_memory(1 << 16);
+        cfg.trace = Some(Rc::clone(&sink));
+        let mut sim = Sim::new(cfg);
+        let buf = sim.alloc(64).unwrap();
+        sim.launch(LaunchConfig::new(1, 32), move |ctx| async move {
+            let mask = ctx.id().launch_mask;
+            let addrs = std::array::from_fn(|l| buf.offset(l as u32));
+            let vals = [7u32; 32];
+            ctx.store(mask, &addrs, &vals).await;
+            let _ = ctx.load(mask, &addrs).await;
+            ctx.fence(mask).await;
+            ctx.atomic_add_uniform(mask, buf, 1).await;
+            ctx.idle(10).await;
+        })
+        .unwrap();
+        let b = sink.borrow();
+        assert_eq!(b.dropped(), 0);
+        let kinds: Vec<&SimEventKind> = b.events().map(|e| &e.kind).collect();
+        assert!(matches!(kinds.first(), Some(SimEventKind::WarpStart)));
+        assert!(matches!(kinds.last(), Some(SimEventKind::WarpRetire)));
+        let mems = b.events().filter(|e| matches!(e.kind, SimEventKind::Mem { .. })).count();
+        assert_eq!(mems, 3, "store + load + atomic");
+        assert_eq!(b.events().filter(|e| e.kind == SimEventKind::Fence).count(), 1);
+        assert!(b.events().any(|e| matches!(e.kind, SimEventKind::Idle { cycles: 10 })));
+        // Timestamps are monotone: events are pushed in event-loop order.
+        let cycles: Vec<u64> = b.events().map(|e| e.cycle).collect();
+        assert!(cycles.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn tracing_does_not_change_cycle_counts() {
+        let run = |traced: bool| {
+            let mut cfg = SimConfig::with_memory(1 << 16);
+            if traced {
+                cfg.trace = Some(trace_sink(1 << 12));
+            }
+            let mut sim = Sim::new(cfg);
+            let buf = sim.alloc(1).unwrap();
+            sim.launch(LaunchConfig::new(8, 64), move |ctx| async move {
+                for _ in 0..4 {
+                    ctx.atomic_add_uniform(ctx.id().launch_mask, buf, 1).await;
+                }
+            })
+            .unwrap()
+            .cycles
+        };
+        assert_eq!(run(false), run(true));
+    }
+}

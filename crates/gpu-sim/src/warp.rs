@@ -129,17 +129,41 @@ impl WarpCtx {
         let outcomes: Vec<_> = co.segments.iter().map(|s| st.cache.access(*s)).collect();
         st.stats.mem_transactions += co.transactions() as u64;
         st.stats.uncoalesced_transactions += mask.count() as u64;
+        let mut hits = 0u32;
+        let mut misses = 0u32;
         for o in &outcomes {
             match o {
-                crate::cache::CacheOutcome::Hit => st.stats.l2_hits += 1,
-                crate::cache::CacheOutcome::Miss => st.stats.l2_misses += 1,
+                crate::cache::CacheOutcome::Hit => hits += 1,
+                crate::cache::CacheOutcome::Miss => misses += 1,
             }
         }
-        match kind {
-            MemKind::Load => st.stats.loads += 1,
-            MemKind::Store => st.stats.stores += 1,
-            MemKind::Atomic => st.stats.atomics += 1,
-        }
+        st.stats.l2_hits += hits as u64;
+        st.stats.l2_misses += misses as u64;
+        let op = match kind {
+            MemKind::Load => {
+                st.stats.loads += 1;
+                crate::trace::MemOp::Load
+            }
+            MemKind::Store => {
+                st.stats.stores += 1;
+                crate::trace::MemOp::Store
+            }
+            MemKind::Atomic => {
+                st.stats.atomics += 1;
+                crate::trace::MemOp::Atomic
+            }
+        };
+        st.emit(
+            self.id.block,
+            self.id.warp_in_block,
+            crate::trace::SimEventKind::Mem {
+                op,
+                lanes: mask.count(),
+                transactions: co.transactions(),
+                l2_hits: hits,
+                l2_misses: misses,
+            },
+        );
         match kind {
             MemKind::Atomic => st.timing.atomic_cost(co.transactions(), depth),
             _ => st.timing.memory_cost(&outcomes),
@@ -345,6 +369,7 @@ impl WarpCtx {
         let cost = {
             let st = &mut *self.st.borrow_mut();
             st.stats.fences += 1;
+            st.emit(self.id.block, self.id.warp_in_block, crate::trace::SimEventKind::Fence);
             st.timing.fence
         };
         self.charge(cost).await;
@@ -355,6 +380,11 @@ impl WarpCtx {
         {
             let st = &mut *self.st.borrow_mut();
             st.stats.idle_cycles += cycles;
+            st.emit(
+                self.id.block,
+                self.id.warp_in_block,
+                crate::trace::SimEventKind::Idle { cycles },
+            );
         }
         self.charge(cycles).await;
     }

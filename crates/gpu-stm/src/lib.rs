@@ -64,11 +64,13 @@ mod api;
 mod config;
 pub mod history;
 pub mod locklog;
+pub mod profile;
 pub mod robust;
 pub mod scheduler;
 pub mod sets;
 mod shared;
 pub mod stats;
+pub mod trace;
 pub mod validation;
 pub mod variants;
 mod version_lock;
@@ -77,10 +79,16 @@ mod warptx;
 pub use api::{lane_addrs, lane_vals, Stm};
 pub use config::{Locking, StmConfig, Validation};
 pub use history::{recorder, History, Recorder};
+pub use profile::ContentionProfile;
 pub use robust::{Robust, RobustConfig};
 pub use scheduler::{Scheduled, SchedulerConfig};
 pub use shared::StmShared;
-pub use stats::{phase_label, AbortCause, Breakdown, Phase, StatsHandle, TxStats, PHASES};
+pub use stats::{
+    phase_label, AbortCause, Breakdown, Phase, StatsHandle, TxStats, ABORT_CAUSES, PHASES,
+};
+pub use trace::{
+    chrome_trace, tx_trace_sink, TxEvent, TxEventKind, TxTrace, TxTraceBuffer, TxTraceSink,
+};
 pub use variants::{CglStm, EgpgvStm, LockStm, NorecStm, OptimizedStm};
 pub use version_lock::VersionLock;
 pub use warptx::WarpTx;

@@ -1,0 +1,233 @@
+//! Contention profiling over a transaction event stream.
+//!
+//! [`ContentionProfile`] folds a [`TxEvent`](crate::trace::TxEvent)
+//! stream into the two aggregates the telemetry layer reports:
+//!
+//! - **per-stripe conflict counts** — how many times each lock-table
+//!   stripe was observed busy (`Conflict` events), identifying hot
+//!   addresses/stripes;
+//! - **abort-cause time series** — abort lane-counts per
+//!   [`AbortCause`], bucketed over the run's cycle range, showing *when*
+//!   contention happened, not just how much.
+//!
+//! Both render as a terminal heatmap ([`ContentionProfile::heatmap`])
+//! and as a machine-readable JSON report
+//! ([`ContentionProfile::to_json`], stable field order).
+
+use crate::stats::ABORT_CAUSES;
+use crate::trace::{TxEvent, TxEventKind};
+use gpu_sim::json::JsonWriter;
+use std::collections::BTreeMap;
+
+/// Number of time buckets the cycle range is divided into.
+pub const TIME_BUCKETS: usize = 32;
+
+/// Aggregated contention statistics from one run's event stream.
+#[derive(Clone, Debug, Default)]
+pub struct ContentionProfile {
+    /// Busy-lock observations per stripe, keyed by stripe index
+    /// (deterministic iteration order).
+    pub stripe_conflicts: BTreeMap<u32, u64>,
+    /// Conflict observations per stripe per time bucket.
+    stripe_series: BTreeMap<u32, [u64; TIME_BUCKETS]>,
+    /// Aborted lanes per cause per time bucket (indexed by
+    /// [`AbortCause::index`]).
+    pub abort_series: [[u64; TIME_BUCKETS]; ABORT_CAUSES.len()],
+    /// Total aborted lanes per cause.
+    pub abort_totals: [u64; ABORT_CAUSES.len()],
+    /// First event cycle (0 when the stream was empty).
+    pub first_cycle: u64,
+    /// Last event cycle.
+    pub last_cycle: u64,
+    /// Number of events folded in.
+    pub events: u64,
+}
+
+impl ContentionProfile {
+    /// Builds a profile from a cycle-ordered event stream (e.g. a
+    /// [`TxTraceBuffer::snapshot`](crate::trace::TxTraceBuffer::snapshot)).
+    pub fn from_events(events: &[TxEvent]) -> Self {
+        let mut p = ContentionProfile::default();
+        if events.is_empty() {
+            return p;
+        }
+        p.first_cycle = events.iter().map(|e| e.cycle).min().unwrap_or(0);
+        p.last_cycle = events.iter().map(|e| e.cycle).max().unwrap_or(0);
+        let span = (p.last_cycle - p.first_cycle).max(1);
+        for e in events {
+            p.events += 1;
+            let bucket = (((e.cycle - p.first_cycle) * TIME_BUCKETS as u64) / (span + 1))
+                .min(TIME_BUCKETS as u64 - 1) as usize;
+            match e.kind {
+                TxEventKind::Conflict { stripe } => {
+                    *p.stripe_conflicts.entry(stripe).or_insert(0) += 1;
+                    p.stripe_series.entry(stripe).or_insert([0; TIME_BUCKETS])[bucket] += 1;
+                }
+                TxEventKind::Abort { cause, lanes } => {
+                    p.abort_series[cause.index()][bucket] += lanes as u64;
+                    p.abort_totals[cause.index()] += lanes as u64;
+                }
+                _ => {}
+            }
+        }
+        p
+    }
+
+    /// Total busy-lock observations across all stripes.
+    pub fn total_conflicts(&self) -> u64 {
+        self.stripe_conflicts.values().sum()
+    }
+
+    /// Total aborted lanes across all causes.
+    pub fn total_aborts(&self) -> u64 {
+        self.abort_totals.iter().sum()
+    }
+
+    /// The `n` most-contended stripes, hottest first (ties broken by
+    /// stripe index for determinism).
+    pub fn hottest_stripes(&self, n: usize) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self.stripe_conflicts.iter().map(|(&s, &c)| (s, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+
+    fn intensity(count: u64, max: u64) -> char {
+        const RAMP: [char; 6] = [' ', '.', ':', '+', '#', '@'];
+        if count == 0 || max == 0 {
+            return RAMP[0];
+        }
+        let i = 1 + (count * (RAMP.len() as u64 - 2) / max) as usize;
+        RAMP[i.min(RAMP.len() - 1)]
+    }
+
+    /// Renders a terminal heatmap: one row per hot stripe (top `rows`)
+    /// and one per abort cause, columns = [`TIME_BUCKETS`] slices of the
+    /// run's cycle range, intensity ramp ` .:+#@`.
+    pub fn heatmap(&self, rows: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "contention heatmap  cycles {}..{}  ({} events, {} conflicts, {} aborted lanes)\n",
+            self.first_cycle,
+            self.last_cycle,
+            self.events,
+            self.total_conflicts(),
+            self.total_aborts(),
+        ));
+        out.push_str(&format!("time -> {} buckets, ramp ' .:+#@'\n", TIME_BUCKETS));
+        let hot = self.hottest_stripes(rows);
+        if hot.is_empty() {
+            out.push_str("  (no lock-stripe conflicts observed)\n");
+        }
+        for (stripe, total) in &hot {
+            let series = self.stripe_series.get(stripe).expect("hot stripe has a series");
+            let max = series.iter().copied().max().unwrap_or(0);
+            let row: String = series.iter().map(|&c| Self::intensity(c, max)).collect();
+            out.push_str(&format!("  stripe {stripe:>6} |{row}| {total}\n"));
+        }
+        for cause in ABORT_CAUSES {
+            let series = &self.abort_series[cause.index()];
+            let total = self.abort_totals[cause.index()];
+            if total == 0 {
+                continue;
+            }
+            let max = series.iter().copied().max().unwrap_or(0);
+            let row: String = series.iter().map(|&c| Self::intensity(c, max)).collect();
+            out.push_str(&format!("  {:>13} |{row}| {total}\n", cause.label()));
+        }
+        out
+    }
+
+    /// Serializes the profile into `w` as a JSON object with a stable
+    /// field order.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_u64("first_cycle", self.first_cycle);
+        w.field_u64("last_cycle", self.last_cycle);
+        w.field_u64("events", self.events);
+        w.field_u64("total_conflicts", self.total_conflicts());
+        w.field_u64("total_aborted_lanes", self.total_aborts());
+        w.key("stripe_conflicts");
+        w.begin_array();
+        for (&stripe, &count) in &self.stripe_conflicts {
+            w.begin_object();
+            w.field_u64("stripe", stripe as u64);
+            w.field_u64("conflicts", count);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("abort_causes");
+        w.begin_object();
+        for cause in ABORT_CAUSES {
+            w.key(cause.label());
+            w.begin_object();
+            w.field_u64("total_lanes", self.abort_totals[cause.index()]);
+            w.key("series");
+            w.begin_array();
+            for &c in &self.abort_series[cause.index()] {
+                w.u64(c);
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+    }
+
+    /// The JSON report as a standalone string.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::AbortCause;
+
+    fn ev(cycle: u64, kind: TxEventKind) -> TxEvent {
+        TxEvent { cycle, block: 0, warp: 0, kind }
+    }
+
+    #[test]
+    fn empty_stream_profiles_cleanly() {
+        let p = ContentionProfile::from_events(&[]);
+        assert_eq!(p.events, 0);
+        assert_eq!(p.total_conflicts(), 0);
+        assert!(p.heatmap(4).contains("no lock-stripe conflicts"));
+        assert!(p.to_json().starts_with(r#"{"first_cycle":0,"#));
+    }
+
+    #[test]
+    fn conflicts_and_aborts_aggregate() {
+        let events = vec![
+            ev(0, TxEventKind::Conflict { stripe: 7 }),
+            ev(10, TxEventKind::Conflict { stripe: 7 }),
+            ev(20, TxEventKind::Conflict { stripe: 3 }),
+            ev(30, TxEventKind::Abort { cause: AbortCause::LockBusy, lanes: 4 }),
+            ev(40, TxEventKind::Abort { cause: AbortCause::ReadValidation, lanes: 1 }),
+        ];
+        let p = ContentionProfile::from_events(&events);
+        assert_eq!(p.total_conflicts(), 3);
+        assert_eq!(p.total_aborts(), 5);
+        assert_eq!(p.hottest_stripes(1), vec![(7, 2)]);
+        let hm = p.heatmap(4);
+        assert!(hm.contains("stripe      7"), "{hm}");
+        assert!(hm.contains("lock-busy"), "{hm}");
+        let json = p.to_json();
+        assert!(json.contains(r#"{"stripe":3,"conflicts":1}"#), "{json}");
+        assert!(json.contains(r#""lock-busy":{"total_lanes":4,"#), "{json}");
+    }
+
+    #[test]
+    fn hottest_ties_break_by_stripe_index() {
+        let events = vec![
+            ev(0, TxEventKind::Conflict { stripe: 9 }),
+            ev(1, TxEventKind::Conflict { stripe: 2 }),
+        ];
+        let p = ContentionProfile::from_events(&events);
+        assert_eq!(p.hottest_stripes(2), vec![(2, 1), (9, 1)]);
+    }
+}

@@ -33,6 +33,7 @@
 
 use crate::api::Stm;
 use crate::stats::StatsHandle;
+use crate::trace::{TxEventKind, TxTrace, TxTraceSink};
 use crate::warptx::WarpTx;
 use gpu_sim::{Addr, LaneAddrs, LaneMask, LaneVals, Sim, SimError, WarpCtx};
 use std::cell::RefCell;
@@ -108,6 +109,7 @@ pub struct Robust<S> {
     /// Device word: 0 = free, `tid + 1` = escalated holder.
     fallback_lock: Addr,
     state: Rc<RefCell<RobustState>>,
+    trace: TxTrace,
 }
 
 impl<S: std::fmt::Debug> std::fmt::Debug for Robust<S> {
@@ -136,7 +138,18 @@ impl<S: Stm> Robust<S> {
             cfg,
             fallback_lock,
             state: Rc::new(RefCell::new(RobustState { rng: cfg.seed })),
+            trace: TxTrace::off(),
         })
+    }
+
+    /// Attaches a transaction-lifecycle trace sink: the wrapper emits
+    /// [`TxEventKind::Backoff`] for every abort-backoff span it charges
+    /// and [`TxEventKind::Escalate`] when a starving lane wins the
+    /// fallback lock. (Attach the same sink to the inner runtime for its
+    /// lifecycle events.)
+    pub fn with_trace(mut self, sink: TxTraceSink) -> Self {
+        self.trace = TxTrace::to(sink);
+        self
     }
 
     /// Wraps `inner` with default tuning.
@@ -280,6 +293,7 @@ impl<S: Stm> Stm for Robust<S> {
                     let old = ctx.atomic_cas_one(l, self.fallback_lock, 0, tid).await;
                     if old == 0 {
                         self.inner.stats().borrow_mut().escalations += 1;
+                        self.trace.emit(ctx, TxEventKind::Escalate { tid: tid - 1 });
                     }
                 }
             }
@@ -287,7 +301,9 @@ impl<S: Stm> Stm for Robust<S> {
 
         // Decorrelate lockstep retries with bounded randomized backoff.
         if aborted.any() {
-            ctx.idle(self.backoff_span(worst)).await;
+            let span = self.backoff_span(worst);
+            self.trace.emit(ctx, TxEventKind::Backoff { cycles: span });
+            ctx.idle(span).await;
         }
         committed
     }

@@ -16,6 +16,7 @@
 
 use crate::api::Stm;
 use crate::stats::StatsHandle;
+use crate::trace::{TxEventKind, TxTrace, TxTraceSink};
 use crate::warptx::WarpTx;
 use gpu_sim::{LaneAddrs, LaneMask, LaneVals, WarpCtx};
 use std::cell::RefCell;
@@ -110,11 +111,15 @@ struct SchedState {
 }
 
 impl SchedState {
-    fn record(&mut self, committed: u32, aborted: u32) {
+    /// Folds one resolved attempt into the window; at a window boundary
+    /// the AIMD step runs and the new limit is returned when it changed.
+    fn record(&mut self, committed: u32, aborted: u32) -> Option<u32> {
         self.window_commits += committed as u64;
         self.window_aborts += aborted as u64;
         let total = self.window_commits + self.window_aborts;
+        let mut changed = None;
         if total >= self.cfg.window {
+            let before = self.limit;
             let rate = self.window_aborts as f64 / total as f64;
             self.storm = rate > self.cfg.high_water;
             if rate > self.cfg.high_water {
@@ -128,7 +133,11 @@ impl SchedState {
             self.window_commits = 0;
             self.window_aborts = 0;
             self.adaptations += 1;
+            if self.limit != before {
+                changed = Some(self.limit);
+            }
         }
+        changed
     }
 }
 
@@ -141,6 +150,7 @@ impl SchedState {
 pub struct Scheduled<S> {
     inner: S,
     state: Rc<RefCell<SchedState>>,
+    trace: TxTrace,
 }
 
 impl<S: std::fmt::Debug> std::fmt::Debug for Scheduled<S> {
@@ -169,12 +179,21 @@ impl<S: Stm> Scheduled<S> {
             adaptations: 0,
             storm: false,
         };
-        Scheduled { inner, state: Rc::new(RefCell::new(state)) }
+        Scheduled { inner, state: Rc::new(RefCell::new(state)), trace: TxTrace::off() }
     }
 
     /// Wraps `inner` with default tuning.
     pub fn with_defaults(inner: S) -> Self {
         Scheduled::new(inner, SchedulerConfig::default())
+    }
+
+    /// Attaches a transaction-lifecycle trace sink: the wrapper emits
+    /// [`TxEventKind::Throttle`] whenever an adaptation window changes the
+    /// concurrency limit. (Attach the same sink to the inner runtime for
+    /// its lifecycle events.)
+    pub fn with_trace(mut self, sink: TxTraceSink) -> Self {
+        self.trace = TxTrace::to(sink);
+        self
     }
 
     /// Current concurrency limit (for tests and reporting).
@@ -259,9 +278,14 @@ impl<S: Stm> Stm for Scheduled<S> {
 
     async fn commit(&self, w: &mut WarpTx, ctx: &WarpCtx, mask: LaneMask) -> LaneMask {
         let committed = self.inner.commit(w, ctx, mask).await;
-        let mut st = self.state.borrow_mut();
-        st.in_flight = st.in_flight.saturating_sub(mask.count());
-        st.record(committed.count(), (mask & !committed).count());
+        let changed = {
+            let mut st = self.state.borrow_mut();
+            st.in_flight = st.in_flight.saturating_sub(mask.count());
+            st.record(committed.count(), (mask & !committed).count())
+        };
+        if let Some(limit) = changed {
+            self.trace.emit(ctx, TxEventKind::Throttle { limit });
+        }
         committed
     }
 

@@ -1,6 +1,7 @@
 //! Transactional statistics: commit/abort accounting and the per-phase
 //! execution-time breakdown used for the paper's Figure 5.
 
+use gpu_sim::json::JsonWriter;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -17,6 +18,39 @@ pub enum AbortCause {
     PreVbv,
     /// Encounter-time stripe lock was busy (EGPGV-style blocking STM).
     LockBusy,
+}
+
+/// All abort causes in display order.
+pub const ABORT_CAUSES: [AbortCause; 5] = [
+    AbortCause::ReadValidation,
+    AbortCause::CommitTbv,
+    AbortCause::CommitVbv,
+    AbortCause::PreVbv,
+    AbortCause::LockBusy,
+];
+
+impl AbortCause {
+    /// Short kebab-case label, used by exporters and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortCause::ReadValidation => "read-validation",
+            AbortCause::CommitTbv => "commit-tbv",
+            AbortCause::CommitVbv => "commit-vbv",
+            AbortCause::PreVbv => "pre-vbv",
+            AbortCause::LockBusy => "lock-busy",
+        }
+    }
+
+    /// Index of this cause within [`ABORT_CAUSES`].
+    pub fn index(self) -> usize {
+        match self {
+            AbortCause::ReadValidation => 0,
+            AbortCause::CommitTbv => 1,
+            AbortCause::CommitVbv => 2,
+            AbortCause::PreVbv => 3,
+            AbortCause::LockBusy => 4,
+        }
+    }
 }
 
 /// Execution phases of a transactional thread, matching the paper's
@@ -91,6 +125,24 @@ impl Breakdown {
     /// used by the proportional attempt flush).
     pub(crate) fn add_index(&mut self, i: usize, v: f64) {
         self.cycles[i] += v;
+    }
+
+    /// Serializes per-phase cycles into `w` as a JSON object keyed by
+    /// [`phase_label`], in [`PHASES`] order, with the total last.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        for p in PHASES {
+            w.field_f64(phase_label(p), self.get(p));
+        }
+        w.field_f64("total", self.total());
+        w.end_object();
+    }
+
+    /// The breakdown as a standalone JSON object.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
     }
 }
 
@@ -189,6 +241,41 @@ impl TxStats {
             self.aborts as f64 / attempts as f64
         }
     }
+
+    /// Serializes the counters plus derived metrics and the phase
+    /// breakdown into `w` as a JSON object, in a stable field order (raw
+    /// counters first, derived rates, then the breakdown) so report diffs
+    /// are reviewable.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_u64("commits", self.commits);
+        w.field_u64("read_only_commits", self.read_only_commits);
+        w.field_u64("aborts", self.aborts);
+        w.field_u64("aborts_read_validation", self.aborts_read_validation);
+        w.field_u64("aborts_commit_tbv", self.aborts_commit_tbv);
+        w.field_u64("aborts_commit_vbv", self.aborts_commit_vbv);
+        w.field_u64("aborts_pre_vbv", self.aborts_pre_vbv);
+        w.field_u64("aborts_lock_busy", self.aborts_lock_busy);
+        w.field_u64("lock_retries", self.lock_retries);
+        w.field_u64("false_conflicts_filtered", self.false_conflicts_filtered);
+        w.field_u64("reads_committed", self.reads_committed);
+        w.field_u64("writes_committed", self.writes_committed);
+        w.field_u64("max_consec_aborts", self.max_consec_aborts);
+        w.field_u64("escalations", self.escalations);
+        w.field_u64("fallback_commits", self.fallback_commits);
+        w.field_f64("abort_rate", self.abort_rate());
+        w.key("breakdown");
+        self.breakdown.write_json(w);
+        w.end_object();
+    }
+
+    /// The counters as a standalone JSON object (see
+    /// [`write_json`](Self::write_json)).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
 }
 
 /// Shared handle to run statistics, cloned into each variant.
@@ -251,5 +338,27 @@ mod tests {
     #[test]
     fn empty_breakdown_percent_is_zero() {
         assert_eq!(Breakdown::new().percent(Phase::Native), 0.0);
+    }
+
+    #[test]
+    fn cause_labels_and_indices_are_unique() {
+        let labels: std::collections::HashSet<_> = ABORT_CAUSES.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), ABORT_CAUSES.len());
+        for (i, c) in ABORT_CAUSES.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn tx_stats_json_stable_order() {
+        let mut s = TxStats::new();
+        s.commits = 3;
+        s.record_abort(AbortCause::LockBusy);
+        s.breakdown.add(Phase::Commit, 10.0);
+        let j = s.to_json();
+        assert!(j.starts_with(r#"{"commits":3,"#), "{j}");
+        assert!(j.contains(r#""abort_rate":0.250000"#), "{j}");
+        assert!(j.contains(r#""breakdown":{"native":0.000000,"#), "{j}");
+        assert!(j.ends_with(r#""total":10.000000}}"#), "{j}");
     }
 }

@@ -13,6 +13,7 @@
 use crate::api::Stm;
 use crate::history::{Access, CommittedTx, Recorder};
 use crate::stats::{stats_handle, Phase, StatsHandle};
+use crate::trace::{TxEventKind, TxTrace, TxTraceSink};
 use crate::warptx::WarpTx;
 use gpu_sim::{Addr, LaneAddrs, LaneMask, LaneVals, Sim, SimError, WarpCtx};
 
@@ -26,6 +27,7 @@ pub struct CglStm {
     lock: Addr,
     stats: StatsHandle,
     recorder: Option<Recorder>,
+    trace: TxTrace,
 }
 
 impl std::fmt::Debug for CglStm {
@@ -41,12 +43,24 @@ impl CglStm {
     ///
     /// Returns [`SimError::OutOfMemory`] when the device is full.
     pub fn init(sim: &mut Sim) -> Result<Self, SimError> {
-        Ok(CglStm { lock: sim.alloc(1)?, stats: stats_handle(), recorder: None })
+        Ok(CglStm {
+            lock: sim.alloc(1)?,
+            stats: stats_handle(),
+            recorder: None,
+            trace: TxTrace::off(),
+        })
     }
 
     /// Attaches a history recorder.
     pub fn with_recorder(mut self, rec: Recorder) -> Self {
         self.recorder = Some(rec);
+        self
+    }
+
+    /// Attaches a transaction-lifecycle trace sink (pure observation; see
+    /// [`crate::trace`]).
+    pub fn with_trace(mut self, sink: TxTraceSink) -> Self {
+        self.trace = TxTrace::to(sink);
         self
     }
 }
@@ -73,6 +87,7 @@ impl Stm for CglStm {
         w.enter_phase(ctx.now(), Phase::Locking);
         let old = ctx.atomic_cas_one(leader, self.lock, 0, 1).await;
         if old != 0 {
+            self.trace.emit(ctx, TxEventKind::Lock { lanes: 1, busy: 1 });
             // Contended: deterministic exponential backoff, seeded by the
             // thread id so warps desynchronise.
             let base = (w.backoff.max(32) * 2).min(MAX_BACKOFF);
@@ -85,6 +100,8 @@ impl Stm for CglStm {
         w.backoff = 0;
         w.reset_lane(leader);
         w.enter_phase(ctx.now(), Phase::Native);
+        self.trace.emit(ctx, TxEventKind::Lock { lanes: 1, busy: 0 });
+        self.trace.emit(ctx, TxEventKind::Begin { lanes: 1 });
         LaneMask::lane(leader)
     }
 
@@ -95,6 +112,7 @@ impl Stm for CglStm {
         mask: LaneMask,
         addrs: &LaneAddrs,
     ) -> LaneVals {
+        self.trace.emit(ctx, TxEventKind::Read { lanes: mask.count() });
         let vals = ctx.load(mask, addrs).await;
         if self.recorder.is_some() {
             for l in mask.iter() {
@@ -118,6 +136,7 @@ impl Stm for CglStm {
         vals: &LaneVals,
     ) {
         // In-place update: the global lock is held.
+        self.trace.emit(ctx, TxEventKind::Write { lanes: mask.count() });
         ctx.store(mask, addrs, vals).await;
         if self.recorder.is_some() {
             for l in mask.iter() {
@@ -163,6 +182,7 @@ impl Stm for CglStm {
             let mut st = self.stats.borrow_mut();
             w.flush_attempt(&mut st.breakdown, 1, 0);
         }
+        self.trace.emit(ctx, TxEventKind::Commit { committed: 1, aborted: 0 });
         ctx.mark_progress();
         mask
     }

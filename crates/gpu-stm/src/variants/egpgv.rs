@@ -18,6 +18,7 @@ use crate::config::StmConfig;
 use crate::history::{Access, CommittedTx, Recorder};
 use crate::shared::StmShared;
 use crate::stats::{stats_handle, AbortCause, Phase, StatsHandle};
+use crate::trace::{TxEventKind, TxTrace, TxTraceSink};
 use crate::version_lock::VersionLock;
 use crate::warptx::WarpTx;
 use gpu_sim::{
@@ -34,6 +35,7 @@ pub struct EgpgvStm {
     max_blocks: u32,
     stats: StatsHandle,
     recorder: Option<Recorder>,
+    trace: TxTrace,
 }
 
 impl std::fmt::Debug for EgpgvStm {
@@ -61,12 +63,20 @@ impl EgpgvStm {
             max_blocks: Self::MAX_BLOCKS,
             stats: stats_handle(),
             recorder: None,
+            trace: TxTrace::off(),
         })
     }
 
     /// Attaches a history recorder.
     pub fn with_recorder(mut self, rec: Recorder) -> Self {
         self.recorder = Some(rec);
+        self
+    }
+
+    /// Attaches a transaction-lifecycle trace sink (pure observation; see
+    /// [`crate::trace`]).
+    pub fn with_trace(mut self, sink: TxTraceSink) -> Self {
+        self.trace = TxTrace::to(sink);
         self
     }
 
@@ -106,6 +116,7 @@ impl EgpgvStm {
         w.acquired[lane] = 0;
         w.mark_inconsistent(lane);
         self.stats.borrow_mut().record_abort(AbortCause::LockBusy);
+        self.trace.emit(ctx, TxEventKind::Abort { cause: AbortCause::LockBusy, lanes: 1 });
         if let Some(rec) = &self.recorder {
             rec.borrow_mut().aborts += 1;
         }
@@ -127,6 +138,7 @@ impl EgpgvStm {
         laddrs[lane] = self.shared.lock_addr(idx);
         let old = ctx.atomic_rmw(m, AtomicOp::Or, &laddrs, &[1u32; WARP_SIZE]).await;
         if VersionLock(old[lane]).is_locked() {
+            self.trace.emit(ctx, TxEventKind::Conflict { stripe: idx });
             self.abort_busy(w, ctx, lane).await;
             return false;
         }
@@ -155,6 +167,7 @@ impl Stm for EgpgvStm {
         w.enter_phase(ctx.now(), Phase::Init);
         let old = ctx.atomic_cas_one(leader, self.block_lock(ctx), 0, 1).await;
         if old != 0 {
+            self.trace.emit(ctx, TxEventKind::Lock { lanes: 1, busy: 1 });
             let base = (w.backoff.max(64) * 2).min(2048);
             w.backoff = base;
             let jitter = (ctx.id().thread_id(leader) as u64).wrapping_mul(2654435761) % base;
@@ -165,6 +178,8 @@ impl Stm for EgpgvStm {
         w.backoff = 0;
         w.reset_lane(leader);
         w.enter_phase(ctx.now(), Phase::Native);
+        self.trace.emit(ctx, TxEventKind::Lock { lanes: 1, busy: 0 });
+        self.trace.emit(ctx, TxEventKind::Begin { lanes: 1 });
         LaneMask::lane(leader)
     }
 
@@ -175,6 +190,7 @@ impl Stm for EgpgvStm {
         mask: LaneMask,
         addrs: &LaneAddrs,
     ) -> LaneVals {
+        self.trace.emit(ctx, TxEventKind::Read { lanes: mask.count() });
         let mut out = [0u32; WARP_SIZE];
         for l in mask.iter() {
             if !w.opaque.contains(l) {
@@ -207,6 +223,7 @@ impl Stm for EgpgvStm {
         addrs: &LaneAddrs,
         vals: &LaneVals,
     ) {
+        self.trace.emit(ctx, TxEventKind::Write { lanes: mask.count() });
         for l in mask.iter() {
             if !w.opaque.contains(l) {
                 continue;
@@ -295,6 +312,13 @@ impl Stm for EgpgvStm {
             let mut st = self.stats.borrow_mut();
             w.flush_attempt(&mut st.breakdown, committed.count(), m.count() - committed.count());
         }
+        self.trace.emit(
+            ctx,
+            TxEventKind::Commit {
+                committed: committed.count(),
+                aborted: m.count() - committed.count(),
+            },
+        );
         if committed.any() {
             ctx.mark_progress();
         }

@@ -16,6 +16,7 @@ use crate::config::{Locking, StmConfig, Validation};
 use crate::history::{Access, CommittedTx, Recorder};
 use crate::shared::StmShared;
 use crate::stats::{stats_handle, AbortCause, Phase, StatsHandle};
+use crate::trace::{TxEventKind, TxTrace, TxTraceSink};
 use crate::validation::{post_validation, vbv};
 use crate::version_lock::VersionLock;
 use crate::warptx::WarpTx;
@@ -30,6 +31,7 @@ pub struct LockStm {
     locking: Locking,
     stats: StatsHandle,
     recorder: Option<Recorder>,
+    trace: TxTrace,
     name: &'static str,
 }
 
@@ -51,7 +53,16 @@ impl LockStm {
         locking: Locking,
         name: &'static str,
     ) -> Self {
-        LockStm { shared, cfg, validation, locking, stats: stats_handle(), recorder: None, name }
+        LockStm {
+            shared,
+            cfg,
+            validation,
+            locking,
+            stats: stats_handle(),
+            recorder: None,
+            trace: TxTrace::off(),
+            name,
+        }
     }
 
     /// Timestamp-based validation with encounter-time lock-sorting
@@ -81,6 +92,13 @@ impl LockStm {
     /// Attaches a history recorder (for the opacity checker).
     pub fn with_recorder(mut self, rec: Recorder) -> Self {
         self.recorder = Some(rec);
+        self
+    }
+
+    /// Attaches a transaction-lifecycle trace sink (pure observation; see
+    /// [`crate::trace`]).
+    pub fn with_trace(mut self, sink: TxTraceSink) -> Self {
+        self.trace = TxTrace::to(sink);
         self
     }
 
@@ -194,6 +212,8 @@ impl LockStm {
                 let vl = VersionLock(old[l]);
                 if vl.is_locked() {
                     // Someone else holds it: stop acquiring, release later.
+                    let e = w.locklog[l].nth_sorted(k).expect("lock-log cursor in range");
+                    self.trace.emit(ctx, TxEventKind::Conflict { stripe: e.lock });
                     failed |= LaneMask::lane(l);
                     trying = trying.without(l);
                 } else {
@@ -209,6 +229,7 @@ impl LockStm {
             self.release_locks(w, ctx, failed).await; // line 47
             self.stats.borrow_mut().lock_retries += failed.count() as u64;
         }
+        self.trace.emit(ctx, TxEventKind::Lock { lanes: active.count(), busy: failed.count() });
         (trying, failed)
     }
 
@@ -284,6 +305,11 @@ impl LockStm {
                 for _ in 0..hard_failed.count() {
                     st.record_abort(AbortCause::CommitTbv);
                 }
+                drop(st);
+                self.trace.emit(
+                    ctx,
+                    TxEventKind::Abort { cause: AbortCause::CommitTbv, lanes: hard_failed.count() },
+                );
             }
         }
         // Lines 75–78: value-based validation where TBV failed.
@@ -300,6 +326,23 @@ impl LockStm {
                     for _ in 0..vbv_failed.count() {
                         st.record_abort(AbortCause::CommitVbv);
                     }
+                    drop(st);
+                    if vbv_failed.any() {
+                        self.trace.emit(
+                            ctx,
+                            TxEventKind::Abort {
+                                cause: AbortCause::CommitVbv,
+                                lanes: vbv_failed.count(),
+                            },
+                        );
+                    }
+                    self.trace.emit(
+                        ctx,
+                        TxEventKind::Validate {
+                            checked: need_check.count(),
+                            failed: vbv_failed.count(),
+                        },
+                    );
                 }
                 Validation::Tbv => {
                     // Pure TBV: a stale read stripe is a conflict, full stop.
@@ -308,6 +351,21 @@ impl LockStm {
                     for _ in 0..need_check.count() {
                         st.record_abort(AbortCause::CommitTbv);
                     }
+                    drop(st);
+                    self.trace.emit(
+                        ctx,
+                        TxEventKind::Abort {
+                            cause: AbortCause::CommitTbv,
+                            lanes: need_check.count(),
+                        },
+                    );
+                    self.trace.emit(
+                        ctx,
+                        TxEventKind::Validate {
+                            checked: need_check.count(),
+                            failed: need_check.count(),
+                        },
+                    );
                 }
             }
         }
@@ -415,6 +473,9 @@ impl Stm for LockStm {
         }
         ctx.fence(want).await; // line 5
         w.enter_phase(ctx.now(), Phase::Native);
+        if want.any() {
+            self.trace.emit(ctx, TxEventKind::Begin { lanes: want.count() });
+        }
         want
     }
 
@@ -427,6 +488,7 @@ impl Stm for LockStm {
         addrs: &LaneAddrs,
     ) -> LaneVals {
         w.enter_phase(ctx.now(), Phase::Buffering);
+        self.trace.emit(ctx, TxEventKind::Read { lanes: mask.count() });
         let mut out = [0u32; WARP_SIZE];
         // Line 22: write-set lookup through the Bloom filter (or, in the
         // ablation, a full write-set scan — same result, higher cost).
@@ -472,6 +534,7 @@ impl Stm for LockStm {
         }
         let stale = need
             .filter(|l| VersionLock(words[l]).version() > w.snapshot[l] && w.opaque.contains(l));
+        let mut rv_failed = 0u32;
         if stale.any() {
             match self.validation {
                 Validation::Tbv => {
@@ -484,6 +547,7 @@ impl Stm for LockStm {
                     if let Some(rec) = &self.recorder {
                         rec.borrow_mut().aborts += stale.count() as u64;
                     }
+                    rv_failed = stale.count();
                 }
                 Validation::Hv => {
                     // Lines 31–33: hierarchical fallback to VBV.
@@ -498,9 +562,17 @@ impl Stm for LockStm {
                     if let Some(rec) = &self.recorder {
                         rec.borrow_mut().aborts += failed.count() as u64;
                     }
+                    rv_failed = failed.count();
                 }
             }
         }
+        if rv_failed > 0 {
+            self.trace.emit(
+                ctx,
+                TxEventKind::Abort { cause: AbortCause::ReadValidation, lanes: rv_failed },
+            );
+        }
+        self.trace.emit(ctx, TxEventKind::Validate { checked: need.count(), failed: rv_failed });
 
         // Line 34: record the lock for commit-time acquisition (skipped in
         // the write-only-locking ablation, which validates reads unlocked).
@@ -527,6 +599,7 @@ impl Stm for LockStm {
         vals: &LaneVals,
     ) {
         w.enter_phase(ctx.now(), Phase::Buffering);
+        self.trace.emit(ctx, TxEventKind::Write { lanes: mask.count() });
         let mut max_cmp = 0;
         for l in mask.iter() {
             w.writes.insert(l, addrs[l], vals[l]);
@@ -593,6 +666,10 @@ impl Stm for LockStm {
                     st.record_abort(AbortCause::PreVbv);
                 }
                 drop(st);
+                self.trace.emit(
+                    ctx,
+                    TxEventKind::Abort { cause: AbortCause::PreVbv, lanes: failed.count() },
+                );
                 if let Some(rec) = &self.recorder {
                     rec.borrow_mut().aborts += failed.count() as u64;
                 }
@@ -646,6 +723,10 @@ impl Stm for LockStm {
             let breakdown = &mut st.breakdown;
             w.flush_attempt(breakdown, committed.count(), resolved_aborts);
         }
+        self.trace.emit(
+            ctx,
+            TxEventKind::Commit { committed: committed.count(), aborted: resolved_aborts },
+        );
         if committed.any() {
             // Tell the simulator's progress monitor a transaction landed,
             // so contention shows up as livelock/budget pressure rather

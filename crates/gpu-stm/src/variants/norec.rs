@@ -15,6 +15,7 @@ use crate::config::StmConfig;
 use crate::history::{Access, CommittedTx, Recorder};
 use crate::shared::StmShared;
 use crate::stats::{stats_handle, AbortCause, Phase, StatsHandle};
+use crate::trace::{TxEventKind, TxTrace, TxTraceSink};
 use crate::validation::vbv;
 use crate::warptx::WarpTx;
 use gpu_sim::{LaneAddrs, LaneMask, LaneVals, WarpCtx, WARP_SIZE};
@@ -26,6 +27,7 @@ pub struct NorecStm {
     cfg: StmConfig,
     stats: StatsHandle,
     recorder: Option<Recorder>,
+    trace: TxTrace,
 }
 
 impl std::fmt::Debug for NorecStm {
@@ -38,12 +40,19 @@ impl NorecStm {
     /// Creates the variant. Only the global clock word of `shared` is
     /// used; the lock table is ignored (NOrec's defining property).
     pub fn new(shared: StmShared, cfg: StmConfig) -> Self {
-        NorecStm { shared, cfg, stats: stats_handle(), recorder: None }
+        NorecStm { shared, cfg, stats: stats_handle(), recorder: None, trace: TxTrace::off() }
     }
 
     /// Attaches a history recorder.
     pub fn with_recorder(mut self, rec: Recorder) -> Self {
         self.recorder = Some(rec);
+        self
+    }
+
+    /// Attaches a transaction-lifecycle trace sink (pure observation; see
+    /// [`crate::trace`]).
+    pub fn with_trace(mut self, sink: TxTraceSink) -> Self {
+        self.trace = TxTrace::to(sink);
         self
     }
 
@@ -61,6 +70,16 @@ impl NorecStm {
         if let Some(rec) = &self.recorder {
             rec.borrow_mut().aborts += failed.count() as u64;
         }
+        // Events carry the initial (read-validation) cause even when the
+        // stats later reclassify a commit-time failure; totals reconcile.
+        if failed.any() {
+            self.trace.emit(
+                ctx,
+                TxEventKind::Abort { cause: AbortCause::ReadValidation, lanes: failed.count() },
+            );
+        }
+        self.trace
+            .emit(ctx, TxEventKind::Validate { checked: lanes.count(), failed: failed.count() });
         for l in failed.iter() {
             w.mark_inconsistent(l);
         }
@@ -106,6 +125,9 @@ impl Stm for NorecStm {
         }
         ctx.fence(want).await;
         w.enter_phase(ctx.now(), Phase::Native);
+        if want.any() {
+            self.trace.emit(ctx, TxEventKind::Begin { lanes: want.count() });
+        }
         want
     }
 
@@ -117,6 +139,7 @@ impl Stm for NorecStm {
         addrs: &LaneAddrs,
     ) -> LaneVals {
         w.enter_phase(ctx.now(), Phase::Buffering);
+        self.trace.emit(ctx, TxEventKind::Read { lanes: mask.count() });
         let mut out = [0u32; WARP_SIZE];
         let mut hits = LaneMask::EMPTY;
         for l in mask.iter() {
@@ -179,6 +202,7 @@ impl Stm for NorecStm {
         vals: &LaneVals,
     ) {
         w.enter_phase(ctx.now(), Phase::Buffering);
+        self.trace.emit(ctx, TxEventKind::Write { lanes: mask.count() });
         for l in mask.iter() {
             w.writes.insert(l, addrs[l], vals[l]);
         }
@@ -236,6 +260,10 @@ impl Stm for NorecStm {
             let new_vals: [u32; WARP_SIZE] = std::array::from_fn(|l| w.snapshot[l].wrapping_add(1));
             let old = ctx.atomic_cas(active, &clock_addrs, &cmp_vals, &new_vals).await;
             let winner = active.filter(|l| old[l] == w.snapshot[l]);
+            self.trace.emit(
+                ctx,
+                TxEventKind::Lock { lanes: active.count(), busy: (active & !winner).count() },
+            );
 
             if let Some(l) = winner.leader() {
                 let m = LaneMask::lane(l);
@@ -304,6 +332,7 @@ impl Stm for NorecStm {
             let mut st = self.stats.borrow_mut();
             w.flush_attempt(&mut st.breakdown, committed.count(), aborted);
         }
+        self.trace.emit(ctx, TxEventKind::Commit { committed: committed.count(), aborted });
         if committed.any() {
             ctx.mark_progress();
         }

@@ -14,6 +14,7 @@ use crate::config::{StmConfig, Validation};
 use crate::history::Recorder;
 use crate::shared::StmShared;
 use crate::stats::StatsHandle;
+use crate::trace::TxTraceSink;
 use crate::variants::LockStm;
 use crate::warptx::WarpTx;
 use gpu_sim::{LaneAddrs, LaneMask, LaneVals, WarpCtx};
@@ -41,6 +42,12 @@ impl OptimizedStm {
     /// Attaches a history recorder.
     pub fn with_recorder(self, rec: Recorder) -> Self {
         OptimizedStm { inner: self.inner.with_recorder(rec) }
+    }
+
+    /// Attaches a transaction-lifecycle trace sink (pure observation; see
+    /// [`crate::trace`]).
+    pub fn with_trace(self, sink: TxTraceSink) -> Self {
+        OptimizedStm { inner: self.inner.with_trace(sink) }
     }
 
     /// Which validation strategy the adaptation chose.

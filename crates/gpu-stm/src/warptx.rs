@@ -105,12 +105,14 @@ impl WarpTx {
     /// split between committed phases and the `Aborted` bucket in
     /// proportion to how many lanes committed vs aborted.
     pub fn flush_attempt(&mut self, breakdown: &mut Breakdown, committed: u32, aborted: u32) {
+        let before = breakdown.total();
         let native = std::mem::replace(&mut self.attempt[Phase::Native as usize], 0.0);
         breakdown.add(Phase::Native, native);
         let total_lanes = committed + aborted;
         if total_lanes == 0 {
             // Nothing resolved; keep accumulating for the next flush.
             self.attempt[Phase::Native as usize] = 0.0;
+            Self::check_conservation(breakdown, before, native);
             return;
         }
         let cf = committed as f64 / total_lanes as f64;
@@ -125,6 +127,22 @@ impl WarpTx {
             breakdown.add_index(i, v * cf);
         }
         breakdown.add(Phase::Aborted, tx_total * af);
+        Self::check_conservation(breakdown, before, native + tx_total);
+    }
+
+    /// Debug-build cross-check: a flush must grow the breakdown's total by
+    /// exactly the cycles it drained from the attempt buffer — the
+    /// proportional committed/aborted split redistributes time between
+    /// phases but must never create or lose any (silent phase-attribution
+    /// drift would corrupt the Figure 5 reproduction).
+    #[inline]
+    fn check_conservation(breakdown: &Breakdown, before: f64, drained: f64) {
+        let _ = (breakdown, before, drained);
+        debug_assert!(
+            (breakdown.total() - before - drained).abs() <= 1e-6 * drained.abs().max(1.0),
+            "breakdown drift: total went {before} -> {} but {drained} cycles were drained",
+            breakdown.total()
+        );
     }
 }
 
@@ -213,5 +231,33 @@ mod tests {
         w.flush_attempt(&mut b, 32, 0);
         assert_eq!(b.get(Phase::Locking), 30.0);
         assert_eq!(b.get(Phase::Commit), 10.0);
+    }
+
+    #[test]
+    fn flush_conserves_attributed_cycles() {
+        // Phase cycles drained from the attempt buffer must land in the
+        // breakdown exactly, whatever the committed/aborted split.
+        for (committed, aborted) in [(32, 0), (0, 32), (1, 3), (7, 11), (0, 0)] {
+            let mut w = WarpTx::new(&cfg());
+            let mut b = Breakdown::new();
+            w.enter_phase(5, Phase::Init); // 5 native cycles
+            w.enter_phase(10, Phase::Buffering);
+            w.enter_phase(40, Phase::Consistency);
+            w.enter_phase(41, Phase::Locking);
+            w.enter_phase(100, Phase::Commit);
+            w.enter_phase(163, Phase::Native);
+            w.flush_attempt(&mut b, committed, aborted);
+            let expected = if committed + aborted == 0 { 5.0 } else { 163.0 };
+            assert!(
+                (b.total() - expected).abs() < 1e-9,
+                "split {committed}/{aborted}: total {} != {expected}",
+                b.total()
+            );
+            if committed + aborted > 0 {
+                // The residue drains on the next resolving flush.
+                w.flush_attempt(&mut b, 1, 0);
+                assert!((b.total() - 163.0).abs() < 1e-9);
+            }
+        }
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::outcome::RunOutcome;
 use gpu_sim::{RunReport, SimConfig};
-use gpu_stm::{Recorder, Stm, StmConfig};
+use gpu_stm::{Recorder, Stm, StmConfig, TxTraceSink};
 
 /// Bundle of knobs common to every workload run.
 #[derive(Clone, Debug, Default)]
@@ -13,6 +13,9 @@ pub struct RunConfig {
     pub stm: StmConfig,
     /// Optional history recorder for correctness checking.
     pub recorder: Option<Recorder>,
+    /// Optional transaction-lifecycle trace sink ([`gpu_stm::trace`]).
+    /// Attach a simulator sink via `sim.trace` for the machine side.
+    pub trace: Option<TxTraceSink>,
 }
 
 impl RunConfig {
@@ -24,6 +27,13 @@ impl RunConfig {
     /// Sets the number of global version locks.
     pub fn with_locks(mut self, n_locks: u32) -> Self {
         self.stm = StmConfig::new(n_locks);
+        self
+    }
+
+    /// Attaches a transaction-lifecycle trace sink to every STM variant
+    /// the config dispatches.
+    pub fn with_trace(mut self, sink: TxTraceSink) -> Self {
+        self.trace = Some(sink);
         self
     }
 }

@@ -172,6 +172,7 @@ pub fn run(
         params.hot_words as u64,
         grid,
         cfg.recorder.clone(),
+        cfg.trace.clone(),
         EbRunner { params: *params, grid, hot, mild, cold },
     )
 }

@@ -223,6 +223,7 @@ pub fn run(
         params.table_words as u64,
         grid1,
         cfg.recorder.clone(),
+        cfg.trace.clone(),
         DedupRunner { params: *params, grid: grid1, table },
     )?;
 
@@ -252,6 +253,7 @@ pub fn run(
         params.table_words as u64,
         grid2,
         cfg.recorder.clone(),
+        cfg.trace.clone(),
         LinkRunner { params: *params, grid: grid2, n_unique, table, next, prev },
     )?;
 

@@ -154,6 +154,7 @@ pub fn run(
         params.table_words as u64,
         grid,
         cfg.recorder.clone(),
+        cfg.trace.clone(),
         HtRunner { params: *params, grid, table },
     )?;
 

@@ -175,6 +175,7 @@ pub fn run(
         params.shared_words() as u64,
         grid,
         cfg.recorder.clone(),
+        cfg.trace.clone(),
         KmRunner { params: *params, grid, accum },
     )?;
 

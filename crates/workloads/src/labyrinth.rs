@@ -259,6 +259,7 @@ pub fn run(
         n_cells as u64,
         grid,
         cfg.recorder.clone(),
+        cfg.trace.clone(),
         LbRunner { params: *params, grid, cells, queue, result },
     )?;
 

@@ -123,6 +123,7 @@ pub fn run(
         params.shared_words as u64,
         grid,
         cfg.recorder.clone(),
+        cfg.trace.clone(),
         RaRunner { params: *params, grid, data },
     )
 }
@@ -144,6 +145,7 @@ pub fn run_with_sim(
         params.shared_words as u64,
         grid,
         cfg.recorder.clone(),
+        cfg.trace.clone(),
         RaRunner { params: *params, grid, data },
     )?;
     Ok((out, sim, data))

@@ -7,6 +7,7 @@ use crate::outcome::RunError;
 use gpu_sim::{LaunchConfig, Sim};
 use gpu_stm::{
     CglStm, EgpgvStm, LockStm, NorecStm, OptimizedStm, Recorder, Stm, StmConfig, StmShared,
+    TxTraceSink,
 };
 use std::rc::Rc;
 
@@ -67,6 +68,29 @@ impl Variant {
             Variant::Optimized => "STM-Optimized",
         }
     }
+
+    /// Short machine-friendly name (CLI arguments, report keys).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Variant::Cgl => "cgl",
+            Variant::Egpgv => "egpgv",
+            Variant::Vbv => "vbv",
+            Variant::TbvSorting => "tbv-sorting",
+            Variant::HvSorting => "hv-sorting",
+            Variant::HvBackoff => "hv-backoff",
+            Variant::TbvBackoff => "tbv-backoff",
+            Variant::Optimized => "optimized",
+        }
+    }
+
+    /// Parses a variant from its short name or paper label
+    /// (case-insensitive).
+    pub fn parse(s: &str) -> Option<Variant> {
+        let lower = s.to_ascii_lowercase();
+        Variant::ALL
+            .into_iter()
+            .find(|v| v.short_name() == lower || v.label().to_ascii_lowercase() == lower)
+    }
 }
 
 impl std::fmt::Display for Variant {
@@ -88,12 +112,15 @@ pub trait StmRunner {
 /// `runner` with the concrete STM.
 ///
 /// `shared_data_words` drives STM-Optimized's HV/TBV choice; `grid` is used
-/// to reject launches the EGPGV design cannot support.
+/// to reject launches the EGPGV design cannot support. A `trace` sink, when
+/// given, receives the variant's transaction-lifecycle events
+/// ([`gpu_stm::trace`]).
 ///
 /// # Errors
 ///
 /// [`RunError::Unsupported`] when `variant` cannot run `grid`
 /// (EGPGV beyond its per-block metadata), or any simulator error.
+#[allow(clippy::too_many_arguments)] // one optional observer per concern; a builder would obscure the call sites
 pub fn dispatch<R: StmRunner>(
     sim: &mut Sim,
     variant: Variant,
@@ -101,6 +128,7 @@ pub fn dispatch<R: StmRunner>(
     shared_data_words: u64,
     grid: LaunchConfig,
     recorder: Option<Recorder>,
+    trace: Option<TxTraceSink>,
     runner: R,
 ) -> Result<R::Out, RunError> {
     match variant {
@@ -109,6 +137,9 @@ pub fn dispatch<R: StmRunner>(
             if let Some(rec) = recorder {
                 stm = stm.with_recorder(rec);
             }
+            if let Some(t) = trace {
+                stm = stm.with_trace(t);
+            }
             runner.run(sim, Rc::new(stm))
         }
         Variant::Egpgv => {
@@ -116,6 +147,9 @@ pub fn dispatch<R: StmRunner>(
             let mut stm = EgpgvStm::init(sim, shared, stm_cfg)?;
             if let Some(rec) = recorder {
                 stm = stm.with_recorder(rec);
+            }
+            if let Some(t) = trace {
+                stm = stm.with_trace(t);
             }
             if !stm.supports(grid) {
                 return Err(RunError::Unsupported(
@@ -131,6 +165,9 @@ pub fn dispatch<R: StmRunner>(
             if let Some(rec) = recorder {
                 stm = stm.with_recorder(rec);
             }
+            if let Some(t) = trace {
+                stm = stm.with_trace(t);
+            }
             runner.run(sim, Rc::new(stm))
         }
         Variant::Optimized => {
@@ -138,6 +175,9 @@ pub fn dispatch<R: StmRunner>(
             let mut stm = OptimizedStm::new(shared, stm_cfg, shared_data_words);
             if let Some(rec) = recorder {
                 stm = stm.with_recorder(rec);
+            }
+            if let Some(t) = trace {
+                stm = stm.with_trace(t);
             }
             runner.run(sim, Rc::new(stm))
         }
@@ -151,6 +191,9 @@ pub fn dispatch<R: StmRunner>(
             };
             if let Some(rec) = recorder {
                 stm = stm.with_recorder(rec);
+            }
+            if let Some(t) = trace {
+                stm = stm.with_trace(t);
             }
             runner.run(sim, Rc::new(stm))
         }
@@ -171,5 +214,15 @@ mod tests {
     fn figure2_excludes_baseline() {
         assert!(!Variant::FIGURE2.contains(&Variant::Cgl));
         assert_eq!(Variant::FIGURE2.len(), 6);
+    }
+
+    #[test]
+    fn parse_round_trips_short_names_and_labels() {
+        for v in Variant::ALL {
+            assert_eq!(Variant::parse(v.short_name()), Some(v));
+            assert_eq!(Variant::parse(v.label()), Some(v));
+            assert_eq!(Variant::parse(&v.label().to_uppercase()), Some(v));
+        }
+        assert_eq!(Variant::parse("no-such-stm"), None);
     }
 }

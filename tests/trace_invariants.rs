@@ -1,0 +1,119 @@
+//! Telemetry invariants, checked across every STM variant on a small
+//! deterministic hashtable workload:
+//!
+//! 1. **Well-nesting** — per warp, every `Commit` event is preceded by at
+//!    least one `Begin` since the previous `Commit` (attempts never close
+//!    without opening), and no warp commits before it first begins.
+//! 2. **Monotone cycles** — within one kernel launch, each warp's events
+//!    carry non-decreasing cycle stamps.
+//! 3. **Reconciliation** — trace events and [`gpu_stm::TxStats`] agree
+//!    *exactly*: Σ `Commit.committed` = `commits` and Σ `Abort.lanes` =
+//!    `aborts`. The trace is not a sample; it is the same ground truth.
+//! 4. **Pure observation** — attaching the sink changes no cycle count.
+
+use gpu_sim::LaunchConfig;
+use gpu_stm::{tx_trace_sink, TxEvent, TxEventKind};
+use workloads::{ht, RunConfig, RunError, Variant};
+
+fn params() -> ht::HtParams {
+    ht::HtParams { table_words: 1 << 11, inserts_per_tx: 2, txs_per_thread: 1, seed: 3 }
+}
+
+fn config() -> RunConfig {
+    RunConfig::with_memory(1 << 16).with_locks(1 << 8)
+}
+
+/// Runs the workload with a trace sink and returns (events, stats, cycles);
+/// `None` when the variant cannot run this grid (EGPGV capacity).
+fn traced_run(v: Variant) -> Option<(Vec<TxEvent>, gpu_stm::TxStats, u64)> {
+    let sink = tx_trace_sink(1 << 20);
+    let cfg = config().with_trace(sink.clone());
+    match ht::run(&params(), v, LaunchConfig::new(2, 64), &cfg) {
+        Ok(out) => {
+            assert_eq!(sink.borrow().dropped(), 0, "{v}: ring buffer overflowed");
+            let cycles = out.cycles();
+            Some((sink.borrow().snapshot(), out.tx, cycles))
+        }
+        Err(RunError::Unsupported(_)) => None,
+        Err(e) => panic!("{v}: {e}"),
+    }
+}
+
+#[test]
+fn begin_commit_well_nested_per_warp() {
+    for v in Variant::ALL {
+        let Some((events, _, _)) = traced_run(v) else { continue };
+        let mut warps: std::collections::BTreeMap<(u32, u32), u64> =
+            std::collections::BTreeMap::new();
+        for e in &events {
+            let begins = warps.entry((e.block, e.warp)).or_insert(0);
+            match e.kind {
+                TxEventKind::Begin { lanes } => {
+                    assert!(lanes > 0, "{v}: empty Begin must not be emitted");
+                    *begins += 1;
+                }
+                TxEventKind::Commit { .. } => {
+                    assert!(
+                        *begins > 0,
+                        "{v}: warp ({},{}) commits without an open attempt",
+                        e.block,
+                        e.warp
+                    );
+                    *begins = 0;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn cycles_monotone_per_warp() {
+    for v in Variant::ALL {
+        let Some((events, _, _)) = traced_run(v) else { continue };
+        let mut last: std::collections::BTreeMap<(u32, u32), u64> =
+            std::collections::BTreeMap::new();
+        for e in &events {
+            let prev = last.insert((e.block, e.warp), e.cycle).unwrap_or(0);
+            assert!(
+                e.cycle >= prev,
+                "{v}: warp ({},{}) went back in time {prev} -> {}",
+                e.block,
+                e.warp,
+                e.cycle
+            );
+        }
+    }
+}
+
+#[test]
+fn events_reconcile_exactly_with_stats() {
+    let mut checked = 0;
+    for v in Variant::ALL {
+        let Some((events, tx, _)) = traced_run(v) else { continue };
+        let mut committed = 0u64;
+        let mut aborted = 0u64;
+        for e in &events {
+            match e.kind {
+                TxEventKind::Commit { committed: c, .. } => committed += c as u64,
+                TxEventKind::Abort { lanes, .. } => aborted += lanes as u64,
+                _ => {}
+            }
+        }
+        assert_eq!(committed, tx.commits, "{v}: ΣCommit.committed != stats.commits");
+        assert_eq!(aborted, tx.aborts, "{v}: ΣAbort.lanes != stats.aborts");
+        assert!(tx.commits > 0, "{v}: trivial run proves nothing");
+        checked += 1;
+    }
+    assert!(checked >= 7, "only {checked} variants ran — grid too big for the rest?");
+}
+
+#[test]
+fn tracing_is_pure_observation() {
+    for v in Variant::ALL {
+        let Some((_, _, traced_cycles)) = traced_run(v) else { continue };
+        let plain = ht::run(&params(), v, LaunchConfig::new(2, 64), &config())
+            .unwrap_or_else(|e| panic!("{v}: {e}"));
+        assert_eq!(plain.cycles(), traced_cycles, "{v}: trace sink perturbed timing");
+    }
+}
