@@ -21,6 +21,7 @@ use crate::fault::{splitmix64, FaultPlan, FaultState};
 use crate::mask::{LaneMask, WARP_SIZE};
 use crate::memory::{Addr, GlobalMemory};
 use crate::race::{RaceDetector, RaceSink};
+use crate::schedule::{PolicyHandle, RunnableWarp, StepEffect, StepRecord};
 use crate::stats::SimStats;
 use crate::timing::TimingModel;
 use crate::trace::{SimEvent, SimEventKind, TraceSink};
@@ -100,6 +101,14 @@ pub struct SimConfig {
     /// observation: it charges no cycles, so enabling it never perturbs
     /// a run. Defaults to `None` (off).
     pub trace: Option<TraceSink>,
+    /// When set, an external [`SchedulePolicy`](crate::SchedulePolicy)
+    /// picks the next runnable warp at every scheduling decision point
+    /// (i.e. before every warp instruction: loads, stores, atomics,
+    /// fences, ALU/idle steps) and observes each executed instruction's
+    /// memory effect. Overrides both the default `(ready, seq)` order and
+    /// a [`FaultPlan`] schedule shuffle; simulated time degenerates to a
+    /// monotonic counter. Defaults to `None` (the simulator schedules).
+    pub schedule: Option<PolicyHandle>,
 }
 
 impl SimConfig {
@@ -121,6 +130,7 @@ impl Default for SimConfig {
             fault: FaultPlan::none(),
             race: None,
             trace: None,
+            schedule: None,
         }
     }
 }
@@ -212,6 +222,12 @@ pub(crate) struct SimState {
     pub(crate) progress: ProgressBoard,
     pub(crate) race: Option<RaceDetector>,
     pub(crate) trace: Option<TraceSink>,
+    /// Whether warp ops should record their [`StepEffect`] (true iff a
+    /// schedule policy is installed; keeps uncontrolled runs allocation-free).
+    pub(crate) observe_effects: bool,
+    /// The effect of the instruction currently being executed, taken by the
+    /// event loop after each poll and reported to the schedule policy.
+    pub(crate) last_effect: Option<StepEffect>,
 }
 
 impl SimState {
@@ -327,6 +343,8 @@ impl Sim {
             progress: ProgressBoard::default(),
             race: config.race.clone().map(RaceDetector::new),
             trace: config.trace.clone(),
+            observe_effects: config.schedule.is_some(),
+            last_effect: None,
         };
         Sim { state: Rc::new(RefCell::new(state)), config }
     }
@@ -401,6 +419,8 @@ impl Sim {
             // the sinks keep accumulating across launches.
             st.race = self.config.race.clone().map(RaceDetector::new);
             st.trace = self.config.trace.clone();
+            st.observe_effects = self.config.schedule.is_some();
+            st.last_effect = None;
         }
 
         let wpb = grid.warps_per_block();
@@ -412,7 +432,8 @@ impl Sim {
             .fault
             .shuffle_schedule
             .then_some(self.config.fault.seed ^ 0x3c6e_f372_fe94_f82b);
-        let mut scheduler = Scheduler::new(shuffle_seed);
+        let policy = self.config.schedule.clone();
+        let mut scheduler = Scheduler::new(shuffle_seed, policy.clone());
         let mut next_block: u32 = 0;
         let mut resident_blocks: u64 = 0;
         let mut resident_warps: u64 = 0;
@@ -454,7 +475,7 @@ impl Sim {
                     };
                     let ctx = WarpCtx::new(Rc::clone(&self.state), id, Rc::clone(&pending), pslot);
                     let fut: Pin<Box<dyn Future<Output = ()>>> = Box::pin(kernel(ctx));
-                    scheduler.spawn(fut, pending, b, pslot, now);
+                    scheduler.spawn(fut, pending, b, w, pslot, now);
                 }
             }
         };
@@ -479,6 +500,16 @@ impl Sim {
             last_cycle = last_cycle.max(now);
 
             let poll = scheduler.poll_slot(slot, &mut cx);
+            if let Some(p) = &policy {
+                let (block, warp_in_block) = scheduler.identity(slot);
+                let effect = match poll {
+                    Poll::Pending => {
+                        self.state.borrow_mut().last_effect.take().unwrap_or(StepEffect::Local)
+                    }
+                    Poll::Ready(()) => StepEffect::Retire,
+                };
+                p.observe(&StepRecord { block, warp_in_block, effect });
+            }
             match poll {
                 Poll::Pending => {
                     let cost = scheduler.take_pending_cost(slot);
@@ -567,6 +598,7 @@ struct WarpSlot {
     fut: Pin<Box<dyn Future<Output = ()>>>,
     pending_cost: Rc<Cell<u64>>,
     block: u32,
+    warp_in_block: u32,
     pslot: usize,
 }
 
@@ -579,10 +611,17 @@ struct Scheduler {
     seq: u64,
     shuffle_rng: Option<u64>,
     live: usize,
+    // External schedule control: when set, queued warps go to `ctl_queue`
+    // and the policy picks the next one; the heap (and shuffle) are unused.
+    policy: Option<PolicyHandle>,
+    ctl_queue: Vec<(u64, usize)>,
+    // Monotonic clock for controlled mode: picking a warp whose ready cycle
+    // lies before an already-issued instruction must not rewind time.
+    ctl_now: u64,
 }
 
 impl Scheduler {
-    fn new(shuffle_seed: Option<u64>) -> Self {
+    fn new(shuffle_seed: Option<u64>, policy: Option<PolicyHandle>) -> Self {
         Scheduler {
             slots: Vec::new(),
             free: Vec::new(),
@@ -590,6 +629,9 @@ impl Scheduler {
             seq: 0,
             shuffle_rng: shuffle_seed,
             live: 0,
+            policy,
+            ctl_queue: Vec::new(),
+            ctl_now: 0,
         }
     }
 
@@ -598,16 +640,18 @@ impl Scheduler {
         fut: Pin<Box<dyn Future<Output = ()>>>,
         pending_cost: Rc<Cell<u64>>,
         block: u32,
+        warp_in_block: u32,
         pslot: usize,
         ready: u64,
     ) {
+        let entry = WarpSlot { fut, pending_cost, block, warp_in_block, pslot };
         let slot = match self.free.pop() {
             Some(i) => {
-                self.slots[i] = Some(WarpSlot { fut, pending_cost, block, pslot });
+                self.slots[i] = Some(entry);
                 i
             }
             None => {
-                self.slots.push(Some(WarpSlot { fut, pending_cost, block, pslot }));
+                self.slots.push(Some(entry));
                 self.slots.len() - 1
             }
         };
@@ -616,6 +660,10 @@ impl Scheduler {
     }
 
     fn push(&mut self, slot: usize, ready: u64) {
+        if self.policy.is_some() {
+            self.ctl_queue.push((ready, slot));
+            return;
+        }
         let key = match &mut self.shuffle_rng {
             Some(state) => splitmix64(state),
             None => self.seq,
@@ -625,7 +673,42 @@ impl Scheduler {
     }
 
     fn pop(&mut self) -> Option<(u64, usize)> {
+        if let Some(policy) = self.policy.clone() {
+            return self.pop_controlled(&policy);
+        }
         self.heap.pop().map(|Reverse((ready, _, slot))| (ready, slot))
+    }
+
+    /// One scheduling decision under external control: present the queued
+    /// warps sorted by identity, let the policy pick, and advance the
+    /// monotonic clock to the pick's ready cycle.
+    fn pop_controlled(&mut self, policy: &PolicyHandle) -> Option<(u64, usize)> {
+        if self.ctl_queue.is_empty() {
+            return None;
+        }
+        let Scheduler { slots, ctl_queue, ctl_now, .. } = self;
+        let ident = |slot: usize| {
+            let s = slots[slot].as_ref().expect("queued warp has a slot");
+            (s.block, s.warp_in_block)
+        };
+        ctl_queue.sort_by_key(|&(_, slot)| ident(slot));
+        let runnable: Vec<RunnableWarp> = ctl_queue
+            .iter()
+            .map(|&(ready, slot)| {
+                let (block, warp_in_block) = ident(slot);
+                RunnableWarp { block, warp_in_block, ready }
+            })
+            .collect();
+        let idx = policy.pick(*ctl_now, &runnable);
+        assert!(idx < runnable.len(), "SchedulePolicy::pick returned {idx} of {}", runnable.len());
+        let (ready, slot) = ctl_queue.remove(idx);
+        *ctl_now = (*ctl_now).max(ready);
+        Some((*ctl_now, slot))
+    }
+
+    fn identity(&self, slot: usize) -> (u32, u32) {
+        let s = self.slots[slot].as_ref().expect("identity of retired warp");
+        (s.block, s.warp_in_block)
     }
 
     fn requeue(&mut self, slot: usize, ready: u64) {
@@ -971,5 +1054,70 @@ mod tests {
         assert_eq!(id.thread_id(31), 2 * 96 + 63);
         assert_eq!(grid.warps_per_block(), 3);
         assert_eq!(grid.total_threads(), 288);
+    }
+
+    /// Picks a fixed runnable index each decision and logs every step.
+    struct FixedPick {
+        index: usize,
+        steps: Rc<RefCell<Vec<StepRecord>>>,
+    }
+
+    impl crate::schedule::SchedulePolicy for FixedPick {
+        fn pick(&mut self, _now: u64, runnable: &[RunnableWarp]) -> usize {
+            self.index.min(runnable.len() - 1)
+        }
+
+        fn observe(&mut self, step: &StepRecord) {
+            self.steps.borrow_mut().push(step.clone());
+        }
+    }
+
+    fn ticket_order_under(index: usize) -> (Vec<u32>, Vec<StepRecord>) {
+        let steps: Rc<RefCell<Vec<StepRecord>>> = Rc::default();
+        let mut cfg = SimConfig::with_memory(1 << 16);
+        cfg.schedule =
+            Some(crate::schedule::PolicyHandle::new(FixedPick { index, steps: Rc::clone(&steps) }));
+        let mut sim = Sim::new(cfg);
+        let counter = sim.alloc(1).unwrap();
+        let tickets = sim.alloc(4).unwrap();
+        sim.launch(LaunchConfig::new(4, 1), move |ctx| async move {
+            let mask = ctx.id().launch_mask;
+            let t = ctx.atomic_add_uniform(mask, counter, 1).await;
+            ctx.store_one(0, tickets.offset(ctx.id().block), t).await;
+        })
+        .unwrap();
+        let order = sim.read_slice(tickets, 4);
+        let log = steps.borrow().clone();
+        (order, log)
+    }
+
+    #[test]
+    fn schedule_policy_controls_interleaving() {
+        // Always picking the first runnable warp runs blocks in order;
+        // always picking the last reverses the ticket order.
+        let (first, _) = ticket_order_under(0);
+        assert_eq!(first, vec![0, 1, 2, 3]);
+        let (last, _) = ticket_order_under(usize::MAX);
+        assert_eq!(last, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn schedule_policy_observes_effects_and_retires() {
+        let (_, log) = ticket_order_under(0);
+        let atomics = log
+            .iter()
+            .filter(|s| matches!(s.effect, crate::schedule::StepEffect::Atomic(_)))
+            .count();
+        let stores = log
+            .iter()
+            .filter(|s| matches!(s.effect, crate::schedule::StepEffect::Store(_)))
+            .count();
+        let retires =
+            log.iter().filter(|s| matches!(s.effect, crate::schedule::StepEffect::Retire)).count();
+        assert_eq!(atomics, 4);
+        assert_eq!(stores, 4);
+        assert_eq!(retires, 4);
+        // Every observed step names a real warp of the 4×1 grid.
+        assert!(log.iter().all(|s| s.block < 4 && s.warp_in_block == 0));
     }
 }

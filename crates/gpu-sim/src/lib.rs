@@ -48,6 +48,7 @@ pub mod mask;
 pub mod memory;
 pub mod race;
 pub mod rng;
+pub mod schedule;
 pub mod simt;
 pub mod stats;
 pub mod timing;
@@ -63,6 +64,7 @@ pub use mask::{LaneMask, WARP_SIZE};
 pub use memory::{Addr, AtomicOp, GlobalMemory};
 pub use race::{race_sink, AccessKind, DataRace, RaceAccess, RaceLog, RaceSink};
 pub use rng::WarpRng;
+pub use schedule::{PolicyHandle, RunnableWarp, SchedulePolicy, StepEffect, StepRecord};
 pub use stats::SimStats;
 pub use timing::TimingModel;
 pub use trace::{trace_sink, MemOp, SimEvent, SimEventKind, TraceBuffer, TraceSink};

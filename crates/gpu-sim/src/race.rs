@@ -43,7 +43,7 @@ use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 /// What an access did to the word.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// Plain (non-atomic) load.
     Read,
@@ -61,12 +61,15 @@ impl std::fmt::Display for AccessKind {
 }
 
 /// One side of a racing pair.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub struct RaceAccess {
     /// Block index of the accessing warp.
     pub block: u32,
     /// Warp index within its block.
     pub warp_in_block: u32,
+    /// Lane within the warp that issued the access (the lowest active
+    /// lane for broadcast/uniform operations).
+    pub lane: u32,
     /// Load or store.
     pub kind: AccessKind,
     /// Whether the access was inside a transaction's speculative scope.
@@ -76,7 +79,7 @@ pub struct RaceAccess {
 }
 
 /// An unordered conflicting pair of global-memory accesses.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub struct DataRace {
     /// The contended word.
     pub addr: Addr,
@@ -91,17 +94,19 @@ impl std::fmt::Display for DataRace {
         let tag = |s: bool| if s { " (tx)" } else { "" };
         write!(
             f,
-            "data race on {:?}: {}{} by warp {}.{} at cycle {} is unordered with {}{} by warp {}.{} at cycle {}",
+            "data race on {:?}: {}{} by warp {}.{} lane {} at cycle {} is unordered with {}{} by warp {}.{} lane {} at cycle {}",
             self.addr,
             self.prior.kind,
             tag(self.prior.speculative),
             self.prior.block,
             self.prior.warp_in_block,
+            self.prior.lane,
             self.prior.cycle,
             self.current.kind,
             tag(self.current.speculative),
             self.current.block,
             self.current.warp_in_block,
+            self.current.lane,
             self.current.cycle,
         )
     }
@@ -156,6 +161,7 @@ struct WarpClock {
 struct Epoch {
     pslot: usize,
     clock: u64,
+    lane: u32,
     speculative: bool,
     cycle: u64,
 }
@@ -220,11 +226,12 @@ impl RaceDetector {
             || self.warps[pslot].vc.get(epoch.pslot).copied().unwrap_or(0) >= epoch.clock
     }
 
-    fn access(&self, pslot: usize, kind: AccessKind, cycle: u64) -> RaceAccess {
+    fn access(&self, pslot: usize, lane: u32, kind: AccessKind, cycle: u64) -> RaceAccess {
         let w = &self.warps[pslot];
         RaceAccess {
             block: w.block,
             warp_in_block: w.warp_in_block,
+            lane,
             kind,
             speculative: w.speculative,
             cycle,
@@ -236,6 +243,7 @@ impl RaceDetector {
         RaceAccess {
             block: w.block,
             warp_in_block: w.warp_in_block,
+            lane: epoch.lane,
             kind,
             speculative: epoch.speculative,
             cycle: epoch.cycle,
@@ -265,8 +273,8 @@ impl RaceDetector {
         self.tick(pslot);
     }
 
-    /// Plain load of `addr` by warp `pslot`.
-    pub(crate) fn on_read(&mut self, pslot: usize, id: WarpId, addr: Addr, cycle: u64) {
+    /// Plain load of `addr` by warp `pslot` (issued by `lane`).
+    pub(crate) fn on_read(&mut self, pslot: usize, id: WarpId, lane: u32, addr: Addr, cycle: u64) {
         self.ensure(pslot, id);
         let a = addr.0;
         if self.sync_addrs.contains(&a) {
@@ -284,20 +292,20 @@ impl RaceDetector {
         if let Some(wr) = write {
             if !(self.ordered(pslot, &wr) || (wr.speculative && spec)) {
                 let prior = self.epoch_access(&wr, AccessKind::Write);
-                let current = self.access(pslot, AccessKind::Read, cycle);
+                let current = self.access(pslot, lane, AccessKind::Read, cycle);
                 self.report(a, prior, current);
             }
         }
         let clock = self.warps[pslot].vc[pslot];
         let entry = self.words.entry(a).or_default();
         match entry.reads.iter_mut().find(|e| e.pslot == pslot) {
-            Some(e) => *e = Epoch { pslot, clock, speculative: spec, cycle },
-            None => entry.reads.push(Epoch { pslot, clock, speculative: spec, cycle }),
+            Some(e) => *e = Epoch { pslot, clock, lane, speculative: spec, cycle },
+            None => entry.reads.push(Epoch { pslot, clock, lane, speculative: spec, cycle }),
         }
     }
 
-    /// Plain store to `addr` by warp `pslot`.
-    pub(crate) fn on_write(&mut self, pslot: usize, id: WarpId, addr: Addr, cycle: u64) {
+    /// Plain store to `addr` by warp `pslot` (issued by `lane`).
+    pub(crate) fn on_write(&mut self, pslot: usize, id: WarpId, lane: u32, addr: Addr, cycle: u64) {
         self.ensure(pslot, id);
         let a = addr.0;
         if self.sync_addrs.contains(&a) {
@@ -315,20 +323,20 @@ impl RaceDetector {
         if let Some(wr) = write {
             if !(self.ordered(pslot, &wr) || (wr.speculative && spec)) {
                 let prior = self.epoch_access(&wr, AccessKind::Write);
-                let current = self.access(pslot, AccessKind::Write, cycle);
+                let current = self.access(pslot, lane, AccessKind::Write, cycle);
                 self.report(a, prior, current);
             }
         }
         for rd in &reads {
             if rd.pslot != pslot && !self.ordered(pslot, rd) && !(rd.speculative && spec) {
                 let prior = self.epoch_access(rd, AccessKind::Read);
-                let current = self.access(pslot, AccessKind::Write, cycle);
+                let current = self.access(pslot, lane, AccessKind::Write, cycle);
                 self.report(a, prior, current);
             }
         }
         let clock = self.warps[pslot].vc[pslot];
         let state = self.words.entry(a).or_default();
-        state.write = Some(Epoch { pslot, clock, speculative: spec, cycle });
+        state.write = Some(Epoch { pslot, clock, lane, speculative: spec, cycle });
         state.reads.clear();
     }
 

@@ -16,6 +16,7 @@ use crate::coalesce::{atomic_conflict_depth, coalesce, coalesce_uniform, Coalesc
 use crate::exec::{SimState, WarpId};
 use crate::mask::{LaneMask, WARP_SIZE};
 use crate::memory::{Addr, AtomicOp};
+use crate::schedule::{effect_addrs, StepEffect};
 use std::cell::{Cell, RefCell};
 use std::future::Future;
 use std::pin::Pin;
@@ -184,8 +185,11 @@ impl WarpCtx {
             }
             if let Some(r) = st.race.as_mut() {
                 for lane in mask.iter() {
-                    r.on_read(self.pslot, self.id, addrs[lane], st.now);
+                    r.on_read(self.pslot, self.id, lane as u32, addrs[lane], st.now);
                 }
+            }
+            if st.observe_effects {
+                st.last_effect = Some(StepEffect::Load(effect_addrs(mask, addrs)));
             }
             cost
         };
@@ -204,7 +208,11 @@ impl WarpCtx {
         let v = {
             let st = &mut *self.st.borrow_mut();
             if let Some(r) = st.race.as_mut() {
-                r.on_read(self.pslot, self.id, addr, st.now);
+                let lane = mask.iter().next().unwrap_or(0) as u32;
+                r.on_read(self.pslot, self.id, lane, addr, st.now);
+            }
+            if st.observe_effects {
+                st.last_effect = Some(StepEffect::Load(vec![addr]));
             }
             st.mem.read(addr)
         };
@@ -228,10 +236,13 @@ impl WarpCtx {
             }
             if let Some(r) = st.race.as_mut() {
                 for lane in mask.iter() {
-                    r.on_write(self.pslot, self.id, addrs[lane], st.now);
+                    r.on_write(self.pslot, self.id, lane as u32, addrs[lane], st.now);
                 }
             }
             Self::note_mutation(st, m0);
+            if st.observe_effects {
+                st.last_effect = Some(StepEffect::Store(effect_addrs(mask, addrs)));
+            }
             cost
         };
         self.charge(cost).await;
@@ -275,6 +286,9 @@ impl WarpCtx {
                 }
             }
             Self::note_mutation(st, m0);
+            if st.observe_effects {
+                st.last_effect = Some(StepEffect::Atomic(effect_addrs(mask, addrs)));
+            }
             cost
         };
         self.charge(cost).await;
@@ -317,6 +331,9 @@ impl WarpCtx {
                 }
             }
             Self::note_mutation(st, m0);
+            if st.observe_effects {
+                st.last_effect = Some(StepEffect::Atomic(effect_addrs(mask, addrs)));
+            }
             cost
         };
         self.charge(cost).await;
@@ -370,6 +387,9 @@ impl WarpCtx {
             let st = &mut *self.st.borrow_mut();
             st.stats.fences += 1;
             st.emit(self.id.block, self.id.warp_in_block, crate::trace::SimEventKind::Fence);
+            if st.observe_effects {
+                st.last_effect = Some(StepEffect::Fence);
+            }
             st.timing.fence
         };
         self.charge(cost).await;

@@ -89,6 +89,6 @@ pub use stats::{
 pub use trace::{
     chrome_trace, tx_trace_sink, TxEvent, TxEventKind, TxTrace, TxTraceBuffer, TxTraceSink,
 };
-pub use variants::{CglStm, EgpgvStm, LockStm, NorecStm, OptimizedStm};
+pub use variants::{CglStm, EgpgvStm, LockStm, Mutation, NorecStm, OptimizedStm};
 pub use version_lock::VersionLock;
 pub use warptx::WarpTx;

@@ -34,6 +34,11 @@ pub struct LockLog {
     /// log2 of the global lock-table size, for bucket selection by high bits.
     lock_bits: u32,
     len: usize,
+    /// Lock ids in first-insertion (encounter) order. The commit path never
+    /// uses this — it exists so the seeded `unsorted_locks` mutant can
+    /// acquire in the order the paper's sorting deliberately avoids, and so
+    /// diagnostics can report where a lock entered the transaction.
+    order: Vec<u32>,
 }
 
 impl LockLog {
@@ -52,6 +57,7 @@ impl LockLog {
             buckets: vec![Vec::new(); n_buckets as usize],
             lock_bits: n_locks.trailing_zeros(),
             len: 0,
+            order: Vec::new(),
         }
     }
 
@@ -94,11 +100,13 @@ impl LockLog {
             if bucket[i].lock > lock {
                 bucket.insert(i, LockEntry { lock, read, write });
                 self.len += 1;
+                self.order.push(lock);
                 return comparisons;
             }
         }
         bucket.push(LockEntry { lock, read, write });
         self.len += 1;
+        self.order.push(lock);
         comparisons
     }
 
@@ -128,12 +136,20 @@ impl LockLog {
         None
     }
 
+    /// The `k`-th entry in first-insertion (encounter) order, with its
+    /// *current* merged read/write bits. See the `order` field for why
+    /// this exists.
+    pub fn nth_inserted(&self, k: usize) -> Option<LockEntry> {
+        self.order.get(k).and_then(|&lock| self.get(lock))
+    }
+
     /// Clears the log.
     pub fn clear(&mut self) {
         for b in &mut self.buckets {
             b.clear();
         }
         self.len = 0;
+        self.order.clear();
     }
 }
 
@@ -212,6 +228,21 @@ mod tests {
         log.clear();
         assert!(log.is_empty());
         assert_eq!(log.nth_sorted(0), None);
+        assert_eq!(log.nth_inserted(0), None);
+    }
+
+    #[test]
+    fn nth_inserted_keeps_encounter_order_and_merged_bits() {
+        let mut log = LockLog::new(4, 64);
+        log.insert(50, true, false);
+        log.insert(3, false, true);
+        log.insert(50, false, true); // duplicate: merges, no new position
+        log.insert(17, true, false);
+        let inserted: Vec<u32> = (0..3).map(|k| log.nth_inserted(k).unwrap().lock).collect();
+        assert_eq!(inserted, vec![50, 3, 17]);
+        let e = log.nth_inserted(0).unwrap();
+        assert!(e.read && e.write, "bits merge across duplicate inserts");
+        assert_eq!(log.nth_inserted(3), None);
     }
 
     #[test]

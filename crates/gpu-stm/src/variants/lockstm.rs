@@ -22,6 +22,37 @@ use crate::version_lock::VersionLock;
 use crate::warptx::WarpTx;
 use gpu_sim::{AtomicOp, LaneAddrs, LaneMask, LaneVals, WarpCtx, WARP_SIZE};
 
+/// Deliberately seeded correctness bugs, used to validate the verifier:
+/// each mutation breaks one invariant of Algorithm 3 in a way that a
+/// single benign schedule cannot observe but exhaustive interleaving
+/// exploration (`tm-verify`) must catch. All mutations default to off and
+/// can only be enabled through [`LockStm::with_mutation`], which is gated
+/// behind `cfg(test)` / the `mutants` cargo feature.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Mutation {
+    /// Skip commit-time validation (lines 75–78): a transaction whose read
+    /// stripe was overwritten after its snapshot commits anyway, so the
+    /// history contains an inconsistent read under a racy interleaving.
+    pub skip_validation: bool,
+    /// Acquire commit locks blocking, in encounter order, instead of the
+    /// release-and-retry sorted protocol (lines 43–52): two transactions
+    /// that touched the same two stripes in opposite orders deadlock under
+    /// the right interleaving.
+    pub unsorted_locks: bool,
+    /// Publish the write-set *after* releasing/version-updating the locks
+    /// instead of before (reordering lines 80–84, i.e. dropping the
+    /// release fence of line 82): a reader admitted by the new version can
+    /// still observe pre-transaction values.
+    pub late_writeback: bool,
+}
+
+impl Mutation {
+    /// True when any mutation is enabled.
+    pub fn any(&self) -> bool {
+        self.skip_validation || self.unsorted_locks || self.late_writeback
+    }
+}
+
 /// The lock-based GPU-STM runtime (Algorithm 3).
 #[derive(Clone)]
 pub struct LockStm {
@@ -33,6 +64,7 @@ pub struct LockStm {
     recorder: Option<Recorder>,
     trace: TxTrace,
     name: &'static str,
+    mutation: Mutation,
 }
 
 impl std::fmt::Debug for LockStm {
@@ -62,6 +94,7 @@ impl LockStm {
             recorder: None,
             trace: TxTrace::off(),
             name,
+            mutation: Mutation::default(),
         }
     }
 
@@ -87,6 +120,18 @@ impl LockStm {
     /// the paper, provided for the ablation benches.
     pub fn tbv_backoff(shared: StmShared, cfg: StmConfig) -> Self {
         LockStm::new(shared, cfg, Validation::Tbv, Locking::Backoff, "STM-TBV-Backoff")
+    }
+
+    /// Seeds a correctness [`Mutation`] — verifier-validation use only.
+    #[cfg(any(test, feature = "mutants"))]
+    pub fn with_mutation(mut self, mutation: Mutation) -> Self {
+        self.mutation = mutation;
+        self
+    }
+
+    /// The seeded mutation (all-off in production builds).
+    pub fn mutation(&self) -> Mutation {
+        self.mutation
     }
 
     /// Attaches a history recorder (for the opacity checker).
@@ -252,6 +297,44 @@ impl LockStm {
         }
     }
 
+    /// The `unsorted_locks` mutant's acquisition: walk each lane's lock-log
+    /// in *encounter* order and spin until every lock is held, never
+    /// releasing on contention. Without the global sorted order this can
+    /// deadlock: two transactions that touched the same two stripes in
+    /// opposite orders each hold one lock and spin on the other.
+    async fn acquire_unsorted_blocking(&self, w: &mut WarpTx, ctx: &WarpCtx, active: LaneMask) {
+        let max = active.iter().map(|l| w.locklog[l].len()).max().unwrap_or(0);
+        for k in 0..max {
+            let mut waiting = active.filter(|l| k < w.locklog[l].len());
+            while waiting.any() {
+                let addrs = lane_addrs(waiting, |l| {
+                    let e = w.locklog[l].nth_inserted(k).expect("lock-log cursor in range");
+                    self.shared.lock_addr(e.lock)
+                });
+                let ones = [1u32; WARP_SIZE];
+                let old = ctx.atomic_rmw(waiting, AtomicOp::Or, &addrs, &ones).await;
+                for l in waiting.iter() {
+                    let vl = VersionLock(old[l]);
+                    if !vl.is_locked() {
+                        let e = w.locklog[l].nth_inserted(k).expect("lock-log cursor in range");
+                        if e.read && vl.version() > w.snapshot[l] {
+                            w.pass_tbv[l] = false;
+                        }
+                        waiting = waiting.without(l);
+                    }
+                }
+                if waiting.any() {
+                    ctx.idle(20).await;
+                }
+            }
+        }
+        // All locks held; the held set equals the whole log, so the sorted
+        // release walk stays correct.
+        for l in active.iter() {
+            w.acquired[l] = w.locklog[l].len();
+        }
+    }
+
     /// TL2-style read validation used only in the `lock_read_set = false`
     /// ablation: with read stripes *unlocked* at commit, every read stripe
     /// must be unheld (or held by us) and no newer than the snapshot.
@@ -288,6 +371,20 @@ impl LockStm {
         failed
     }
 
+    /// Lines 80–81: publish the buffered write-set to global memory.
+    async fn publish_writes(&self, w: &WarpTx, ctx: &WarpCtx, ok: LaneMask) {
+        let rounds = ok.iter().map(|l| w.writes.len(l)).max().unwrap_or(0);
+        for k in 0..rounds {
+            let m = ok.filter(|l| k < w.writes.len(l));
+            if m.none() {
+                break;
+            }
+            let addrs = lane_addrs(m, |l| w.writes.get(l, k).addr);
+            let vals = lane_vals(m, |l| w.writes.get(l, k).val);
+            ctx.store(m, &addrs, &vals).await;
+        }
+    }
+
     /// Commit tail for lanes that hold all their locks: validation,
     /// write-back, clock increment, version publication (lines 75–85).
     /// Returns the lanes that committed (the rest aborted).
@@ -312,8 +409,13 @@ impl LockStm {
                 );
             }
         }
-        // Lines 75–78: value-based validation where TBV failed.
-        let need_check = (lanes & !hard_failed).filter(|l| !w.pass_tbv[l]);
+        // Lines 75–78: value-based validation where TBV failed. The
+        // skip_validation mutant drops the check and commits regardless.
+        let need_check = if self.mutation.skip_validation {
+            LaneMask::EMPTY
+        } else {
+            (lanes & !hard_failed).filter(|l| !w.pass_tbv[l])
+        };
         let mut failed = hard_failed;
         if need_check.any() {
             match self.validation {
@@ -386,18 +488,10 @@ impl LockStm {
         }
 
         ctx.fence(ok).await; // line 79
-                             // Lines 80–81: publish the write-set.
-        let rounds = ok.iter().map(|l| w.writes.len(l)).max().unwrap_or(0);
-        for k in 0..rounds {
-            let m = ok.filter(|l| k < w.writes.len(l));
-            if m.none() {
-                break;
-            }
-            let addrs = lane_addrs(m, |l| w.writes.get(l, k).addr);
-            let vals = lane_vals(m, |l| w.writes.get(l, k).val);
-            ctx.store(m, &addrs, &vals).await;
+        if !self.mutation.late_writeback {
+            self.publish_writes(w, ctx, ok).await; // lines 80–81
+            ctx.fence(ok).await; // line 82
         }
-        ctx.fence(ok).await; // line 82
 
         // Line 83: version <- Atomic_inc(g_clock) + 1.
         let clock_addrs = [self.shared.clock; WARP_SIZE];
@@ -410,6 +504,13 @@ impl LockStm {
 
         // Line 84.
         self.release_and_update_locks(w, ctx, ok, &versions).await;
+
+        // late_writeback mutant: the new versions are public but the data
+        // is not — a reader admitted by the version check still sees
+        // pre-transaction values.
+        if self.mutation.late_writeback {
+            self.publish_writes(w, ctx, ok).await;
+        }
 
         {
             let mut st = self.stats.borrow_mut();
@@ -678,6 +779,14 @@ impl Stm for LockStm {
                 }
                 active &= !failed;
             }
+        }
+
+        // unsorted_locks mutant: bypass both deadlock-free protocols.
+        if self.mutation.unsorted_locks && active.any() {
+            w.enter_phase(ctx.now(), Phase::Locking);
+            self.acquire_unsorted_blocking(w, ctx, active).await;
+            committed |= self.commit_locked(w, ctx, active).await;
+            active = LaneMask::EMPTY;
         }
 
         match self.locking {

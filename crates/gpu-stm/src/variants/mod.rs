@@ -18,6 +18,6 @@ mod optimized;
 
 pub use cgl::CglStm;
 pub use egpgv::EgpgvStm;
-pub use lockstm::LockStm;
+pub use lockstm::{LockStm, Mutation};
 pub use norec::NorecStm;
 pub use optimized::OptimizedStm;

@@ -24,7 +24,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// A violation of serializability/opacity found during replay.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Violation {
     /// Two committed writers claimed the same commit version.
     DuplicateVersion {
@@ -77,15 +77,29 @@ impl fmt::Display for Violation {
             Violation::FinalStateMismatch { addr, expected, got } => {
                 write!(f, "final state at {addr}: replay says {expected}, memory has {got}")
             }
-            Violation::DataRace { race } => write!(f, "{race}"),
+            // `race` formats both sides with full warp.lane provenance.
+            Violation::DataRace { race } => write!(f, "weak-isolation {race}"),
         }
     }
 }
 
 /// Lifts the simulator's race reports into [`Violation`]s so race-freedom
-/// composes with the opacity checks in one violation list.
+/// composes with the opacity checks in one violation list. Identical
+/// reports (same address and same two access descriptions) collapse to
+/// one violation.
 pub fn races_to_violations(races: &[gpu_sim::DataRace]) -> Vec<Violation> {
-    races.iter().map(|r| Violation::DataRace { race: *r }).collect()
+    let mut vs: Vec<Violation> = races.iter().map(|r| Violation::DataRace { race: *r }).collect();
+    dedup_violations(&mut vs);
+    vs
+}
+
+/// Removes exact-duplicate violations in place, keeping first occurrences
+/// in order. Duplicates arise when several detection passes (opacity
+/// replay, final-state diff, race lifting) run over accumulating sinks or
+/// when the same launch is checked more than once.
+pub fn dedup_violations(violations: &mut Vec<Violation>) {
+    let mut seen = std::collections::HashSet::new();
+    violations.retain(|v| seen.insert(v.clone()));
 }
 
 /// Summary of a successful (or failed) check.
@@ -373,6 +387,7 @@ mod tests {
         let acc = |kind, spec| RaceAccess {
             block: 0,
             warp_in_block: 1,
+            lane: 3,
             kind,
             speculative: spec,
             cycle: 10,
@@ -382,9 +397,20 @@ mod tests {
             prior: acc(AccessKind::Write, true),
             current: acc(AccessKind::Read, false),
         };
-        let vs = races_to_violations(&[race]);
-        assert_eq!(vs.len(), 1);
+        let vs = races_to_violations(&[race, race]);
+        assert_eq!(vs.len(), 1, "identical race reports must collapse");
         assert!(matches!(&vs[0], Violation::DataRace { race: r } if r.addr == Addr(7)));
-        assert!(vs[0].to_string().contains("data race"));
+        let text = vs[0].to_string();
+        assert!(text.contains("data race"), "{text}");
+        assert!(text.contains("warp 0.1 lane 3"), "provenance missing: {text}");
+    }
+
+    #[test]
+    fn dedup_preserves_order_and_distinct_violations() {
+        let a = Violation::DuplicateVersion { version: 5 };
+        let b = Violation::FinalStateMismatch { addr: Addr(1), expected: 2, got: 3 };
+        let mut vs = vec![a.clone(), b.clone(), a.clone(), b.clone()];
+        dedup_violations(&mut vs);
+        assert_eq!(vs, vec![a, b]);
     }
 }

@@ -1,0 +1,166 @@
+//! `.sched` repro files: serialization, parsing and ddmin-style
+//! minimization of forced-choice schedules.
+//!
+//! Format (line-oriented text, `v1`):
+//!
+//! ```text
+//! # tm-verify schedule v1
+//! meta workload bank
+//! meta variant hv-sort
+//! choice 0 0 1
+//! choice 412 0 0
+//! ```
+//!
+//! `meta` lines carry free-form key/value context (workload, variant,
+//! mutation, violation kind…); `choice <decision> <block> <warp>` lines
+//! are the [`ForcedChoice`]s in ascending decision order. Everything
+//! else starting with `#` is a comment.
+
+use crate::controller::{ForcedChoice, Schedule};
+
+/// Header line identifying the format version.
+pub const HEADER: &str = "# tm-verify schedule v1";
+
+/// Renders a schedule plus metadata to `.sched` text.
+pub fn serialize(schedule: &Schedule, meta: &[(String, String)]) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    for (k, v) in meta {
+        out.push_str(&format!("meta {k} {v}\n"));
+    }
+    for c in &schedule.choices {
+        out.push_str(&format!("choice {} {} {}\n", c.decision, c.warp.0, c.warp.1));
+    }
+    out
+}
+
+/// Parses `.sched` text back into a schedule and its metadata.
+///
+/// # Errors
+///
+/// A human-readable message for a missing/unknown header or a malformed
+/// line.
+pub fn parse(text: &str) -> Result<(Schedule, Vec<(String, String)>), String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h.trim() == HEADER => {}
+        other => return Err(format!("bad header: expected {HEADER:?}, got {other:?}")),
+    }
+    let mut meta = Vec::new();
+    let mut choices = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("meta") => {
+                let k =
+                    parts.next().ok_or_else(|| format!("line {}: meta needs a key", lineno + 2))?;
+                let v: Vec<&str> = parts.collect();
+                meta.push((k.to_string(), v.join(" ")));
+            }
+            Some("choice") => {
+                let mut num = |what: &str| -> Result<u64, String> {
+                    parts
+                        .next()
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .ok_or_else(|| format!("line {}: bad {what}", lineno + 2))
+                };
+                let decision = num("decision")?;
+                let block = num("block")? as u32;
+                let warp = num("warp")? as u32;
+                choices.push(ForcedChoice { decision, warp: (block, warp) });
+            }
+            Some(other) => return Err(format!("line {}: unknown directive {other:?}", lineno + 2)),
+            None => {}
+        }
+    }
+    choices.sort_by_key(|c| c.decision);
+    Ok((Schedule { choices }, meta))
+}
+
+/// Greedy delta-debugging minimizer: repeatedly removes chunks of forced
+/// choices (halving the chunk size down to 1) while `reproduces` still
+/// accepts the shrunken schedule.
+///
+/// The result is 1-minimal with respect to single-choice removal: every
+/// remaining choice is necessary for reproduction.
+pub fn minimize(schedule: &Schedule, mut reproduces: impl FnMut(&Schedule) -> bool) -> Schedule {
+    let mut choices = schedule.choices.clone();
+    let mut chunk = choices.len().max(1);
+    while chunk >= 1 {
+        let mut i = 0;
+        while i < choices.len() {
+            let end = (i + chunk).min(choices.len());
+            let mut trial: Vec<ForcedChoice> = choices.clone();
+            trial.drain(i..end);
+            if reproduces(&Schedule { choices: trial.clone() }) {
+                choices = trial;
+                // Re-test from the same position: the next chunk slid in.
+            } else {
+                i = end;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    Schedule { choices }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(decisions: &[u64]) -> Schedule {
+        Schedule {
+            choices: decisions
+                .iter()
+                .map(|&d| ForcedChoice { decision: d, warp: (0, 1) })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let s = sched(&[0, 7, 42]);
+        let meta = vec![
+            ("workload".to_string(), "bank".to_string()),
+            ("note".to_string(), "two words here".to_string()),
+        ];
+        let text = serialize(&s, &meta);
+        let (back, meta2) = parse(&text).expect("parses");
+        assert_eq!(back, s);
+        assert_eq!(meta2, meta);
+    }
+
+    #[test]
+    fn rejects_bad_header_and_bad_choice() {
+        assert!(parse("not a schedule\n").is_err());
+        assert!(parse(&format!("{HEADER}\nchoice 1 x 0\n")).is_err());
+        assert!(parse(&format!("{HEADER}\nfrobnicate\n")).is_err());
+    }
+
+    #[test]
+    fn minimize_keeps_only_needed_choices() {
+        // "Reproduces" iff decisions 7 and 42 are both present.
+        let full = sched(&[0, 3, 7, 19, 42, 55]);
+        let min = minimize(&full, |s| {
+            let ds: Vec<u64> = s.choices.iter().map(|c| c.decision).collect();
+            ds.contains(&7) && ds.contains(&42)
+        });
+        let ds: Vec<u64> = min.choices.iter().map(|c| c.decision).collect();
+        assert_eq!(ds, vec![7, 42]);
+    }
+
+    #[test]
+    fn minimize_can_reach_empty() {
+        let full = sched(&[1, 2, 3]);
+        let min = minimize(&full, |_| true);
+        assert!(min.choices.is_empty());
+    }
+}

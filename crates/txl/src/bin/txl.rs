@@ -2,18 +2,20 @@
 //!
 //! Usage:
 //! ```text
-//! txl lint [--capacity N] <file.txl ...|->   # run the tm-lint pass
+//! txl lint [--capacity N] [--format text|json] <file.txl ...|->
 //! txl compile <file.txl ...|->               # parse + check only
 //! ```
 //!
 //! `lint` prints one finding per line (`TLnnn [kernel:line span] message`)
 //! followed by the offending source snippet, and exits nonzero when any
 //! finding is produced, so it can gate CI. `--capacity N` supplies the
-//! ownership-table size for rule TL003. A file named `-` reads stdin.
+//! ownership-table size for rule TL003. `--format json` emits one JSON
+//! object with a `diagnostics` array instead of the human-readable report
+//! (the exit status is the same either way). A file named `-` reads stdin.
 
 use std::io::Read;
 use std::process::ExitCode;
-use txl::lint::{lint_source, LintConfig};
+use txl::lint::{lint_source, Diagnostic, LintConfig};
 
 fn read_source(path: &str) -> Result<String, String> {
     if path == "-" {
@@ -26,9 +28,42 @@ fn read_source(path: &str) -> Result<String, String> {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: txl lint [--capacity N] <file.txl ...|->");
+    eprintln!("usage: txl lint [--capacity N] [--format text|json] <file.txl ...|->");
     eprintln!("       txl compile <file.txl ...|->");
     ExitCode::FAILURE
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+/// Serializes every finding (tagged with the file it came from) as one
+/// JSON object; field order is stable so the output is diffable.
+fn render_json(diags: &[(String, Diagnostic)]) -> String {
+    let mut w = gpu_sim::JsonWriter::new();
+    w.begin_object();
+    w.field_str("tool", "txl-lint");
+    w.field_u64("findings", diags.len() as u64);
+    w.key("diagnostics");
+    w.begin_array();
+    for (path, d) in diags {
+        w.begin_object();
+        w.field_str("file", path);
+        w.field_str("rule", d.rule.id());
+        w.field_str("title", d.rule.title());
+        w.field_str("kernel", &d.kernel);
+        w.field_u64("line", u64::from(d.line));
+        w.field_u64("span_start", u64::from(d.span.start));
+        w.field_u64("span_end", u64::from(d.span.end));
+        w.field_str("message", &d.message);
+        w.field_str("paper_ref", d.rule.paper_ref());
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
 }
 
 fn main() -> ExitCode {
@@ -36,6 +71,7 @@ fn main() -> ExitCode {
     let Some(mode) = args.first().map(String::as_str) else { return usage() };
 
     let mut cfg = LintConfig::default();
+    let mut format = Format::Text;
     let mut files: Vec<&str> = Vec::new();
     let mut rest = args[1..].iter();
     while let Some(a) = rest.next() {
@@ -45,6 +81,15 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             };
             cfg.write_set_capacity = Some(n);
+        } else if a == "--format" {
+            match rest.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                _ => {
+                    eprintln!("txl: --format needs `text` or `json`");
+                    return ExitCode::FAILURE;
+                }
+            }
         } else {
             files.push(a);
         }
@@ -53,7 +98,7 @@ fn main() -> ExitCode {
         return usage();
     }
 
-    let mut findings = 0usize;
+    let mut findings: Vec<(String, Diagnostic)> = Vec::new();
     for path in files {
         let source = match read_source(path) {
             Ok(s) => s,
@@ -72,17 +117,19 @@ fn main() -> ExitCode {
             },
             "lint" => match lint_source(&source, &cfg) {
                 Ok(diags) => {
-                    for d in &diags {
-                        println!("{path}: {d}");
-                        let snippet = d.span.snippet(&source);
-                        if !snippet.is_empty() {
-                            // Show only the first line of multi-line spans.
-                            let first = snippet.lines().next().unwrap_or(snippet);
-                            println!("    | {first}");
+                    for d in diags {
+                        if format == Format::Text {
+                            println!("{path}: {d}");
+                            let snippet = d.span.snippet(&source);
+                            if !snippet.is_empty() {
+                                // Show only the first line of multi-line spans.
+                                let first = snippet.lines().next().unwrap_or(snippet);
+                                println!("    | {first}");
+                            }
+                            println!("    = note: {} — {}", d.rule.title(), d.rule.paper_ref());
                         }
-                        println!("    = note: {} — {}", d.rule.title(), d.rule.paper_ref());
+                        findings.push((path.to_string(), d));
                     }
-                    findings += diags.len();
                 }
                 Err(e) => {
                     eprintln!("{path}: {e}");
@@ -93,11 +140,14 @@ fn main() -> ExitCode {
         }
     }
     if mode == "lint" {
-        if findings == 0 {
-            println!("txl lint: clean");
+        match format {
+            Format::Json => println!("{}", render_json(&findings)),
+            Format::Text if findings.is_empty() => println!("txl lint: clean"),
+            Format::Text => println!("txl lint: {} finding(s)", findings.len()),
+        }
+        if findings.is_empty() {
             ExitCode::SUCCESS
         } else {
-            println!("txl lint: {findings} finding(s)");
             ExitCode::FAILURE
         }
     } else {

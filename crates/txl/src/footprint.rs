@@ -1,0 +1,508 @@
+//! Abstract interpretation of TXL kernels over an interval lattice,
+//! computing per-array may-read/may-write *footprints*.
+//!
+//! Every expression is evaluated to an [`Interval`] `[lo, hi]` of possible
+//! `u32` values (`⊤ = [0, u32::MAX]`); array subscripts then accumulate
+//! into per-parameter read/write interval hulls. Two consumers:
+//!
+//! - **DPOR pruning** (`tm-verify`): with `tid` bound to a concrete
+//!   thread id, [`thread_footprint`] over-approximates every address the
+//!   thread can touch in a parameter. When all threads' footprints are
+//!   pairwise disjoint, their data accesses provably never conflict and
+//!   the model checker need not branch on their order.
+//! - **Lint TL005** ([`crate::lint`]): with `tid` symbolic
+//!   (`[0, nthreads)`), per-`atomic`-block footprints plus the order in
+//!   which each block *first* touches each parameter expose
+//!   statically-overlapping footprints acquired in different orders —
+//!   the classic lock-order-inversion shape of the paper's Section 2.2.
+//!
+//! The analysis is a *may* analysis: soundness means every concrete
+//! access lies inside the reported hull, never that the hull is tight.
+//! Loops are handled by bounded iteration to a fixpoint with widening to
+//! `⊤` after [`WIDEN_AFTER`] rounds, so analysis always terminates.
+
+use crate::ast::{BinOp, Expr, Kernel, Stmt};
+use crate::token::Span;
+
+/// How many fixpoint rounds a `while` body is re-interpreted before
+/// still-growing locals are widened to `⊤`.
+const WIDEN_AFTER: usize = 4;
+
+/// A closed interval of `u32` values — the abstract domain.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// Smallest possible value.
+    pub lo: u32,
+    /// Largest possible value.
+    pub hi: u32,
+}
+
+impl Interval {
+    /// The full range (`⊤`): nothing is known about the value.
+    pub const TOP: Interval = Interval { lo: 0, hi: u32::MAX };
+
+    /// The interval holding exactly `v`.
+    pub fn exact(v: u32) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// `[lo, hi]`; panics if `lo > hi`.
+    pub fn new(lo: u32, hi: u32) -> Interval {
+        assert!(lo <= hi, "bad interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// Whether this is the full range.
+    pub fn is_top(self) -> bool {
+        self == Interval::TOP
+    }
+
+    /// Least upper bound (interval hull).
+    pub fn join(self, o: Interval) -> Interval {
+        Interval { lo: self.lo.min(o.lo), hi: self.hi.max(o.hi) }
+    }
+
+    /// Whether the two intervals share any value.
+    pub fn overlaps(self, o: Interval) -> bool {
+        self.lo <= o.hi && o.lo <= self.hi
+    }
+
+    /// Number of values in the interval (saturating).
+    pub fn width(self) -> u64 {
+        self.hi as u64 - self.lo as u64 + 1
+    }
+
+    fn from_u64(lo: u64, hi: u64) -> Interval {
+        if hi > u32::MAX as u64 {
+            // A bound escaped u32: wrapping semantics make any value
+            // possible.
+            Interval::TOP
+        } else {
+            Interval { lo: lo as u32, hi: hi as u32 }
+        }
+    }
+
+    fn add(self, o: Interval) -> Interval {
+        Interval::from_u64(self.lo as u64 + o.lo as u64, self.hi as u64 + o.hi as u64)
+    }
+
+    fn sub(self, o: Interval) -> Interval {
+        if o.hi <= self.lo {
+            Interval { lo: self.lo - o.hi, hi: self.hi - o.lo }
+        } else {
+            // May wrap below zero.
+            Interval::TOP
+        }
+    }
+
+    fn mul(self, o: Interval) -> Interval {
+        Interval::from_u64(self.lo as u64 * o.lo as u64, self.hi as u64 * o.hi as u64)
+    }
+
+    fn div(self) -> Interval {
+        // TXL defines x / 0 = 0, so the result never exceeds the
+        // dividend.
+        Interval { lo: 0, hi: self.hi }
+    }
+
+    fn rem(self, o: Interval) -> Interval {
+        // TXL defines x % 0 = 0; otherwise the result is < divisor and
+        // never exceeds the dividend.
+        Interval { lo: 0, hi: self.hi.min(o.hi.saturating_sub(1)) }
+    }
+
+    fn bit_hull(self, o: Interval) -> Interval {
+        // |, ^, &-with-unknowns: bounded by an all-ones mask covering the
+        // larger operand's bit-length.
+        let m = self.hi | o.hi;
+        let hi = if m == 0 {
+            0
+        } else {
+            let bits = 32 - m.leading_zeros();
+            if bits >= 32 {
+                u32::MAX
+            } else {
+                (1u32 << bits) - 1
+            }
+        };
+        Interval { lo: 0, hi }
+    }
+
+    fn shl(self, o: Interval) -> Interval {
+        if o.hi >= 32 {
+            return Interval::TOP;
+        }
+        Interval::from_u64((self.lo as u64) << o.lo, (self.hi as u64) << o.hi)
+    }
+
+    fn shr(self, o: Interval) -> Interval {
+        let hi_shift = o.lo.min(31);
+        Interval { lo: self.lo >> o.hi.min(31), hi: self.hi >> hi_shift }
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_top() {
+            f.write_str("[⊤]")
+        } else if self.lo == self.hi {
+            write!(f, "[{}]", self.lo)
+        } else {
+            write!(f, "[{}..{}]", self.lo, self.hi)
+        }
+    }
+}
+
+/// The may-read/may-write index hulls of one array parameter
+/// (`None` = the code never touches it on any path).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ParamFootprint {
+    /// Hull of indices possibly read.
+    pub read: Option<Interval>,
+    /// Hull of indices possibly written.
+    pub write: Option<Interval>,
+}
+
+impl ParamFootprint {
+    /// Hull of all accesses, read or write.
+    pub fn touched(&self) -> Option<Interval> {
+        match (self.read, self.write) {
+            (Some(r), Some(w)) => Some(r.join(w)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Whether two footprints may *conflict*: an index both touch, with at
+    /// least one side writing.
+    pub fn conflicts(&self, other: &ParamFootprint) -> bool {
+        let rw = |a: Option<Interval>, b: Option<Interval>| match (a, b) {
+            (Some(x), Some(y)) => x.overlaps(y),
+            _ => false,
+        };
+        rw(self.write, other.read) || rw(self.read, other.write) || rw(self.write, other.write)
+    }
+
+    fn record(&mut self, write: bool, iv: Interval) {
+        let slot = if write { &mut self.write } else { &mut self.read };
+        *slot = Some(slot.map_or(iv, |old| old.join(iv)));
+    }
+}
+
+/// Footprint of one `atomic { .. }` block: per-parameter hulls plus the
+/// order in which the block first touches each parameter — its effective
+/// stripe-acquisition order for TL005.
+#[derive(Clone, Debug)]
+pub struct AtomicFootprint {
+    /// Source span of the `atomic` statement.
+    pub span: Span,
+    /// Per-parameter hulls, indexed like `Kernel::params`.
+    pub params: Vec<ParamFootprint>,
+    /// Parameter indices in order of first (syntactic) access.
+    pub first_order: Vec<usize>,
+}
+
+/// Whole-kernel analysis result.
+#[derive(Clone, Debug)]
+pub struct KernelFootprint {
+    /// Per-parameter hulls over the *entire* kernel (transactional and
+    /// plain accesses alike), indexed like `Kernel::params`.
+    pub params: Vec<ParamFootprint>,
+    /// One entry per `atomic` block, in source order.
+    pub atomics: Vec<AtomicFootprint>,
+}
+
+struct Analyzer<'k> {
+    kernel: &'k Kernel,
+    tid: Interval,
+    nthreads: u32,
+    whole: Vec<ParamFootprint>,
+    atomics: Vec<AtomicFootprint>,
+    /// Innermost open atomic block, as an index into `atomics`.
+    open_atomic: Option<usize>,
+}
+
+type Env = Vec<Interval>;
+
+impl<'k> Analyzer<'k> {
+    fn record(&mut self, param: usize, write: bool, iv: Interval) {
+        self.whole[param].record(write, iv);
+        if let Some(a) = self.open_atomic {
+            let blk = &mut self.atomics[a];
+            blk.params[param].record(write, iv);
+            if !blk.first_order.contains(&param) {
+                blk.first_order.push(param);
+            }
+        }
+    }
+
+    fn eval(&mut self, e: &Expr, env: &mut Env) -> Interval {
+        match e {
+            Expr::Int(v) => Interval::exact(*v),
+            Expr::Var { slot, .. } => env[*slot],
+            Expr::Tid => self.tid,
+            Expr::NThreads => Interval::exact(self.nthreads),
+            Expr::Rand(n) => {
+                let n = self.eval(n, env);
+                // rand(n) ∈ [0, n-1]; rand(0) = 0.
+                Interval { lo: 0, hi: n.hi.saturating_sub(1) }
+            }
+            Expr::Not(inner) => {
+                self.eval(inner, env);
+                Interval { lo: 0, hi: 1 }
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                let a = self.eval(lhs, env);
+                let b = self.eval(rhs, env);
+                match op {
+                    BinOp::Add => a.add(b),
+                    BinOp::Sub => a.sub(b),
+                    BinOp::Mul => a.mul(b),
+                    BinOp::Div => a.div(),
+                    BinOp::Rem => a.rem(b),
+                    BinOp::And => Interval { lo: 0, hi: a.hi.min(b.hi) },
+                    BinOp::Or | BinOp::Xor => a.bit_hull(b),
+                    BinOp::Shl => a.shl(b),
+                    BinOp::Shr => a.shr(b),
+                    BinOp::Eq
+                    | BinOp::Ne
+                    | BinOp::Lt
+                    | BinOp::Le
+                    | BinOp::Gt
+                    | BinOp::Ge
+                    | BinOp::AndAnd
+                    | BinOp::OrOr => Interval { lo: 0, hi: 1 },
+                }
+            }
+            Expr::Index { param, index, .. } => {
+                let iv = self.eval(index, env);
+                self.record(*param, false, self.clamp_to_len(*param, iv));
+                // Array contents are unknown.
+                Interval::TOP
+            }
+        }
+    }
+
+    /// Indices beyond a declared length trap at runtime (the kernel
+    /// aborts before the access executes), so the executed footprint
+    /// never exceeds the array.
+    fn clamp_to_len(&self, param: usize, iv: Interval) -> Interval {
+        match self.kernel.params[param].declared_len {
+            Some(n) if n > 0 => Interval { lo: iv.lo.min(n - 1), hi: iv.hi.min(n - 1) },
+            _ => iv,
+        }
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt], env: &mut Env) {
+        for s in stmts {
+            self.exec_stmt(s, env);
+        }
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, env: &mut Env) {
+        match stmt {
+            Stmt::Let { slot, init, .. } | Stmt::Assign { slot, value: init, .. } => {
+                env[*slot] = self.eval(init, env);
+            }
+            Stmt::Store { param, index, value, .. } => {
+                let iv = self.eval(index, env);
+                self.eval(value, env);
+                self.record(*param, true, self.clamp_to_len(*param, iv));
+            }
+            Stmt::If { cond, then_blk, else_blk, .. } => {
+                self.eval(cond, env);
+                let mut then_env = env.clone();
+                self.exec_block(then_blk, &mut then_env);
+                self.exec_block(else_blk, env);
+                for (slot, iv) in env.iter_mut().enumerate() {
+                    *iv = iv.join(then_env[slot]);
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                // Bounded fixpoint: re-interpret the body until locals
+                // stabilise, widening whatever still grows.
+                for round in 0.. {
+                    let before = env.clone();
+                    self.eval(cond, env);
+                    self.exec_block(body, env);
+                    let mut changed = false;
+                    for (slot, iv) in env.iter_mut().enumerate() {
+                        let joined = iv.join(before[slot]);
+                        if joined != before[slot] {
+                            changed = true;
+                            if round + 1 >= WIDEN_AFTER {
+                                *iv = Interval::TOP;
+                                continue;
+                            }
+                        }
+                        *iv = joined;
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+            }
+            Stmt::Atomic { body, .. } => {
+                // Nested atomics are rejected by `check`; still, keep the
+                // outermost block open if one exists.
+                let fresh = self.open_atomic.is_none();
+                if fresh {
+                    self.atomics.push(AtomicFootprint {
+                        span: stmt.span(),
+                        params: vec![ParamFootprint::default(); self.kernel.params.len()],
+                        first_order: Vec::new(),
+                    });
+                    self.open_atomic = Some(self.atomics.len() - 1);
+                }
+                self.exec_block(body, env);
+                if fresh {
+                    self.open_atomic = None;
+                }
+            }
+        }
+    }
+}
+
+/// Runs the abstract interpreter over `kernel` with `tid` drawn from the
+/// given interval and `nthreads()` equal to `nthreads`.
+///
+/// Pass `tid = [0, nthreads)` for a symbolic, all-threads view (lint), or
+/// an exact `tid` for a per-thread view (DPOR pruning).
+pub fn kernel_footprint(kernel: &Kernel, tid: Interval, nthreads: u32) -> KernelFootprint {
+    let mut a = Analyzer {
+        kernel,
+        tid,
+        nthreads,
+        whole: vec![ParamFootprint::default(); kernel.params.len()],
+        atomics: Vec::new(),
+        open_atomic: None,
+    };
+    let mut env: Env = vec![Interval::exact(0); kernel.n_slots];
+    a.exec_block(&kernel.body, &mut env);
+    KernelFootprint { params: a.whole, atomics: a.atomics }
+}
+
+/// Per-thread whole-kernel footprint: everything thread `tid` (of
+/// `nthreads`) may read or write in each array parameter.
+pub fn thread_footprint(kernel: &Kernel, tid: u32, nthreads: u32) -> Vec<ParamFootprint> {
+    kernel_footprint(kernel, Interval::exact(tid), nthreads).params
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    fn kernel(src: &str) -> crate::ast::Program {
+        compile(src).expect("fixture compiles")
+    }
+
+    fn only(p: &crate::ast::Program) -> &Kernel {
+        &p.kernels[0]
+    }
+
+    #[test]
+    fn striped_footprints_are_disjoint_per_thread() {
+        let p = kernel(
+            "kernel stripes(a: array) {
+                 let base = tid() * 2;
+                 atomic {
+                     a[base] = a[base] + 1;
+                     a[base + 1] = a[base + 1] + 1;
+                 }
+             }",
+        );
+        let f0 = thread_footprint(only(&p), 0, 4);
+        let f1 = thread_footprint(only(&p), 1, 4);
+        assert_eq!(f0[0].touched(), Some(Interval::new(0, 1)));
+        assert_eq!(f1[0].touched(), Some(Interval::new(2, 3)));
+        assert!(!f0[0].conflicts(&f1[0]));
+        assert!(f0[0].conflicts(&f0[0]));
+    }
+
+    #[test]
+    fn modulo_bounds_symbolic_tid() {
+        let p = kernel(
+            "kernel vote(tally: array) {
+                 let v = tid() % 8;
+                 atomic { tally[v] = tally[v] + 1; }
+             }",
+        );
+        let f = kernel_footprint(only(&p), Interval::new(0, 255), 256);
+        assert_eq!(f.params[0].read, Some(Interval::new(0, 7)));
+        assert_eq!(f.params[0].write, Some(Interval::new(0, 7)));
+        assert_eq!(f.atomics.len(), 1);
+        assert_eq!(f.atomics[0].first_order, vec![0]);
+    }
+
+    #[test]
+    fn while_loop_widens_and_terminates() {
+        let p = kernel(
+            "kernel scan(a: array) {
+                 let i = 0;
+                 while i < 100 {
+                     a[i] = 0;
+                     i = i + 1;
+                 }
+             }",
+        );
+        let f = kernel_footprint(only(&p), Interval::exact(0), 1);
+        // The hull must cover every written index; widening may take it
+        // to ⊤, which is sound.
+        let w = f.params[0].write.expect("writes recorded");
+        assert_eq!(w.lo, 0);
+        assert!(w.hi >= 99);
+    }
+
+    #[test]
+    fn declared_len_clamps_hull() {
+        let p = kernel(
+            "kernel wild(a: array[16]) {
+                 let i = rand(1000);
+                 while i { i = i - 1; }
+                 a[i % 16] = 1;
+             }",
+        );
+        let f = kernel_footprint(only(&p), Interval::exact(0), 1);
+        let w = f.params[0].write.unwrap();
+        assert!(w.hi <= 15, "clamped to the declared length, got {w}");
+    }
+
+    #[test]
+    fn branches_join() {
+        let p = kernel(
+            "kernel pick(a: array) {
+                 let i = 0;
+                 if tid() % 2 { i = 10; } else { i = 3; }
+                 a[i] = 1;
+             }",
+        );
+        let f = kernel_footprint(only(&p), Interval::new(0, 31), 32);
+        assert_eq!(f.params[0].write, Some(Interval::new(3, 10)));
+    }
+
+    #[test]
+    fn first_access_order_recorded_per_atomic() {
+        let p = kernel(
+            "kernel two(a: array, b: array) {
+                 atomic { a[0] = b[0]; }
+                 atomic { b[1] = a[1]; }
+             }",
+        );
+        let f = kernel_footprint(only(&p), Interval::new(0, 1), 2);
+        assert_eq!(f.atomics.len(), 2);
+        // Block 1 reads b[0] first (RHS evaluates before the store).
+        assert_eq!(f.atomics[0].first_order, vec![1, 0]);
+        assert_eq!(f.atomics[1].first_order, vec![0, 1]);
+    }
+
+    #[test]
+    fn interval_arithmetic_is_sound_on_wrap() {
+        let top = Interval::TOP;
+        assert!(Interval::exact(u32::MAX).add(Interval::exact(1)).is_top());
+        assert_eq!(Interval::exact(5).sub(Interval::exact(2)), Interval::exact(3));
+        assert!(Interval::exact(1).sub(Interval::exact(2)).is_top());
+        assert_eq!(Interval::new(0, 7).rem(Interval::exact(4)), Interval::new(0, 3));
+        assert_eq!(top.rem(Interval::exact(8)), Interval::new(0, 7));
+        assert_eq!(Interval::exact(3).mul(Interval::exact(4)), Interval::exact(12));
+    }
+}

@@ -57,6 +57,7 @@ pub mod analysis;
 pub mod ast;
 pub mod check;
 mod error;
+pub mod footprint;
 mod interp;
 pub mod lint;
 pub mod parse;
@@ -64,6 +65,9 @@ pub mod token;
 
 pub use ast::{Kernel, Program};
 pub use error::TxlError;
+pub use footprint::{
+    kernel_footprint, thread_footprint, Interval, KernelFootprint, ParamFootprint,
+};
 pub use interp::{launch, ArrayBinding};
 pub use lint::{lint_program, lint_source, Diagnostic, LintConfig, Rule};
 pub use parse::parse;

@@ -17,6 +17,7 @@
 //! | TL002 | [`Rule::UnsortedLockAcquisition`] | SIMT deadlock precondition |
 //! | TL003 | [`Rule::UnboundedWriteSet`] | ownership-table overflow |
 //! | TL004 | [`Rule::DivergentAtomic`] | transaction under divergent mask |
+//! | TL005 | [`Rule::ConflictingFootprintOrder`] | overlapping footprints, inverted order |
 //!
 //! The static verdicts are cross-checked against the simulator's dynamic
 //! happens-before race detector (`gpu_sim::race`) by the fixture and
@@ -52,6 +53,13 @@ pub enum Rule {
     /// a divergent mask, serialising retries and inviting intra-warp
     /// conflict livelock.
     DivergentAtomic,
+    /// TL005: two `atomic` blocks whose abstract footprints
+    /// ([`crate::footprint`]) overlap on two or more arrays, but which
+    /// first touch those arrays in different orders. Encounter-time lock
+    /// acquisition then takes the overlapping stripes in inverted order —
+    /// the lock-order-inversion shape that deadlocks a lock-stepped warp
+    /// unless the STM sorts its lock-log.
+    ConflictingFootprintOrder,
 }
 
 impl Rule {
@@ -62,6 +70,7 @@ impl Rule {
             Rule::UnsortedLockAcquisition => "TL002",
             Rule::UnboundedWriteSet => "TL003",
             Rule::DivergentAtomic => "TL004",
+            Rule::ConflictingFootprintOrder => "TL005",
         }
     }
 
@@ -72,6 +81,9 @@ impl Rule {
             Rule::UnsortedLockAcquisition => "lock acquisition order not provably sorted",
             Rule::UnboundedWriteSet => "transaction write-set not bounded by table capacity",
             Rule::DivergentAtomic => "atomic block under divergent control flow",
+            Rule::ConflictingFootprintOrder => {
+                "overlapping transactional footprints acquired in different orders"
+            }
         }
     }
 
@@ -82,6 +94,7 @@ impl Rule {
             Rule::UnsortedLockAcquisition => "Sections 2.2, 3.1 (SIMT deadlock, lock sorting)",
             Rule::UnboundedWriteSet => "Section 3.1 (ownership table)",
             Rule::DivergentAtomic => "Section 2.2 (SIMT divergence)",
+            Rule::ConflictingFootprintOrder => "Sections 2.2, 3.1 (lock-order inversion)",
         }
     }
 }
@@ -93,11 +106,12 @@ impl fmt::Display for Rule {
 }
 
 /// All rules, in ID order.
-pub const RULES: [Rule; 4] = [
+pub const RULES: [Rule; 5] = [
     Rule::NonAtomicSharedAccess,
     Rule::UnsortedLockAcquisition,
     Rule::UnboundedWriteSet,
     Rule::DivergentAtomic,
+    Rule::ConflictingFootprintOrder,
 ];
 
 /// Configuration for the lint pass.
@@ -151,6 +165,7 @@ pub fn lint_program(program: &Program, cfg: &LintConfig) -> Vec<Diagnostic> {
         unsorted_locks(kernel, &mut diags);
         unbounded_write_set(kernel, cfg, &mut diags);
         divergent_atomic(kernel, &mut diags);
+        conflicting_footprint_order(kernel, &mut diags);
         diags.sort_by_key(|d| (d.span.start, d.rule));
         out.extend(diags.into_iter().map(|d| (ki, d)));
     }
@@ -567,6 +582,57 @@ fn divergent_atomic(kernel: &Kernel, out: &mut Vec<Diagnostic>) {
     walk(&kernel.body, false, &tainted, kernel, out);
 }
 
+// ---------------------------------------------------------------- TL005
+
+fn conflicting_footprint_order(kernel: &Kernel, out: &mut Vec<Diagnostic>) {
+    // Symbolic view: tid unconstrained, so the footprints cover every
+    // thread. Over-approximation only ever *adds* overlap, which is the
+    // sound direction for a hazard lint.
+    let fps = crate::footprint::kernel_footprint(kernel, crate::footprint::Interval::TOP, u32::MAX);
+    for i in 0..fps.atomics.len() {
+        for j in i + 1..fps.atomics.len() {
+            let (a, b) = (&fps.atomics[i], &fps.atomics[j]);
+            // Arrays on which the two blocks' footprints may conflict.
+            let shared: Vec<usize> =
+                (0..kernel.params.len()).filter(|&p| a.params[p].conflicts(&b.params[p])).collect();
+            if shared.len() < 2 {
+                continue;
+            }
+            let pos = |order: &[usize], p: usize| order.iter().position(|&x| x == p);
+            let inverted = shared.iter().enumerate().any(|(x, &p)| {
+                shared.iter().skip(x + 1).any(|&q| {
+                    match (pos(&a.first_order, p), pos(&a.first_order, q)) {
+                        (Some(ap), Some(aq)) => {
+                            match (pos(&b.first_order, p), pos(&b.first_order, q)) {
+                                (Some(bp), Some(bq)) => (ap < aq) != (bp < bq),
+                                _ => false,
+                            }
+                        }
+                        _ => false,
+                    }
+                })
+            });
+            if inverted {
+                let names: Vec<&str> =
+                    shared.iter().map(|&p| kernel.params[p].name.as_str()).collect();
+                out.push(diag(
+                    kernel,
+                    Rule::ConflictingFootprintOrder,
+                    b.span,
+                    format!(
+                        "this atomic block and the one at line {} have statically-overlapping \
+                         footprints on arrays {} but first touch them in different orders; \
+                         encounter-time lock acquisition in inverted order deadlocks a \
+                         lock-stepped warp unless the STM sorts its lock-log",
+                        a.span.line,
+                        names.iter().map(|n| format!("`{n}`")).collect::<Vec<_>>().join(", "),
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -748,10 +814,69 @@ mod tests {
 
     #[test]
     fn rule_catalog_is_stable() {
-        assert_eq!(RULES.map(Rule::id), ["TL001", "TL002", "TL003", "TL004"]);
+        assert_eq!(RULES.map(Rule::id), ["TL001", "TL002", "TL003", "TL004", "TL005"]);
         for r in RULES {
             assert!(!r.title().is_empty());
             assert!(r.paper_ref().starts_with("Section"), "{}", r.paper_ref());
         }
+    }
+
+    #[test]
+    fn tl005_flags_inverted_footprint_order() {
+        let d = lint(
+            "kernel swap(src: array, dst: array) {
+                 let i = tid() % 8;
+                 atomic {
+                     src[i] = src[i] - 1;
+                     dst[i] = dst[i] + 1;
+                 }
+                 atomic {
+                     dst[i] = dst[i] - 1;
+                     src[i] = src[i] + 1;
+                 }
+             }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::ConflictingFootprintOrder);
+        // Anchored on the later block.
+        assert!(d[0].message.contains("`src`") && d[0].message.contains("`dst`"), "{}", d[0]);
+    }
+
+    #[test]
+    fn tl005_quiet_when_orders_agree() {
+        let d = lint(
+            "kernel swap(src: array, dst: array) {
+                 let i = tid() % 8;
+                 atomic {
+                     src[i] = src[i] - 1;
+                     dst[i] = dst[i] + 1;
+                 }
+                 atomic {
+                     src[i] = src[i] + 1;
+                     dst[i] = dst[i] - 1;
+                 }
+             }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn tl005_quiet_when_footprints_disjoint() {
+        // Same inverted order, but the two blocks touch provably disjoint
+        // halves of each array: no stripe can be contended.
+        let d = lint(
+            "kernel split(a: array[16], b: array[16]) {
+                 let i = tid() % 8;
+                 atomic {
+                     a[i] = a[i] + 1;
+                     b[i] = b[i] + 1;
+                 }
+                 atomic {
+                     b[i + 8] = b[i + 8] + 1;
+                     a[i + 8] = a[i + 8] + 1;
+                 }
+             }",
+        );
+        assert!(d.is_empty(), "{d:?}");
     }
 }

@@ -12,6 +12,8 @@ const OVERFLOW_BUG: &str = include_str!("fixtures/overflow_writeset_bug.txl");
 const OVERFLOW_CLEAN: &str = include_str!("fixtures/overflow_writeset_clean.txl");
 const DIVERGENT_BUG: &str = include_str!("fixtures/divergent_atomic_bug.txl");
 const DIVERGENT_CLEAN: &str = include_str!("fixtures/divergent_atomic_clean.txl");
+const FOOTPRINT_BUG: &str = include_str!("fixtures/footprint_order_bug.txl");
+const FOOTPRINT_CLEAN: &str = include_str!("fixtures/footprint_order_clean.txl");
 
 fn lint(src: &str) -> Vec<txl::Diagnostic> {
     lint_source(src, &LintConfig::default()).unwrap()
@@ -58,12 +60,24 @@ fn divergent_atomic_bug_is_flagged_at_the_atomic() {
 }
 
 #[test]
+fn footprint_order_bug_is_flagged_at_the_second_atomic() {
+    let d = lint(FOOTPRINT_BUG);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].rule, Rule::ConflictingFootprintOrder);
+    assert_eq!(d[0].rule.id(), "TL005");
+    // Anchored on the later of the two inverted blocks.
+    assert_eq!(d[0].line, 7);
+    assert!(d[0].message.contains("`from`") && d[0].message.contains("`into`"), "{}", d[0]);
+}
+
+#[test]
 fn clean_twins_lint_clean() {
     for (name, src) in [
         ("weak_isolation_clean", WEAK_ISO_CLEAN),
         ("unsorted_locks_clean", LOCKS_CLEAN),
         ("overflow_writeset_clean", OVERFLOW_CLEAN),
         ("divergent_atomic_clean", DIVERGENT_CLEAN),
+        ("footprint_order_clean", FOOTPRINT_CLEAN),
     ] {
         let d = lint(src);
         assert!(d.is_empty(), "{name}: {d:?}");
