@@ -10,9 +10,10 @@
 //!     --name paper --threads 256 [--only ht] [--data-scale N]
 //! ```
 //!
-//! Writes `BENCH_<name>.json` (default name `report`) in the current
-//! directory. The default matrix covers RA and HT (the paper's two
-//! microbenchmarks) under every variant; `--full` adds GN, LB and KM.
+//! Writes `BENCH_<name>.json` (default name `report`) at the workspace
+//! root (override with `BENCH_OUT_DIR`). The default matrix covers RA
+//! and HT (the paper's two microbenchmarks) under every variant;
+//! `--full` adds GN, LB and KM.
 
 use bench::runner::{run_workload, Workload};
 use bench::Suite;
@@ -110,8 +111,8 @@ fn main() {
     w.end_array();
     w.end_object();
 
-    let path = format!("BENCH_{name}.json");
+    let path = bench::bench_output_path(&name);
     let json = w.finish();
     std::fs::write(&path, &json).expect("write report");
-    println!("report written to {path} ({} bytes)", json.len());
+    println!("report written to {} ({} bytes)", path.display(), json.len());
 }

@@ -1,0 +1,285 @@
+//! Load sweep for the sharded transaction service (`tm-serve`).
+//!
+//! Runs the service over a matrix of traffic mixes × shard counts ×
+//! STM variants at a **fixed total batch capacity** (so the shard axis
+//! measures contention isolation, not extra hardware), then writes one
+//! deterministic `BENCH_<name>.json` at the workspace root and prints a
+//! console table with the wall-clock scaling figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p bench --release --bin serve                  # full sweep
+//! cargo run -p bench --release --bin serve -- --smoke       # CI sweep
+//! cargo run -p bench --release --bin serve -- --shards 4    # single run
+//! ```
+//!
+//! Single-run mode (`--shards N`) accepts `--mix bank|ht|mixed`,
+//! `--variant`, `--mode plain|scheduled|robust`, `--requests`,
+//! `--workers`, `--queue-cap`, `--total-warps` and `--seed`.
+//!
+//! Everything inside the JSON is virtual (simulated cycles, counters,
+//! FNV hashes): for a fixed seed the file is byte-identical regardless
+//! of worker-thread count or host speed. Wall-clock throughput is
+//! printed on the console only.
+
+use bench::{bench_output_path, print_table};
+use gpu_sim::JsonWriter;
+use tm_serve::{EngineMode, MixConfig, ServeConfig, ServeReport, Service};
+use workloads::Variant;
+
+struct Args {
+    name: String,
+    shards: Option<usize>,
+    workers: usize,
+    variant: Variant,
+    mode: EngineMode,
+    mix: String,
+    requests: u64,
+    queue_cap: usize,
+    total_warps: u32,
+    seed: u64,
+    smoke: bool,
+    accounts: u32,
+    locality_pct: Option<u32>,
+    hot_pct: Option<u32>,
+    hot_keys: Option<u32>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let argv: Vec<String> = std::env::args().collect();
+        let mut a = Args {
+            name: "serve".to_string(),
+            shards: None,
+            workers: 0,
+            variant: Variant::Vbv,
+            // Plain by default: the AIMD scheduler deliberately damps the
+            // contention collapse this sweep measures along the shard
+            // axis. `--mode scheduled` benches the production setup.
+            mode: EngineMode::Plain,
+            mix: "bank".to_string(),
+            requests: 16384,
+            queue_cap: 0,
+            total_warps: 64,
+            seed: 42,
+            smoke: false,
+            accounts: 256,
+            locality_pct: None,
+            hot_pct: None,
+            hot_keys: None,
+        };
+        let mut i = 1;
+        while i < argv.len() {
+            let take =
+                |i: usize| argv.get(i + 1).unwrap_or_else(|| panic!("{} wants a value", argv[i]));
+            match argv[i].as_str() {
+                "--name" => {
+                    a.name = take(i).clone();
+                    i += 1;
+                }
+                "--shards" => {
+                    a.shards = Some(take(i).parse().expect("--shards wants a number"));
+                    i += 1;
+                }
+                "--workers" => {
+                    a.workers = take(i).parse().expect("--workers wants a number");
+                    i += 1;
+                }
+                "--variant" => {
+                    a.variant = Variant::parse(take(i)).expect("unknown --variant");
+                    i += 1;
+                }
+                "--mode" => {
+                    a.mode = EngineMode::parse(take(i)).expect("unknown --mode");
+                    i += 1;
+                }
+                "--mix" => {
+                    a.mix = take(i).clone();
+                    i += 1;
+                }
+                "--requests" => {
+                    a.requests = take(i).parse().expect("--requests wants a number");
+                    i += 1;
+                }
+                "--queue-cap" => {
+                    a.queue_cap = take(i).parse().expect("--queue-cap wants a number");
+                    i += 1;
+                }
+                "--total-warps" => {
+                    a.total_warps = take(i).parse().expect("--total-warps wants a number");
+                    i += 1;
+                }
+                "--seed" => {
+                    a.seed = take(i).parse().expect("--seed wants a number");
+                    i += 1;
+                }
+                "--accounts" => {
+                    a.accounts = take(i).parse().expect("--accounts wants a number");
+                    i += 1;
+                }
+                "--locality" => {
+                    a.locality_pct = Some(take(i).parse().expect("--locality wants a percent"));
+                    i += 1;
+                }
+                "--hot-pct" => {
+                    a.hot_pct = Some(take(i).parse().expect("--hot-pct wants a percent"));
+                    i += 1;
+                }
+                "--hot-keys" => {
+                    a.hot_keys = Some(take(i).parse().expect("--hot-keys wants a number"));
+                    i += 1;
+                }
+                "--smoke" => a.smoke = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        a
+    }
+}
+
+/// Builds the service config for one sweep point. The total batch
+/// capacity (`total_warps` × 32 lanes) is held constant across shard
+/// counts: one shard runs all lanes in one conflict domain, `n` shards
+/// split the same lanes into `n` independent domains.
+fn config(args: &Args, mix_name: &str, variant: Variant, shards: usize) -> ServeConfig {
+    let mut mix = MixConfig::parse(mix_name).expect("unknown --mix");
+    mix.requests = args.requests;
+    // Saturating arrivals: the sweep measures service throughput, not
+    // idle time waiting for an open-loop trickle.
+    mix.mean_interarrival = 4;
+    if mix_name == "bank" {
+        // Bench defaults for the bank mix: mostly-local traffic with a
+        // light hot set — the regime where shard isolation pays most
+        // (DESIGN.md §12). The service preset keeps the hotter mix.
+        mix.locality_pct = 90;
+        mix.hot_pct = 10;
+    }
+    if let Some(p) = args.locality_pct {
+        mix.locality_pct = p;
+    }
+    if let Some(p) = args.hot_pct {
+        mix.hot_pct = p;
+    }
+    if let Some(k) = args.hot_keys {
+        mix.hot_keys = k;
+    }
+    let queue_cap = if args.queue_cap > 0 { args.queue_cap } else { args.requests as usize + 8 };
+    ServeConfig {
+        shards,
+        workers: args.workers,
+        variant,
+        mode: args.mode,
+        mix,
+        seed: args.seed,
+        accounts: args.accounts,
+        batch_warps: (args.total_warps / shards as u32).max(1),
+        queue_capacity: queue_cap,
+        ..ServeConfig::default()
+    }
+}
+
+fn run(cfg: &ServeConfig, mix_name: &str) -> ServeReport {
+    eprint!(
+        "[serve] mix={} variant={} shards={} ...",
+        mix_name,
+        cfg.variant.short_name(),
+        cfg.shards
+    );
+    let report = Service::run(cfg).unwrap_or_else(|e| panic!("serve run failed: {e}"));
+    eprintln!(
+        " {} completed in {:.2}s ({} virtual kcycles)",
+        report.completed,
+        report.wall_seconds,
+        report.virtual_cycles / 1000
+    );
+    report
+}
+
+fn main() {
+    let args = Args::parse();
+
+    // (mix, report) per sweep point, in deterministic sweep order.
+    let mut runs: Vec<(String, ServeReport)> = Vec::new();
+    if let Some(shards) = args.shards {
+        let cfg = config(&args, &args.mix, args.variant, shards);
+        runs.push((args.mix.clone(), run(&cfg, &args.mix)));
+    } else {
+        let mixes = ["bank", "ht"];
+        let shard_axis: &[usize] = if args.smoke { &[1, 2] } else { &[1, 2, 4] };
+        let variants = [Variant::Vbv, Variant::HvSorting];
+        let sweep_requests = if args.smoke { args.requests.min(192) } else { args.requests };
+        for mix in mixes {
+            for &variant in &variants {
+                for &shards in shard_axis {
+                    let mut cfg = config(&args, mix, variant, shards);
+                    cfg.mix.requests = sweep_requests;
+                    cfg.queue_capacity = sweep_requests as usize + 8;
+                    runs.push((mix.to_string(), run(&cfg, mix)));
+                }
+            }
+        }
+    }
+
+    // Deterministic artifact: stable field order, virtual metrics only.
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", "gpu-stm-serve/1");
+    w.key("runs");
+    w.begin_array();
+    for (mix, report) in &runs {
+        w.begin_object();
+        w.field_str("mix", mix);
+        w.key("report");
+        report.write_json(&mut w);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    let path = bench_output_path(&args.name);
+    let json = w.finish();
+    std::fs::write(&path, &json).expect("write serve report");
+
+    // Console table: wall-clock columns live here and only here.
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (mix, r) in &runs {
+        let baseline = runs
+            .iter()
+            .find(|(m, b)| m == mix && b.variant == r.variant && b.shards == 1)
+            .map(|(_, b)| b.wall_throughput());
+        let wall_x = match baseline {
+            Some(base) if base > 0.0 => format!("{:.2}x", r.wall_throughput() / base),
+            _ => "-".to_string(),
+        };
+        rows.push(vec![
+            mix.clone(),
+            r.variant.clone(),
+            r.shards.to_string(),
+            r.completed.to_string(),
+            r.rejected.to_string(),
+            r.shard_reports.iter().map(|s| s.aborts).sum::<u64>().to_string(),
+            r.p50().to_string(),
+            format!("{:.3}", r.sim_throughput()),
+            format!("{:.0}", r.wall_throughput()),
+            wall_x,
+        ]);
+    }
+    print_table(
+        "tm-serve load sweep",
+        &[
+            "mix",
+            "variant",
+            "shards",
+            "completed",
+            "rejected",
+            "aborts",
+            "p50(cyc)",
+            "tx/kcycle",
+            "tx/s",
+            "wall-x",
+        ],
+        &rows,
+    );
+    println!("\nreport written to {} ({} bytes)", path.display(), json.len());
+}

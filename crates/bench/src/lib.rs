@@ -187,6 +187,17 @@ pub fn square_grid(threads: u64) -> LaunchConfig {
     LaunchConfig::new(blocks.max(1), tpb)
 }
 
+/// Absolute path where a `BENCH_<name>.json` artifact belongs: the
+/// workspace root by default — so CI and humans find reports in one
+/// stable place regardless of the invocation directory — overridable
+/// with the `BENCH_OUT_DIR` environment variable.
+pub fn bench_output_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::var_os("BENCH_OUT_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."));
+    dir.join(format!("BENCH_{name}.json"))
+}
+
 /// Formats `value` with thousands separators.
 pub fn thousands(value: u64) -> String {
     let s = value.to_string();

@@ -322,6 +322,13 @@ impl ProgressBoard {
 pub struct Sim {
     state: Rc<RefCell<SimState>>,
     config: SimConfig,
+    /// Counters accumulated over every launch this simulator has run
+    /// (per-launch counters reset at each [`Sim::launch`]; these do not).
+    lifetime: SimStats,
+    /// Sum of completion cycles over all launches.
+    lifetime_cycles: u64,
+    /// Number of completed launches.
+    launches: u64,
 }
 
 impl std::fmt::Debug for Sim {
@@ -346,12 +353,35 @@ impl Sim {
             observe_effects: config.schedule.is_some(),
             last_effect: None,
         };
-        Sim { state: Rc::new(RefCell::new(state)), config }
+        Sim {
+            state: Rc::new(RefCell::new(state)),
+            config,
+            lifetime: SimStats::new(),
+            lifetime_cycles: 0,
+            launches: 0,
+        }
     }
 
     /// The configuration this simulator was built with.
     pub fn config(&self) -> &SimConfig {
         &self.config
+    }
+
+    /// Counters accumulated across every completed launch — the view a
+    /// long-lived engine (one simulator serving many kernel batches, as
+    /// in `tm-serve`) reports, where per-launch stats are too granular.
+    pub fn lifetime_stats(&self) -> &SimStats {
+        &self.lifetime
+    }
+
+    /// Total simulated cycles summed over all completed launches.
+    pub fn lifetime_cycles(&self) -> u64 {
+        self.lifetime_cycles
+    }
+
+    /// Number of launches this simulator has completed.
+    pub fn launches(&self) -> u64 {
+        self.launches
     }
 
     /// Allocates `n` zeroed device words.
@@ -551,8 +581,11 @@ impl Sim {
             }
         }
 
-        let st = self.state.borrow();
-        Ok(RunReport { cycles: last_cycle, stats: st.stats.clone() })
+        let stats = self.state.borrow().stats.clone();
+        self.lifetime.merge(&stats);
+        self.lifetime_cycles += last_cycle;
+        self.launches += 1;
+        Ok(RunReport { cycles: last_cycle, stats })
     }
 
     /// Aborts the launch with a classified non-progress error once the

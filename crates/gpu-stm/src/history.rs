@@ -43,19 +43,58 @@ impl CommittedTx {
     }
 }
 
+/// Observer invoked synchronously for every transaction recorded into a
+/// [`History`], at the moment of recording (i.e. at the commit point, in
+/// commit order). Used by layers that must react to commits as they
+/// happen — e.g. the tm-serve engine maps committing thread ids back to
+/// client requests to build a request-tagged commit log.
+///
+/// The hook runs while the history is mutably borrowed: it must not
+/// touch the recorder it is attached to.
+pub type CommitHook = Rc<dyn Fn(&CommittedTx)>;
+
 /// A complete recorded history.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct History {
     /// Committed transactions in recording (real-time commit) order.
     pub commits: Vec<CommittedTx>,
     /// Count of aborted attempts.
     pub aborts: u64,
+    /// Optional commit observer, fired by [`History::record`].
+    hook: Option<CommitHook>,
+}
+
+impl std::fmt::Debug for History {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("History")
+            .field("commits", &self.commits)
+            .field("aborts", &self.aborts)
+            .field("hook", &self.hook.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
 }
 
 impl History {
     /// Creates an empty history.
     pub fn new() -> Self {
         History::default()
+    }
+
+    /// Installs a commit observer fired for every transaction that is
+    /// subsequently [`record`](History::record)ed.
+    pub fn set_hook(&mut self, hook: CommitHook) {
+        self.hook = Some(hook);
+    }
+
+    /// Records one committed transaction, notifying the commit hook (if
+    /// any) before the transaction is appended. Every STM variant routes
+    /// its commit-point recording through this method, so a hook observes
+    /// the complete committed history in commit order.
+    pub fn record(&mut self, tx: CommittedTx) {
+        if let Some(hook) = &self.hook {
+            hook(&tx);
+        }
+        self.commits.push(tx);
     }
 }
 
@@ -65,6 +104,13 @@ pub type Recorder = Rc<RefCell<History>>;
 /// Creates a fresh recorder.
 pub fn recorder() -> Recorder {
     Rc::new(RefCell::new(History::new()))
+}
+
+/// Creates a fresh recorder with a commit hook pre-installed.
+pub fn recorder_with_hook(hook: CommitHook) -> Recorder {
+    let rec = recorder();
+    rec.borrow_mut().set_hook(hook);
+    rec
 }
 
 #[cfg(test)]
@@ -92,5 +138,25 @@ mod tests {
     fn read_only_detection() {
         let tx = CommittedTx { tid: 0, version: None, snapshot: 4, reads: vec![], writes: vec![] };
         assert!(tx.is_read_only());
+    }
+
+    #[test]
+    fn commit_hook_observes_recorded_txs_in_order() {
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&seen);
+        let rec = recorder_with_hook(Rc::new(move |tx: &CommittedTx| {
+            sink.borrow_mut().push((tx.tid, tx.version));
+        }));
+        for tid in 0..3 {
+            rec.borrow_mut().record(CommittedTx {
+                tid,
+                version: Some(tid + 10),
+                snapshot: 0,
+                reads: vec![],
+                writes: vec![],
+            });
+        }
+        assert_eq!(*seen.borrow(), vec![(0, Some(10)), (1, Some(11)), (2, Some(12))]);
+        assert_eq!(rec.borrow().commits.len(), 3);
     }
 }

@@ -78,7 +78,7 @@ mod warptx;
 
 pub use api::{lane_addrs, lane_vals, Stm};
 pub use config::{Locking, StmConfig, Validation};
-pub use history::{recorder, History, Recorder};
+pub use history::{recorder, recorder_with_hook, CommitHook, CommittedTx, History, Recorder};
 pub use profile::ContentionProfile;
 pub use robust::{Robust, RobustConfig};
 pub use scheduler::{Scheduled, SchedulerConfig};

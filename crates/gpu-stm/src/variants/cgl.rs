@@ -160,7 +160,7 @@ impl Stm for CglStm {
         if let Some(rec) = &self.recorder {
             let mut h = rec.borrow_mut();
             let version = h.commits.len() as u32 + 1; // lock order = serial order
-            h.commits.push(CommittedTx {
+            h.record(CommittedTx {
                 tid: ctx.id().thread_id(leader),
                 version: Some(version),
                 snapshot: version.saturating_sub(1),

@@ -286,7 +286,7 @@ impl Stm for EgpgvStm {
                 }
             }
             if let Some(rec) = &self.recorder {
-                rec.borrow_mut().commits.push(CommittedTx {
+                rec.borrow_mut().record(CommittedTx {
                     tid: ctx.id().thread_id(l),
                     version: Some(version),
                     snapshot: version.saturating_sub(1),

@@ -523,7 +523,7 @@ impl LockStm {
         if let Some(rec) = &self.recorder {
             let mut h = rec.borrow_mut();
             for l in ok.iter() {
-                h.commits.push(CommittedTx {
+                h.record(CommittedTx {
                     tid: ctx.id().thread_id(l),
                     version: Some(versions[l]),
                     snapshot: w.snapshot[l],
@@ -737,7 +737,7 @@ impl Stm for LockStm {
             if let Some(rec) = &self.recorder {
                 let mut h = rec.borrow_mut();
                 for l in ro.iter() {
-                    h.commits.push(CommittedTx {
+                    h.record(CommittedTx {
                         tid: ctx.id().thread_id(l),
                         version: None,
                         snapshot: w.snapshot[l],

@@ -231,7 +231,7 @@ impl Stm for NorecStm {
             if let Some(rec) = &self.recorder {
                 let mut h = rec.borrow_mut();
                 for l in ro.iter() {
-                    h.commits.push(CommittedTx {
+                    h.record(CommittedTx {
                         tid: ctx.id().thread_id(l),
                         version: None,
                         snapshot: w.snapshot[l],
@@ -283,7 +283,7 @@ impl Stm for NorecStm {
                     st.writes_committed += w.writes.len(l) as u64;
                 }
                 if let Some(rec) = &self.recorder {
-                    rec.borrow_mut().commits.push(CommittedTx {
+                    rec.borrow_mut().record(CommittedTx {
                         tid: ctx.id().thread_id(l),
                         version: Some(version),
                         snapshot: w.snapshot[l],

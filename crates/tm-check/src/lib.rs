@@ -258,15 +258,19 @@ mod tests {
         }
     }
 
+    fn history(commits: Vec<CommittedTx>, aborts: u64) -> History {
+        let mut h = History::new();
+        h.commits = commits;
+        h.aborts = aborts;
+        h
+    }
+
     #[test]
     fn consistent_history_passes() {
-        let h = History {
-            commits: vec![
-                wtx(0, 1, vec![(10, 0)], vec![(10, 1)]),
-                wtx(1, 2, vec![(10, 1)], vec![(10, 2)]),
-            ],
-            aborts: 3,
-        };
+        let h = history(
+            vec![wtx(0, 1, vec![(10, 0)], vec![(10, 1)]), wtx(1, 2, vec![(10, 1)], vec![(10, 2)])],
+            3,
+        );
         let rep = check_history(&h, |_| 0);
         assert!(rep.is_ok(), "{:?}", rep.violations);
         assert_eq!(rep.writers, 2);
@@ -276,13 +280,10 @@ mod tests {
     fn lost_update_detected() {
         // Both transactions read 0 and wrote 1: the second one's read is
         // inconsistent with its serialization point.
-        let h = History {
-            commits: vec![
-                wtx(0, 1, vec![(10, 0)], vec![(10, 1)]),
-                wtx(1, 2, vec![(10, 0)], vec![(10, 1)]),
-            ],
-            aborts: 0,
-        };
+        let h = history(
+            vec![wtx(0, 1, vec![(10, 0)], vec![(10, 1)]), wtx(1, 2, vec![(10, 0)], vec![(10, 1)])],
+            0,
+        );
         let rep = check_history(&h, |_| 0);
         assert!(!rep.is_ok());
         assert!(matches!(rep.violations[0], Violation::InconsistentRead { tid: 1, .. }));
@@ -290,10 +291,7 @@ mod tests {
 
     #[test]
     fn duplicate_versions_detected() {
-        let h = History {
-            commits: vec![wtx(0, 5, vec![], vec![(1, 1)]), wtx(1, 5, vec![], vec![(2, 2)])],
-            aborts: 0,
-        };
+        let h = history(vec![wtx(0, 5, vec![], vec![(1, 1)]), wtx(1, 5, vec![], vec![(2, 2)])], 0);
         let rep = check_history(&h, |_| 0);
         assert!(rep
             .violations
@@ -310,14 +308,10 @@ mod tests {
             reads: vec![Access { addr: Addr(10), val: 1 }],
             writes: vec![],
         };
-        let h = History {
-            commits: vec![
-                wtx(0, 1, vec![], vec![(10, 1)]),
-                ro.clone(),
-                wtx(1, 2, vec![], vec![(10, 2)]),
-            ],
-            aborts: 0,
-        };
+        let h = history(
+            vec![wtx(0, 1, vec![], vec![(10, 1)]), ro.clone(), wtx(1, 2, vec![], vec![(10, 2)])],
+            0,
+        );
         let rep = check_history(&h, |_| 0);
         assert!(rep.is_ok(), "{:?}", rep.violations);
         assert_eq!(rep.read_only, 1);
@@ -325,17 +319,17 @@ mod tests {
         // Same read-only tx claiming snapshot 2 must fail: at snapshot 2
         // the value was 2, not 1.
         ro.snapshot = 2;
-        let h2 = History {
-            commits: vec![wtx(0, 1, vec![], vec![(10, 1)]), ro, wtx(1, 2, vec![], vec![(10, 2)])],
-            aborts: 0,
-        };
+        let h2 = history(
+            vec![wtx(0, 1, vec![], vec![(10, 1)]), ro, wtx(1, 2, vec![], vec![(10, 2)])],
+            0,
+        );
         let rep2 = check_history(&h2, |_| 0);
         assert!(!rep2.is_ok());
     }
 
     #[test]
     fn initial_values_respected() {
-        let h = History { commits: vec![wtx(0, 1, vec![(3, 42)], vec![])], aborts: 0 };
+        let h = history(vec![wtx(0, 1, vec![(3, 42)], vec![])], 0);
         // version Some but writes empty — still replayed as writer.
         assert!(check_history(&h, |a| if a == Addr(3) { 42 } else { 0 }).is_ok());
         assert!(!check_history(&h, |_| 0).is_ok());
@@ -343,7 +337,7 @@ mod tests {
 
     #[test]
     fn final_state_check_detects_dirty_writes() {
-        let h = History { commits: vec![wtx(0, 1, vec![], vec![(10, 5)])], aborts: 1 };
+        let h = history(vec![wtx(0, 1, vec![], vec![(10, 5)])], 1);
         // Memory shows 9 at address 10 — an aborted transaction leaked.
         let violations = check_final_state(
             &h,
@@ -357,7 +351,7 @@ mod tests {
 
     #[test]
     fn final_state_check_passes_clean_history() {
-        let h = History { commits: vec![wtx(0, 1, vec![], vec![(10, 5)])], aborts: 0 };
+        let h = history(vec![wtx(0, 1, vec![], vec![(10, 5)])], 0);
         let violations = check_final_state(
             &h,
             |_| 0,
@@ -370,7 +364,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "violates opacity")]
     fn assert_opaque_panics_on_bad_history() {
-        let h = History { commits: vec![wtx(0, 1, vec![(10, 99)], vec![])], aborts: 0 };
+        let h = history(vec![wtx(0, 1, vec![(10, 99)], vec![])], 0);
         assert_opaque(&h, |_| 0);
     }
 

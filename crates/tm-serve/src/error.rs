@@ -1,0 +1,76 @@
+//! Structured service errors.
+//!
+//! Admission failures are *data*, not panics: an overloaded shard
+//! reports its queue depth and a retry-after hint so a client (or the
+//! load generator) can back off proportionally to the backlog.
+
+use std::fmt;
+
+/// Errors surfaced by the transaction service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// A shard's admission queue is full; retry after the hinted number
+    /// of simulated cycles.
+    Overloaded {
+        /// Shard whose queue rejected the request.
+        shard: usize,
+        /// Queue occupancy at rejection time.
+        queue_len: usize,
+        /// Queue capacity.
+        capacity: usize,
+        /// Suggested wait before retrying, in simulated cycles. Scaled
+        /// up while the shard's scheduler reports an abort storm and
+        /// back down once the storm clears.
+        retry_after: u64,
+    },
+    /// The service configuration is unusable (zero shards, a variant
+    /// that cannot support the batch grid, ...).
+    BadConfig(String),
+    /// A shard engine failed (simulator error, worker thread died).
+    Engine {
+        /// Shard that failed.
+        shard: usize,
+        /// Underlying error text.
+        message: String,
+    },
+    /// The round loop stopped making progress before draining.
+    Stalled {
+        /// Rounds executed before giving up.
+        rounds: u64,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { shard, queue_len, capacity, retry_after } => write!(
+                f,
+                "shard {shard} overloaded ({queue_len}/{capacity} queued); \
+                 retry after {retry_after} cycles"
+            ),
+            ServeError::BadConfig(msg) => write!(f, "bad service config: {msg}"),
+            ServeError::Engine { shard, message } => {
+                write!(f, "shard {shard} engine error: {message}")
+            }
+            ServeError::Stalled { rounds } => {
+                write!(f, "service stalled after {rounds} rounds without draining")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overloaded_formats_hint() {
+        let e = ServeError::Overloaded { shard: 3, queue_len: 8, capacity: 8, retry_after: 1200 };
+        let s = e.to_string();
+        assert!(s.contains("shard 3"));
+        assert!(s.contains("8/8"));
+        assert!(s.contains("1200"));
+    }
+}

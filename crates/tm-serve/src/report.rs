@@ -1,0 +1,311 @@
+//! Aggregated service telemetry, exported through the workspace's
+//! deterministic [`JsonWriter`] so `BENCH_serve.json` is byte-identical
+//! for a fixed seed regardless of worker-thread count: every serialized
+//! quantity is virtual (simulated cycles, counters, hashes) — wall-clock
+//! time is reported on the console only and never enters the JSON.
+
+use crate::error::ServeError;
+use gpu_sim::JsonWriter;
+
+/// Completed-request counts by traffic class.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct ClassTotals {
+    /// Single-shard bank transfers.
+    pub bank_local: u64,
+    /// Cross-shard (2PC) bank transfers.
+    pub bank_cross: u64,
+    /// Hashtable puts/gets.
+    pub ht: u64,
+    /// TXL programs.
+    pub txl: u64,
+}
+
+/// Per-shard slice of the report.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// STM variant label the shard ran.
+    pub stm_name: String,
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted attempts.
+    pub aborts: u64,
+    /// Read-only commits verified by `tm-check`.
+    pub read_only: u64,
+    /// Writer commits replayed by `tm-check`.
+    pub writers: u64,
+    /// Kernel launches (batches + TXL launches).
+    pub launches: u64,
+    /// Simulated cycles across the shard's launches.
+    pub sim_cycles: u64,
+    /// Warp instructions issued.
+    pub instructions: u64,
+    /// Final sum of the shard's account balances.
+    pub balance_sum: u64,
+    /// Final sum of the shard's TXL counters.
+    pub txl_sum: u64,
+    /// Requests rejected at admission because this shard's queue was
+    /// full.
+    pub rejected: u64,
+    /// Peak admission-queue occupancy.
+    pub queue_peak: u64,
+    /// Rounds this shard reported an abort storm.
+    pub storm_rounds: u64,
+    /// Largest retry-after hint handed out (simulated cycles).
+    pub retry_hint_peak: u64,
+    /// Hint an idle, storm-free shard would hand out at drain time —
+    /// shrinks back once pressure clears.
+    pub retry_hint_final: u64,
+    /// FNV-1a hash of the shard's committed history.
+    pub history_fnv: u64,
+    /// FNV-1a hash of the request-tagged commit log.
+    pub commit_log_fnv: u64,
+    /// `tm-check` violations (empty = opaque-serializable).
+    pub violations: Vec<String>,
+}
+
+/// The full service run report.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// STM variant short name.
+    pub variant: String,
+    /// Engine wrapper mode.
+    pub mode: String,
+    /// Shard count.
+    pub shards: u64,
+    /// Worker-thread count actually used.
+    pub workers: u64,
+    /// Service seed.
+    pub seed: u64,
+    /// Per-shard admission-queue bound.
+    pub queue_capacity: u64,
+    /// Transaction slots per sealed batch.
+    pub batch_capacity: u64,
+    /// Requests generated.
+    pub offered: u64,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests rejected with [`ServeError::Overloaded`].
+    pub rejected: u64,
+    /// Requests completed (always equals `admitted` after drain).
+    pub completed: u64,
+    /// Completed requests whose business outcome failed (insufficient
+    /// funds, key miss, 2PC no-vote).
+    pub business_failed: u64,
+    /// Cross-shard transfers admitted (each ran 2PC).
+    pub cross_shard: u64,
+    /// 2PC transfers that ended in a compensating rollback.
+    pub rollbacks: u64,
+    /// Completions by class.
+    pub classes: ClassTotals,
+    /// Sum of values returned by successful hashtable gets — a cheap
+    /// determinism witness over request *results*, not just counts.
+    pub ht_get_value_sum: u64,
+    /// Coordinator rounds executed.
+    pub rounds: u64,
+    /// Final virtual epoch (simulated cycles of the slowest shard per
+    /// round, summed — the service's makespan in virtual time).
+    pub virtual_cycles: u64,
+    /// Sorted request latencies in simulated cycles
+    /// (completion epoch − arrival).
+    pub latencies: Vec<u64>,
+    /// Bank conservation held (Σ balances unchanged).
+    pub conserved: bool,
+    /// TXL counters equal completed TXL requests.
+    pub txl_consistent: bool,
+    /// Total `tm-check` violations across shards.
+    pub violations_total: usize,
+    /// First structured admission rejection, if any.
+    pub first_rejection: Option<ServeError>,
+    /// Per-shard reports, in shard order.
+    pub shard_reports: Vec<ShardReport>,
+    /// Wall-clock duration of the run. **Console-only**: deliberately
+    /// never serialized, so reports stay byte-identical across worker
+    /// counts and machines.
+    pub wall_seconds: f64,
+}
+
+impl ServeReport {
+    fn percentile(&self, p: u64) -> u64 {
+        if self.latencies.is_empty() {
+            return 0;
+        }
+        let idx = (self.latencies.len() as u64 - 1) * p / 100;
+        self.latencies[idx as usize]
+    }
+
+    /// Median request latency in simulated cycles.
+    pub fn p50(&self) -> u64 {
+        self.percentile(50)
+    }
+
+    /// 99th-percentile request latency in simulated cycles.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99)
+    }
+
+    /// Worst request latency in simulated cycles.
+    pub fn latency_max(&self) -> u64 {
+        self.latencies.last().copied().unwrap_or(0)
+    }
+
+    /// Completed requests per 1000 simulated cycles — the deterministic
+    /// throughput figure (the paper's native currency).
+    pub fn sim_throughput(&self) -> f64 {
+        if self.virtual_cycles == 0 {
+            0.0
+        } else {
+            self.completed as f64 * 1000.0 / self.virtual_cycles as f64
+        }
+    }
+
+    /// Completed requests per wall-clock second (console-only metric).
+    pub fn wall_throughput(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / self.wall_seconds
+        }
+    }
+
+    /// Serializes the report (stable field order, virtual quantities
+    /// only) into `w` as one JSON object.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_str("variant", &self.variant);
+        w.field_str("mode", &self.mode);
+        w.field_u64("shards", self.shards);
+        // `workers` is deliberately omitted: the JSON must be
+        // byte-identical for 1, 2 or N worker threads.
+        w.field_u64("seed", self.seed);
+        w.field_u64("queue_capacity", self.queue_capacity);
+        w.field_u64("batch_capacity", self.batch_capacity);
+        w.field_u64("offered", self.offered);
+        w.field_u64("admitted", self.admitted);
+        w.field_u64("rejected", self.rejected);
+        w.field_u64("completed", self.completed);
+        w.field_u64("business_failed", self.business_failed);
+        w.field_u64("cross_shard", self.cross_shard);
+        w.field_u64("rollbacks", self.rollbacks);
+        w.key("classes");
+        w.begin_object();
+        w.field_u64("bank_local", self.classes.bank_local);
+        w.field_u64("bank_cross", self.classes.bank_cross);
+        w.field_u64("ht", self.classes.ht);
+        w.field_u64("txl", self.classes.txl);
+        w.end_object();
+        w.field_u64("ht_get_value_sum", self.ht_get_value_sum);
+        w.field_u64("rounds", self.rounds);
+        w.field_u64("virtual_cycles", self.virtual_cycles);
+        w.key("latency_cycles");
+        w.begin_object();
+        w.field_u64("p50", self.p50());
+        w.field_u64("p99", self.p99());
+        w.field_u64("max", self.latency_max());
+        w.end_object();
+        w.field_f64("sim_throughput_per_kcycle", self.sim_throughput());
+        w.field_bool("conserved", self.conserved);
+        w.field_bool("txl_consistent", self.txl_consistent);
+        w.field_u64("violations_total", self.violations_total as u64);
+        if let Some(rej) = &self.first_rejection {
+            w.field_str("first_rejection", &rej.to_string());
+        }
+        w.key("shards_detail");
+        w.begin_array();
+        for s in &self.shard_reports {
+            w.begin_object();
+            w.field_u64("shard", s.shard as u64);
+            w.field_str("stm", &s.stm_name);
+            w.field_u64("commits", s.commits);
+            w.field_u64("aborts", s.aborts);
+            w.field_u64("writers", s.writers);
+            w.field_u64("read_only", s.read_only);
+            w.field_u64("launches", s.launches);
+            w.field_u64("sim_cycles", s.sim_cycles);
+            w.field_u64("instructions", s.instructions);
+            w.field_u64("balance_sum", s.balance_sum);
+            w.field_u64("txl_sum", s.txl_sum);
+            w.field_u64("rejected", s.rejected);
+            w.field_u64("queue_peak", s.queue_peak);
+            w.field_u64("storm_rounds", s.storm_rounds);
+            w.field_u64("retry_hint_peak", s.retry_hint_peak);
+            w.field_u64("retry_hint_final", s.retry_hint_final);
+            w.field_str("history_fnv", &format!("{:016x}", s.history_fnv));
+            w.field_str("commit_log_fnv", &format!("{:016x}", s.commit_log_fnv));
+            w.key("violations");
+            w.begin_array();
+            for v in &s.violations {
+                w.string(v);
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+
+    /// The report as a standalone JSON string.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServeReport {
+        ServeReport {
+            variant: "hv-sorting".into(),
+            mode: "scheduled".into(),
+            shards: 2,
+            workers: 2,
+            seed: 42,
+            queue_capacity: 64,
+            batch_capacity: 64,
+            offered: 10,
+            admitted: 9,
+            rejected: 1,
+            completed: 9,
+            business_failed: 2,
+            cross_shard: 3,
+            rollbacks: 1,
+            classes: ClassTotals { bank_local: 3, bank_cross: 3, ht: 2, txl: 1 },
+            ht_get_value_sum: 7,
+            rounds: 4,
+            virtual_cycles: 4000,
+            latencies: vec![10, 20, 30, 40, 50, 60, 70, 80, 90],
+            conserved: true,
+            txl_consistent: true,
+            violations_total: 0,
+            first_rejection: None,
+            shard_reports: vec![],
+            wall_seconds: 1.5,
+        }
+    }
+
+    #[test]
+    fn percentiles_from_sorted_latencies() {
+        let r = sample();
+        assert_eq!(r.p50(), 50);
+        assert_eq!(r.p99(), 80);
+        assert_eq!(r.latency_max(), 90);
+    }
+
+    #[test]
+    fn json_excludes_wall_clock() {
+        let a = ServeReport { wall_seconds: 0.1, ..sample() };
+        let b = ServeReport { wall_seconds: 99.0, ..sample() };
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(!a.to_json().contains("wall"));
+    }
+
+    #[test]
+    fn sim_throughput_is_per_kcycle() {
+        let r = sample();
+        assert!((r.sim_throughput() - 2.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,841 @@
+//! The multi-threaded transaction service: admission, routing, batch
+//! sealing, the 2PC coordinator and the deterministic round loop.
+//!
+//! ## Determinism argument
+//!
+//! The coordinator advances a *virtual epoch clock* measured in
+//! simulated cycles. Each round it (1) admits every request that has
+//! arrived by the current epoch, (2) seals at most one warp-aligned
+//! batch per shard (phase-2 entries first, then the admission queue in
+//! FIFO order), (3) dispatches the batches to worker threads and
+//! barriers on all of them, then (4) advances the epoch by the *maximum*
+//! batch cycle count of the round — the shards ran concurrently in
+//! virtual time — and processes outcomes in shard-index order. Every
+//! step depends only on the request stream (seeded), routing (seeded
+//! hash) and per-shard simulated cycle counts (deterministic per
+//! engine), never on wall-clock time or thread interleaving: worker
+//! threads are a pure execution resource. Hence a fixed seed yields a
+//! byte-identical committed history and report for any worker count.
+
+use crate::engine::{BatchReport, EngineConfig, Entry, ShardEngine, ShardOp, ShardSummary};
+use crate::error::ServeError;
+use crate::report::{ClassTotals, ServeReport, ShardReport};
+use crate::request::{self, MixConfig, Op, Request};
+use crate::stm::EngineMode;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc;
+use workloads::Variant;
+
+/// Full service configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Number of shards (engine instances).
+    pub shards: usize,
+    /// Worker threads carrying the shards (`0` = one per shard).
+    pub workers: usize,
+    /// STM variant every shard runs.
+    pub variant: Variant,
+    /// Wrapper mode (default: AIMD-scheduled).
+    pub mode: EngineMode,
+    /// Request mix and arrival process.
+    pub mix: MixConfig,
+    /// Service seed: routing, request generation, initial state.
+    pub seed: u64,
+    /// Bank account keyspace.
+    pub accounts: u32,
+    /// Hashtable slots per shard.
+    pub table_words: u32,
+    /// TXL counters per shard.
+    pub txl_words: u32,
+    /// Warps per sealed batch.
+    pub batch_warps: u32,
+    /// Bound on each shard's admission queue.
+    pub queue_capacity: usize,
+    /// Initial balance per owned account.
+    pub initial_balance: u32,
+    /// Credit ceiling for cross-shard prepare-credit votes.
+    pub credit_cap: u32,
+    /// Global version locks per shard STM.
+    pub n_locks: u32,
+    /// Safety cap on coordinator rounds.
+    pub max_rounds: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 2,
+            workers: 0,
+            variant: Variant::HvSorting,
+            mode: EngineMode::Scheduled,
+            mix: MixConfig::mixed(),
+            seed: 42,
+            accounts: 256,
+            table_words: 1 << 10,
+            txl_words: 64,
+            batch_warps: 2,
+            queue_capacity: 64,
+            initial_balance: 1000,
+            credit_cap: u32::MAX,
+            n_locks: 1 << 12,
+            max_rounds: 1 << 20,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn engine_config(&self, shard: usize) -> EngineConfig {
+        EngineConfig {
+            shard,
+            shards: self.shards,
+            seed: self.seed,
+            variant: self.variant,
+            mode: self.mode,
+            accounts: self.accounts,
+            table_words: self.table_words,
+            txl_words: self.txl_words,
+            batch_warps: self.batch_warps,
+            initial_balance: self.initial_balance,
+            credit_cap: self.credit_cap,
+            n_locks: self.n_locks,
+        }
+    }
+
+    fn validate(&self) -> Result<(), ServeError> {
+        if self.shards == 0 {
+            return Err(ServeError::BadConfig("shards must be ≥ 1".into()));
+        }
+        if self.batch_warps == 0 {
+            return Err(ServeError::BadConfig("batch_warps must be ≥ 1".into()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::BadConfig("queue_capacity must be ≥ 1".into()));
+        }
+        if self.accounts < 2 {
+            return Err(ServeError::BadConfig("need at least 2 accounts".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Suggested retry delay (simulated cycles) for a client rejected by a
+/// full queue: proportional to the backlog it must wait out, scaled up
+/// 4× while the shard's AIMD scheduler reports an abort storm (commit
+/// cost per entry is inflated and retrying early would feed the storm).
+pub fn retry_after_hint(queue_len: usize, cost_per_entry: u64, storm: bool) -> u64 {
+    let base = (queue_len as u64 + 1) * cost_per_entry.max(1);
+    if storm {
+        base * 4
+    } else {
+        base
+    }
+}
+
+/// Request class, for per-class accounting.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Class {
+    BankLocal,
+    BankCross,
+    Ht,
+    Txl,
+}
+
+/// One queued (admitted) shard transaction.
+#[derive(Copy, Clone, Debug)]
+struct QEntry {
+    req: u64,
+    arrival: u64,
+    op: ShardOp,
+    class: Class,
+}
+
+/// Coordinator-side 2PC record for one cross-shard transfer.
+#[derive(Copy, Clone, Debug)]
+struct Pending2pc {
+    to: u32,
+    from: u32,
+    amount: u32,
+    arrival: u64,
+    debit_shard: usize,
+    credit_shard: usize,
+    debit_vote: Option<bool>,
+    credit_vote: Option<bool>,
+    /// Phase 2 already enqueued; awaiting its completion.
+    resolved: bool,
+}
+
+/// Bounded per-shard admission queues plus the phase-2 priority lanes.
+struct Admission {
+    queues: Vec<VecDeque<QEntry>>,
+    phase2: Vec<VecDeque<QEntry>>,
+    capacity: usize,
+    shards: usize,
+    seed: u64,
+}
+
+impl Admission {
+    fn new(shards: usize, capacity: usize, seed: u64) -> Self {
+        Admission {
+            queues: (0..shards).map(|_| VecDeque::new()).collect(),
+            phase2: (0..shards).map(|_| VecDeque::new()).collect(),
+            capacity,
+            shards,
+            seed,
+        }
+    }
+
+    fn overloaded(&self, shard: usize, cost: u64, storm: bool) -> ServeError {
+        ServeError::Overloaded {
+            shard,
+            queue_len: self.queues[shard].len(),
+            capacity: self.capacity,
+            retry_after: retry_after_hint(self.queues[shard].len(), cost, storm),
+        }
+    }
+
+    /// Admits `req`, or reports the structured overload. `cost`/`storm`
+    /// feed the retry-after hint of the rejecting shard.
+    fn try_admit(
+        &mut self,
+        req: &Request,
+        cost: &[u64],
+        storm: &[bool],
+    ) -> Result<Class, ServeError> {
+        let (primary, secondary) = req.op.shards(self.shards, self.seed);
+        match (req.op, secondary) {
+            (Op::Transfer { from, to, amount }, Some(credit_shard)) => {
+                let debit_shard = primary;
+                // Cross-shard admission is atomic: both prepare lanes
+                // must have room or the request is rejected whole.
+                if self.queues[debit_shard].len() >= self.capacity {
+                    return Err(self.overloaded(
+                        debit_shard,
+                        cost[debit_shard],
+                        storm[debit_shard],
+                    ));
+                }
+                if self.queues[credit_shard].len() >= self.capacity {
+                    return Err(self.overloaded(
+                        credit_shard,
+                        cost[credit_shard],
+                        storm[credit_shard],
+                    ));
+                }
+                self.queues[debit_shard].push_back(QEntry {
+                    req: req.id,
+                    arrival: req.arrival,
+                    op: ShardOp::PrepareDebit { from, amount },
+                    class: Class::BankCross,
+                });
+                self.queues[credit_shard].push_back(QEntry {
+                    req: req.id,
+                    arrival: req.arrival,
+                    op: ShardOp::PrepareCredit { to, amount },
+                    class: Class::BankCross,
+                });
+                Ok(Class::BankCross)
+            }
+            (op, _) => {
+                let shard = primary;
+                if self.queues[shard].len() >= self.capacity {
+                    return Err(self.overloaded(shard, cost[shard], storm[shard]));
+                }
+                let (op, class) = match op {
+                    Op::Transfer { from, to, amount } => {
+                        (ShardOp::Transfer { from, to, amount }, Class::BankLocal)
+                    }
+                    Op::HtPut { key, val } => (ShardOp::HtPut { key, val }, Class::Ht),
+                    Op::HtGet { key } => (ShardOp::HtGet { key }, Class::Ht),
+                    Op::TxlBump { key } => (ShardOp::TxlBump { key }, Class::Txl),
+                };
+                self.queues[shard].push_back(QEntry {
+                    req: req.id,
+                    arrival: req.arrival,
+                    op,
+                    class,
+                });
+                Ok(class)
+            }
+        }
+    }
+
+    /// Seals at most one batch for `shard`: phase-2 entries first (they
+    /// hold resources on other shards), then FIFO admissions.
+    fn seal(&mut self, shard: usize, capacity: usize) -> Vec<QEntry> {
+        let mut out = Vec::new();
+        while out.len() < capacity {
+            if let Some(e) = self.phase2[shard].pop_front() {
+                out.push(e);
+            } else {
+                break;
+            }
+        }
+        while out.len() < capacity {
+            if let Some(e) = self.queues[shard].pop_front() {
+                out.push(e);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    fn idle(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty()) && self.phase2.iter().all(|q| q.is_empty())
+    }
+}
+
+enum ToWorker {
+    Run { shard: usize, entries: Vec<Entry> },
+    Finish { shard: usize },
+}
+
+enum FromWorker {
+    Ready,
+    Fatal { shard: usize, message: String },
+    Batch { shard: usize, report: BatchReport },
+    Summary { shard: usize, summary: Box<ShardSummary> },
+}
+
+fn worker_main(
+    cfgs: Vec<EngineConfig>,
+    rx: mpsc::Receiver<ToWorker>,
+    tx: mpsc::Sender<FromWorker>,
+) {
+    let mut engines: BTreeMap<usize, ShardEngine> = BTreeMap::new();
+    for cfg in cfgs {
+        let shard = cfg.shard;
+        match ShardEngine::new(cfg) {
+            Ok(e) => {
+                engines.insert(shard, e);
+                let _ = tx.send(FromWorker::Ready);
+            }
+            Err(e) => {
+                let _ = tx.send(FromWorker::Fatal { shard, message: e.to_string() });
+            }
+        }
+    }
+    for msg in rx {
+        match msg {
+            ToWorker::Run { shard, entries } => {
+                let Some(engine) = engines.get_mut(&shard) else {
+                    let _ = tx.send(FromWorker::Fatal { shard, message: "no engine".into() });
+                    continue;
+                };
+                match engine.run_batch(&entries) {
+                    Ok(report) => {
+                        let _ = tx.send(FromWorker::Batch { shard, report });
+                    }
+                    Err(e) => {
+                        let _ = tx.send(FromWorker::Fatal { shard, message: e.to_string() });
+                    }
+                }
+            }
+            ToWorker::Finish { shard } => {
+                if let Some(engine) = engines.remove(&shard) {
+                    let summary = Box::new(engine.finish());
+                    let _ = tx.send(FromWorker::Summary { shard, summary });
+                }
+            }
+        }
+    }
+}
+
+struct Pool {
+    senders: Vec<mpsc::Sender<ToWorker>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    results: mpsc::Receiver<FromWorker>,
+}
+
+impl Pool {
+    fn spawn(cfg: &ServeConfig, workers: usize) -> Pool {
+        let (res_tx, results) = mpsc::channel();
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let cfgs: Vec<EngineConfig> = (0..cfg.shards)
+                .filter(|s| s % workers == w)
+                .map(|s| cfg.engine_config(s))
+                .collect();
+            let (tx, rx) = mpsc::channel();
+            let res = res_tx.clone();
+            handles.push(std::thread::spawn(move || worker_main(cfgs, rx, res)));
+            senders.push(tx);
+        }
+        Pool { senders, handles, results }
+    }
+
+    fn send(&self, worker: usize, msg: ToWorker) -> Result<(), ServeError> {
+        self.senders[worker]
+            .send(msg)
+            .map_err(|_| ServeError::Engine { shard: worker, message: "worker thread died".into() })
+    }
+
+    fn shutdown(self) {
+        drop(self.senders);
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The transaction service entry point.
+pub struct Service;
+
+impl Service {
+    /// Runs the full service lifecycle for `cfg`: generate the request
+    /// stream, serve it to completion (drain), verify every shard's
+    /// history with `tm-check`, and aggregate the report.
+    pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
+        cfg.validate()?;
+        let workers = if cfg.workers == 0 { cfg.shards } else { cfg.workers.min(cfg.shards) };
+        let requests =
+            request::generate(&cfg.mix, cfg.accounts, cfg.txl_words, cfg.shards, cfg.seed);
+
+        let wall_start = std::time::Instant::now();
+        let pool = Pool::spawn(cfg, workers);
+
+        // Wait for every shard engine to come up.
+        let mut ready = 0usize;
+        while ready < cfg.shards {
+            match pool.results.recv() {
+                Ok(FromWorker::Ready) => ready += 1,
+                Ok(FromWorker::Fatal { shard, message }) => {
+                    pool.shutdown();
+                    return Err(ServeError::Engine { shard, message });
+                }
+                Ok(_) => {}
+                Err(_) => {
+                    pool.shutdown();
+                    return Err(ServeError::Engine {
+                        shard: 0,
+                        message: "worker pool died during startup".into(),
+                    });
+                }
+            }
+        }
+
+        let shards = cfg.shards;
+        let batch_cap = cfg.batch_warps as usize * gpu_sim::WARP_SIZE;
+        let mut adm = Admission::new(shards, cfg.queue_capacity, cfg.seed);
+        let mut inflight: BTreeMap<u64, Pending2pc> = BTreeMap::new();
+        let mut epoch = 0u64;
+        let mut rounds = 0u64;
+        let mut next_arr = 0usize;
+        // Per-shard adaptive cost model feeding retry-after hints.
+        let mut cost = vec![500u64; shards];
+        let mut storm = vec![false; shards];
+        let mut storm_rounds = vec![0u64; shards];
+        let mut queue_peak = vec![0usize; shards];
+        let mut rejected = vec![0u64; shards];
+        let mut hint_peak = vec![0u64; shards];
+        let mut commits_batched = vec![0u64; shards];
+        let mut aborts_batched = vec![0u64; shards];
+        let mut first_rejection: Option<ServeError> = None;
+        let mut admitted = 0u64;
+        let mut completed: Vec<(Class, bool, u64)> = Vec::new();
+        let mut rollbacks = 0u64;
+        let mut cross_admitted = 0u64;
+        let mut ht_value_sum = 0u64;
+
+        let fail = |pool: Pool, e: ServeError| -> Result<ServeReport, ServeError> {
+            pool.shutdown();
+            Err(e)
+        };
+
+        loop {
+            rounds += 1;
+            if rounds > cfg.max_rounds {
+                return fail(pool, ServeError::Stalled { rounds });
+            }
+
+            // 1. Admit everything that has arrived by the current epoch.
+            while next_arr < requests.len() && requests[next_arr].arrival <= epoch {
+                let r = requests[next_arr];
+                next_arr += 1;
+                match adm.try_admit(&r, &cost, &storm) {
+                    Ok(class) => {
+                        admitted += 1;
+                        if class == Class::BankCross {
+                            cross_admitted += 1;
+                            inflight.insert(
+                                r.id,
+                                match r.op {
+                                    Op::Transfer { from, to, amount } => {
+                                        let (ds, cs) = r.op.shards(shards, cfg.seed);
+                                        Pending2pc {
+                                            from,
+                                            to,
+                                            amount,
+                                            arrival: r.arrival,
+                                            debit_shard: ds,
+                                            credit_shard: cs.expect("cross-shard"),
+                                            debit_vote: None,
+                                            credit_vote: None,
+                                            resolved: false,
+                                        }
+                                    }
+                                    _ => unreachable!("BankCross is always a transfer"),
+                                },
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        if let ServeError::Overloaded { shard, retry_after, .. } = e {
+                            rejected[shard] += 1;
+                            hint_peak[shard] = hint_peak[shard].max(retry_after);
+                        }
+                        first_rejection.get_or_insert(e);
+                    }
+                }
+            }
+            for (peak, queue) in queue_peak.iter_mut().zip(&adm.queues) {
+                *peak = (*peak).max(queue.len());
+            }
+
+            // 2. Seal one batch per shard.
+            let sealed: Vec<Vec<QEntry>> = (0..shards).map(|s| adm.seal(s, batch_cap)).collect();
+            let dispatched: Vec<usize> = (0..shards).filter(|&s| !sealed[s].is_empty()).collect();
+
+            if dispatched.is_empty() {
+                if next_arr >= requests.len() && inflight.is_empty() && adm.idle() {
+                    break; // drained
+                }
+                if next_arr < requests.len() {
+                    // Idle: jump the epoch clock to the next arrival.
+                    epoch = epoch.max(requests[next_arr].arrival);
+                    continue;
+                }
+                return fail(pool, ServeError::Stalled { rounds });
+            }
+
+            // 3. Dispatch and barrier.
+            for &s in &dispatched {
+                let entries: Vec<Entry> =
+                    sealed[s].iter().map(|q| Entry { req: q.req, op: q.op }).collect();
+                if let Err(e) = pool.send(s % workers, ToWorker::Run { shard: s, entries }) {
+                    return fail(pool, e);
+                }
+            }
+            let mut reports: Vec<Option<BatchReport>> = vec![None; shards];
+            for _ in 0..dispatched.len() {
+                match pool.results.recv() {
+                    Ok(FromWorker::Batch { shard, report }) => reports[shard] = Some(report),
+                    Ok(FromWorker::Fatal { shard, message }) => {
+                        return fail(pool, ServeError::Engine { shard, message });
+                    }
+                    Ok(_) => {}
+                    Err(_) => {
+                        return fail(
+                            pool,
+                            ServeError::Engine { shard: 0, message: "worker pool died".into() },
+                        );
+                    }
+                }
+            }
+
+            // 4. Advance virtual time by the slowest shard of the round
+            //    (shards execute concurrently in virtual time) and fold
+            //    outcomes back in deterministic shard order.
+            let quantum = reports.iter().flatten().map(|r| r.cycles).max().unwrap_or(0);
+            epoch += quantum.max(1);
+
+            for &s in &dispatched {
+                let report = reports[s].take().expect("barrier collected this shard");
+                cost[s] = (report.cycles / sealed[s].len().max(1) as u64).max(1);
+                storm[s] = report.storm;
+                if report.storm {
+                    storm_rounds[s] += 1;
+                }
+                commits_batched[s] += report.commits;
+                aborts_batched[s] += report.aborts;
+                for (q, out) in sealed[s].iter().zip(&report.outcomes) {
+                    match q.op {
+                        ShardOp::PrepareDebit { .. } => {
+                            if let Some(p) = inflight.get_mut(&q.req) {
+                                p.debit_vote = Some(out.ok);
+                            }
+                        }
+                        ShardOp::PrepareCredit { .. } => {
+                            if let Some(p) = inflight.get_mut(&q.req) {
+                                p.credit_vote = Some(out.ok);
+                            }
+                        }
+                        ShardOp::ApplyCredit { .. } => {
+                            let p = inflight.remove(&q.req).expect("apply without 2pc record");
+                            completed.push((Class::BankCross, true, epoch - p.arrival));
+                        }
+                        ShardOp::RollbackDebit { .. } => {
+                            let p = inflight.remove(&q.req).expect("rollback without 2pc record");
+                            completed.push((Class::BankCross, false, epoch - p.arrival));
+                            rollbacks += 1;
+                        }
+                        _ => {
+                            if matches!(q.op, ShardOp::HtGet { .. }) && out.ok {
+                                ht_value_sum += out.value as u64;
+                            }
+                            completed.push((q.class, out.ok, epoch - q.arrival));
+                        }
+                    }
+                }
+                hint_peak[s] =
+                    hint_peak[s].max(retry_after_hint(adm.queues[s].len(), cost[s], storm[s]));
+            }
+
+            // 5. Resolve 2PC records with both votes in (BTreeMap order
+            //    keeps this deterministic). Phase-2 entries bypass the
+            //    admission bound: they release held resources.
+            let ready: Vec<u64> = inflight
+                .iter()
+                .filter(|(_, p)| !p.resolved && p.debit_vote.is_some() && p.credit_vote.is_some())
+                .map(|(&id, _)| id)
+                .collect();
+            for id in ready {
+                let p = inflight.get_mut(&id).expect("just listed");
+                let debit = p.debit_vote.expect("filtered");
+                let credit = p.credit_vote.expect("filtered");
+                match (debit, credit) {
+                    (true, true) => {
+                        p.resolved = true;
+                        let (to, amount, arrival, cs) = (p.to, p.amount, p.arrival, p.credit_shard);
+                        adm.phase2[cs].push_back(QEntry {
+                            req: id,
+                            arrival,
+                            op: ShardOp::ApplyCredit { to, amount },
+                            class: Class::BankCross,
+                        });
+                    }
+                    (true, false) => {
+                        p.resolved = true;
+                        let (from, amount, arrival, ds) =
+                            (p.from, p.amount, p.arrival, p.debit_shard);
+                        adm.phase2[ds].push_back(QEntry {
+                            req: id,
+                            arrival,
+                            op: ShardOp::RollbackDebit { from, amount },
+                            class: Class::BankCross,
+                        });
+                    }
+                    (false, _) => {
+                        // No hold was applied; the transfer just fails.
+                        let arrival = p.arrival;
+                        inflight.remove(&id);
+                        completed.push((Class::BankCross, false, epoch - arrival));
+                    }
+                }
+            }
+        }
+
+        // Drain complete: collect per-shard summaries.
+        for s in 0..shards {
+            if let Err(e) = pool.send(s % workers, ToWorker::Finish { shard: s }) {
+                return fail(pool, e);
+            }
+        }
+        let mut summaries: Vec<Option<ShardSummary>> = (0..shards).map(|_| None).collect();
+        let mut got = 0usize;
+        while got < shards {
+            match pool.results.recv() {
+                Ok(FromWorker::Summary { shard, summary }) => {
+                    summaries[shard] = Some(*summary);
+                    got += 1;
+                }
+                Ok(FromWorker::Fatal { shard, message }) => {
+                    return fail(pool, ServeError::Engine { shard, message });
+                }
+                Ok(_) => {}
+                Err(_) => {
+                    return fail(
+                        pool,
+                        ServeError::Engine { shard: 0, message: "worker pool died".into() },
+                    );
+                }
+            }
+        }
+        pool.shutdown();
+        let wall_seconds = wall_start.elapsed().as_secs_f64();
+
+        let summaries: Vec<ShardSummary> =
+            summaries.into_iter().map(|s| s.expect("collected all")).collect();
+
+        let offered = requests.len() as u64;
+        let rejected_total: u64 = rejected.iter().sum();
+        assert_eq!(
+            completed.len() as u64,
+            admitted,
+            "every admitted request must complete exactly once (no loss, no duplication)"
+        );
+
+        // Conservation: money only moves between accounts; every shard
+        // funds its owned keys with `initial_balance`.
+        let balance_total: u64 = summaries.iter().map(|s| s.balance_sum).sum();
+        let conserved = balance_total == cfg.accounts as u64 * cfg.initial_balance as u64;
+        let txl_done = completed.iter().filter(|(c, ok, _)| *c == Class::Txl && *ok).count() as u64;
+        let txl_total: u64 = summaries.iter().map(|s| s.txl_sum).sum();
+        let txl_consistent = txl_done == txl_total;
+
+        let mut latencies: Vec<u64> = completed.iter().map(|&(_, _, l)| l).collect();
+        latencies.sort_unstable();
+        let classes = ClassTotals {
+            bank_local: completed.iter().filter(|(c, ..)| *c == Class::BankLocal).count() as u64,
+            bank_cross: completed.iter().filter(|(c, ..)| *c == Class::BankCross).count() as u64,
+            ht: completed.iter().filter(|(c, ..)| *c == Class::Ht).count() as u64,
+            txl: completed.iter().filter(|(c, ..)| *c == Class::Txl).count() as u64,
+        };
+        let business_failed = completed.iter().filter(|(_, ok, _)| !ok).count() as u64;
+
+        let shard_reports: Vec<ShardReport> = summaries
+            .iter()
+            .enumerate()
+            .map(|(s, sum)| ShardReport {
+                shard: s,
+                stm_name: sum.stm_name.clone(),
+                commits: sum.tx.commits,
+                aborts: sum.tx.aborts,
+                read_only: sum.read_only as u64,
+                writers: sum.writers as u64,
+                launches: sum.launches,
+                sim_cycles: sum.sim_cycles,
+                instructions: sum.sim.instructions,
+                balance_sum: sum.balance_sum,
+                txl_sum: sum.txl_sum,
+                rejected: rejected[s],
+                queue_peak: queue_peak[s] as u64,
+                storm_rounds: storm_rounds[s],
+                retry_hint_peak: hint_peak[s],
+                retry_hint_final: retry_after_hint(0, cost[s], false),
+                history_fnv: sum.history_fnv,
+                commit_log_fnv: sum.commit_log_fnv,
+                violations: sum.violations.clone(),
+            })
+            .collect();
+        let violations_total = shard_reports.iter().map(|r| r.violations.len()).sum();
+
+        Ok(ServeReport {
+            variant: cfg.variant.short_name().to_string(),
+            mode: cfg.mode.short_name().to_string(),
+            shards: shards as u64,
+            workers: workers as u64,
+            seed: cfg.seed,
+            queue_capacity: cfg.queue_capacity as u64,
+            batch_capacity: batch_cap as u64,
+            offered,
+            admitted,
+            rejected: rejected_total,
+            completed: completed.len() as u64,
+            business_failed,
+            cross_shard: cross_admitted,
+            rollbacks,
+            classes,
+            ht_get_value_sum: ht_value_sum,
+            rounds,
+            virtual_cycles: epoch,
+            latencies,
+            conserved,
+            txl_consistent,
+            violations_total,
+            first_rejection,
+            shard_reports,
+            wall_seconds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, op: Op) -> Request {
+        Request { id, arrival: id + 1, op }
+    }
+
+    #[test]
+    fn try_admit_reports_structured_overload() {
+        let shards = 1;
+        let mut adm = Admission::new(shards, 2, 7);
+        let cost = vec![100u64];
+        let storm = vec![false];
+        for i in 0..2 {
+            adm.try_admit(&req(i, Op::TxlBump { key: i as u32 }), &cost, &storm).unwrap();
+        }
+        let err = adm.try_admit(&req(9, Op::TxlBump { key: 0 }), &cost, &storm).unwrap_err();
+        match err {
+            ServeError::Overloaded { shard, queue_len, capacity, retry_after } => {
+                assert_eq!(shard, 0);
+                assert_eq!(queue_len, 2);
+                assert_eq!(capacity, 2);
+                assert_eq!(retry_after, retry_after_hint(2, 100, false));
+            }
+            other => panic!("expected Overloaded, got {other}"),
+        }
+    }
+
+    #[test]
+    fn storm_inflates_and_clearing_shrinks_the_hint() {
+        let calm = retry_after_hint(4, 200, false);
+        let stormy = retry_after_hint(4, 200, true);
+        assert_eq!(stormy, calm * 4);
+        assert!(retry_after_hint(0, 200, false) < stormy);
+    }
+
+    #[test]
+    fn cross_shard_admission_is_atomic() {
+        // Find a cross-shard pair under seed 7 with 2 shards.
+        let seed = 7;
+        let (from, to) = (0..64)
+            .flat_map(|a| (0..64).map(move |b| (a, b)))
+            .find(|&(a, b)| {
+                a != b && crate::route(a, 2, seed) == 0 && crate::route(b, 2, seed) == 1
+            })
+            .expect("some cross pair exists");
+        let mut adm = Admission::new(2, 1, seed);
+        let cost = vec![10u64; 2];
+        let storm = vec![false; 2];
+        // Fill the credit shard's queue.
+        let filler = (0..64).find(|&k| crate::route(k, 2, seed) == 1).unwrap();
+        adm.try_admit(&req(0, Op::TxlBump { key: filler }), &cost, &storm).unwrap();
+        // The cross-shard transfer must be rejected whole: debit queue
+        // stays empty rather than holding an orphaned prepare.
+        let err = adm
+            .try_admit(&req(1, Op::Transfer { from, to, amount: 1 }), &cost, &storm)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Overloaded { shard: 1, .. }));
+        assert!(adm.queues[0].is_empty());
+    }
+
+    #[test]
+    fn seal_prefers_phase2() {
+        let mut adm = Admission::new(1, 8, 1);
+        let cost = vec![10u64];
+        let storm = vec![false];
+        adm.try_admit(&req(0, Op::TxlBump { key: 0 }), &cost, &storm).unwrap();
+        adm.phase2[0].push_back(QEntry {
+            req: 99,
+            arrival: 0,
+            op: ShardOp::ApplyCredit { to: 1, amount: 2 },
+            class: Class::BankCross,
+        });
+        let sealed = adm.seal(0, 8);
+        assert_eq!(sealed[0].req, 99);
+        assert_eq!(sealed[1].req, 0);
+    }
+
+    #[test]
+    fn small_end_to_end_run_drains_and_checks() {
+        let cfg = ServeConfig {
+            shards: 2,
+            mix: MixConfig { requests: 96, ..MixConfig::mixed() },
+            accounts: 64,
+            table_words: 512,
+            txl_words: 16,
+            n_locks: 1 << 10,
+            ..ServeConfig::default()
+        };
+        let report = Service::run(&cfg).unwrap();
+        assert_eq!(report.completed, report.admitted);
+        assert!(report.conserved, "bank balance not conserved");
+        assert!(report.txl_consistent, "txl counters disagree with completions");
+        assert_eq!(report.violations_total, 0);
+        assert!(report.virtual_cycles > 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Shard engine STM instantiation.
+//!
+//! The workload crates dispatch through a generic `StmRunner` because
+//! each run uses exactly one concrete STM type. A serving shard instead
+//! holds its STM for its whole lifetime across many batch launches, so
+//! the concrete variant is erased once at construction into an enum
+//! ([`EngineStm`]) that delegates the warp-wide [`Stm`] API — keeping
+//! the engine object-safe-free (the trait has `async fn`s) while still
+//! letting one shard struct serve every variant of the evaluation.
+
+use crate::error::ServeError;
+use gpu_sim::{LaneAddrs, LaneMask, LaneVals, LaunchConfig, Sim, WarpCtx};
+use gpu_stm::{
+    CglStm, EgpgvStm, LockStm, NorecStm, OptimizedStm, Recorder, Robust, Scheduled, StatsHandle,
+    Stm, StmConfig, StmShared, WarpTx,
+};
+use workloads::Variant;
+
+/// How the base variant is wrapped for serving.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EngineMode {
+    /// The bare variant.
+    Plain,
+    /// Wrapped in the AIMD [`Scheduled`] concurrency limiter — the
+    /// default, because its abort-storm signal also feeds the service's
+    /// retry-after hints.
+    Scheduled,
+    /// [`Robust`] serialization fallback over the scheduled variant.
+    Robust,
+}
+
+impl EngineMode {
+    /// Parses a mode by name (`plain`, `scheduled`, `robust`).
+    pub fn parse(name: &str) -> Option<EngineMode> {
+        match name.to_ascii_lowercase().as_str() {
+            "plain" => Some(EngineMode::Plain),
+            "scheduled" => Some(EngineMode::Scheduled),
+            "robust" => Some(EngineMode::Robust),
+            _ => None,
+        }
+    }
+
+    /// Short machine-friendly name.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            EngineMode::Plain => "plain",
+            EngineMode::Scheduled => "scheduled",
+            EngineMode::Robust => "robust",
+        }
+    }
+}
+
+/// One concrete base variant.
+pub(crate) enum BaseStm {
+    Cgl(CglStm),
+    Egpgv(EgpgvStm),
+    Norec(NorecStm),
+    Lock(LockStm),
+    Optimized(OptimizedStm),
+}
+
+macro_rules! base_delegate {
+    ($self:ident, $s:ident => $body:expr) => {
+        match $self {
+            BaseStm::Cgl($s) => $body,
+            BaseStm::Egpgv($s) => $body,
+            BaseStm::Norec($s) => $body,
+            BaseStm::Lock($s) => $body,
+            BaseStm::Optimized($s) => $body,
+        }
+    };
+}
+
+impl Stm for BaseStm {
+    fn name(&self) -> &'static str {
+        base_delegate!(self, s => s.name())
+    }
+
+    fn new_warp(&self) -> WarpTx {
+        base_delegate!(self, s => s.new_warp())
+    }
+
+    fn stats(&self) -> StatsHandle {
+        base_delegate!(self, s => s.stats())
+    }
+
+    async fn begin(&self, w: &mut WarpTx, ctx: &WarpCtx, want: LaneMask) -> LaneMask {
+        base_delegate!(self, s => s.begin(w, ctx, want).await)
+    }
+
+    async fn read(
+        &self,
+        w: &mut WarpTx,
+        ctx: &WarpCtx,
+        mask: LaneMask,
+        addrs: &LaneAddrs,
+    ) -> LaneVals {
+        base_delegate!(self, s => s.read(w, ctx, mask, addrs).await)
+    }
+
+    async fn write(
+        &self,
+        w: &mut WarpTx,
+        ctx: &WarpCtx,
+        mask: LaneMask,
+        addrs: &LaneAddrs,
+        vals: &LaneVals,
+    ) {
+        base_delegate!(self, s => s.write(w, ctx, mask, addrs, vals).await)
+    }
+
+    async fn commit(&self, w: &mut WarpTx, ctx: &WarpCtx, mask: LaneMask) -> LaneMask {
+        base_delegate!(self, s => s.commit(w, ctx, mask).await)
+    }
+
+    fn opaque(&self, w: &WarpTx) -> LaneMask {
+        base_delegate!(self, s => s.opaque(w))
+    }
+
+    fn abort_storm(&self) -> bool {
+        base_delegate!(self, s => s.abort_storm())
+    }
+}
+
+/// The shard's STM: a base variant, optionally wrapped.
+pub(crate) enum EngineStm {
+    Base(BaseStm),
+    Scheduled(Scheduled<BaseStm>),
+    Robust(Robust<Scheduled<BaseStm>>),
+}
+
+macro_rules! engine_delegate {
+    ($self:ident, $s:ident => $body:expr) => {
+        match $self {
+            EngineStm::Base($s) => $body,
+            EngineStm::Scheduled($s) => $body,
+            EngineStm::Robust($s) => $body,
+        }
+    };
+}
+
+impl Stm for EngineStm {
+    fn name(&self) -> &'static str {
+        engine_delegate!(self, s => s.name())
+    }
+
+    fn new_warp(&self) -> WarpTx {
+        engine_delegate!(self, s => s.new_warp())
+    }
+
+    fn stats(&self) -> StatsHandle {
+        engine_delegate!(self, s => s.stats())
+    }
+
+    async fn begin(&self, w: &mut WarpTx, ctx: &WarpCtx, want: LaneMask) -> LaneMask {
+        engine_delegate!(self, s => s.begin(w, ctx, want).await)
+    }
+
+    async fn read(
+        &self,
+        w: &mut WarpTx,
+        ctx: &WarpCtx,
+        mask: LaneMask,
+        addrs: &LaneAddrs,
+    ) -> LaneVals {
+        engine_delegate!(self, s => s.read(w, ctx, mask, addrs).await)
+    }
+
+    async fn write(
+        &self,
+        w: &mut WarpTx,
+        ctx: &WarpCtx,
+        mask: LaneMask,
+        addrs: &LaneAddrs,
+        vals: &LaneVals,
+    ) {
+        engine_delegate!(self, s => s.write(w, ctx, mask, addrs, vals).await)
+    }
+
+    async fn commit(&self, w: &mut WarpTx, ctx: &WarpCtx, mask: LaneMask) -> LaneMask {
+        engine_delegate!(self, s => s.commit(w, ctx, mask).await)
+    }
+
+    fn opaque(&self, w: &WarpTx) -> LaneMask {
+        engine_delegate!(self, s => s.opaque(w))
+    }
+
+    fn abort_storm(&self) -> bool {
+        engine_delegate!(self, s => s.abort_storm())
+    }
+}
+
+/// Instantiates `variant` in `sim` with `recorder` attached, wrapped
+/// per `mode`. Mirrors `workloads::dispatch`, but returns a long-lived
+/// value instead of running a one-shot closure.
+pub(crate) fn build_stm(
+    sim: &mut Sim,
+    variant: Variant,
+    mode: EngineMode,
+    stm_cfg: StmConfig,
+    shared_data_words: u64,
+    grid: LaunchConfig,
+    recorder: Recorder,
+) -> Result<EngineStm, ServeError> {
+    let err = |e: gpu_sim::SimError| ServeError::BadConfig(format!("stm init: {e}"));
+    let base = match variant {
+        Variant::Cgl => BaseStm::Cgl(CglStm::init(sim).map_err(err)?.with_recorder(recorder)),
+        Variant::Egpgv => {
+            let shared = StmShared::init(sim, &stm_cfg).map_err(err)?;
+            let stm = EgpgvStm::init(sim, shared, stm_cfg).map_err(err)?.with_recorder(recorder);
+            if !stm.supports(grid) {
+                return Err(ServeError::BadConfig(format!(
+                    "STM-EGPGV cannot serve a {}-block batch grid",
+                    grid.blocks
+                )));
+            }
+            BaseStm::Egpgv(stm)
+        }
+        Variant::Vbv => {
+            let shared = StmShared::init(sim, &stm_cfg).map_err(err)?;
+            BaseStm::Norec(NorecStm::new(shared, stm_cfg).with_recorder(recorder))
+        }
+        Variant::Optimized => {
+            let shared = StmShared::init(sim, &stm_cfg).map_err(err)?;
+            BaseStm::Optimized(
+                OptimizedStm::new(shared, stm_cfg, shared_data_words).with_recorder(recorder),
+            )
+        }
+        Variant::TbvSorting | Variant::HvSorting | Variant::HvBackoff | Variant::TbvBackoff => {
+            let shared = StmShared::init(sim, &stm_cfg).map_err(err)?;
+            let stm = match variant {
+                Variant::TbvSorting => LockStm::tbv_sorting(shared, stm_cfg),
+                Variant::HvSorting => LockStm::hv_sorting(shared, stm_cfg),
+                Variant::HvBackoff => LockStm::hv_backoff(shared, stm_cfg),
+                _ => LockStm::tbv_backoff(shared, stm_cfg),
+            };
+            BaseStm::Lock(stm.with_recorder(recorder))
+        }
+    };
+    Ok(match mode {
+        EngineMode::Plain => EngineStm::Base(base),
+        EngineMode::Scheduled => EngineStm::Scheduled(Scheduled::with_defaults(base)),
+        EngineMode::Robust => {
+            let sched = Scheduled::with_defaults(base);
+            EngineStm::Robust(Robust::with_defaults(sim, sched).map_err(err)?)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parse_round_trips() {
+        for m in [EngineMode::Plain, EngineMode::Scheduled, EngineMode::Robust] {
+            assert_eq!(EngineMode::parse(m.short_name()), Some(m));
+        }
+        assert_eq!(EngineMode::parse("turbo"), None);
+    }
+}

@@ -1,0 +1,96 @@
+//! Satellite requirement: a full queue yields a structured
+//! [`ServeError::Overloaded`] (never a panic), the retry-after hint
+//! shrinks once pressure clears, and a graceful drain completes with no
+//! lost or duplicated commits — cross-checked with `tm-check`.
+
+use tm_serve::{MixConfig, ServeConfig, ServeError, Service};
+
+/// A hot bank burst against tiny queues: admission must shed load.
+fn overload_cfg() -> ServeConfig {
+    ServeConfig {
+        shards: 2,
+        workers: 2,
+        mix: MixConfig {
+            requests: 256,
+            // Everything arrives almost at once: far beyond capacity.
+            mean_interarrival: 1,
+            ..MixConfig::bank()
+        },
+        seed: 11,
+        accounts: 64,
+        table_words: 256,
+        txl_words: 16,
+        batch_warps: 1,
+        queue_capacity: 8,
+        n_locks: 1 << 10,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn overload_is_structured_and_drain_is_exact() {
+    let r = Service::run(&overload_cfg()).expect("service must survive overload");
+
+    assert!(r.rejected > 0, "the burst must overflow the 8-deep queues");
+    match &r.first_rejection {
+        Some(ServeError::Overloaded { shard, queue_len, capacity, retry_after }) => {
+            assert!(*shard < 2);
+            assert_eq!(*capacity, 8);
+            assert!(*queue_len >= *capacity);
+            assert!(*retry_after > 0, "rejections must carry a usable retry-after hint");
+        }
+        other => panic!("expected a structured Overloaded rejection, got {other:?}"),
+    }
+
+    // Graceful drain: every admitted request completed exactly once.
+    assert_eq!(r.completed, r.admitted);
+    assert_eq!(r.offered, r.admitted + r.rejected);
+    assert!(r.conserved, "shed load must not corrupt balances");
+    assert_eq!(r.violations_total, 0, "tm-check must pass under overload");
+}
+
+#[test]
+fn retry_hint_shrinks_once_pressure_clears() {
+    let r = Service::run(&overload_cfg()).expect("serve run");
+    let pressured: Vec<_> = r.shard_reports.iter().filter(|s| s.rejected > 0).collect();
+    assert!(!pressured.is_empty());
+    for s in &pressured {
+        // At rejection time the hint priced a full queue (and any abort
+        // storm); after drain an idle shard advertises a smaller wait.
+        assert!(
+            s.retry_hint_final < s.retry_hint_peak,
+            "shard {}: final hint {} must undercut peak {}",
+            s.shard,
+            s.retry_hint_final,
+            s.retry_hint_peak
+        );
+    }
+}
+
+#[test]
+fn credit_cap_no_votes_roll_back_and_conserve() {
+    // Force every transfer cross-shard (locality 0) and cap receiving
+    // balances barely above the initial balance: prepared credits vote
+    // no once a destination fills up, which must trigger compensating
+    // debit rollbacks — and still conserve total balance.
+    let cfg = ServeConfig {
+        shards: 2,
+        workers: 1,
+        mix: MixConfig { requests: 160, locality_pct: 0, ..MixConfig::bank() },
+        seed: 13,
+        accounts: 48,
+        table_words: 256,
+        txl_words: 16,
+        batch_warps: 1,
+        initial_balance: 1000,
+        credit_cap: 1010,
+        n_locks: 1 << 10,
+        ..ServeConfig::default()
+    };
+    let r = Service::run(&cfg).expect("serve run");
+    assert!(r.cross_shard > 0, "locality 0 must produce 2PC traffic");
+    assert!(r.rollbacks > 0, "the tight credit cap must force no-votes");
+    assert!(r.conserved, "rollbacks must compensate exactly");
+    assert_eq!(r.completed, r.admitted);
+    assert_eq!(r.violations_total, 0);
+}

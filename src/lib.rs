@@ -37,3 +37,6 @@ pub use workloads as bench_suite;
 
 /// The transactional kernel language (the paper's "compiler support").
 pub use txl as lang;
+
+/// The sharded, batched transaction service over the STM engine.
+pub use tm_serve as serve;
