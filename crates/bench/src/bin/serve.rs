@@ -18,6 +18,15 @@
 //! `--variant`, `--mode plain|scheduled|robust`, `--requests`,
 //! `--workers`, `--queue-cap`, `--total-warps` and `--seed`.
 //!
+//! `--recovery` switches to the kill-and-restart sweep instead: it runs
+//! an uncrashed durable baseline, then kills each shard worker at each
+//! WAL lifecycle point (`--smoke` restricts to two points) and checks
+//! the recovered run is byte-identical — report *and* blob store — to
+//! the baseline, finishing with a replicated run that demotes an
+//! injected divergent replica. Results land in `BENCH_recovery.json`
+//! plus a standalone `recovery-report.json`, and the process exits
+//! nonzero if any recovery diverges.
+//!
 //! Everything inside the JSON is virtual (simulated cycles, counters,
 //! FNV hashes): for a fixed seed the file is byte-identical regardless
 //! of worker-thread count or host speed. Wall-clock throughput is
@@ -25,7 +34,10 @@
 
 use bench::{bench_output_path, print_table};
 use gpu_sim::JsonWriter;
-use tm_serve::{EngineMode, MixConfig, ServeConfig, ServeReport, Service};
+use tm_serve::{
+    store_fingerprint, CrashPlan, CrashPoint, DurabilityConfig, EngineMode, MemStore, MixConfig,
+    ReplicaFault, ServeConfig, ServeReport, Service,
+};
 use workloads::Variant;
 
 struct Args {
@@ -40,6 +52,7 @@ struct Args {
     total_warps: u32,
     seed: u64,
     smoke: bool,
+    recovery: bool,
     accounts: u32,
     locality_pct: Option<u32>,
     hot_pct: Option<u32>,
@@ -64,6 +77,7 @@ impl Args {
             total_warps: 64,
             seed: 42,
             smoke: false,
+            recovery: false,
             accounts: 256,
             locality_pct: None,
             hot_pct: None,
@@ -131,6 +145,7 @@ impl Args {
                     i += 1;
                 }
                 "--smoke" => a.smoke = true,
+                "--recovery" => a.recovery = true,
                 _ => {}
             }
             i += 1;
@@ -197,8 +212,166 @@ fn run(cfg: &ServeConfig, mix_name: &str) -> ServeReport {
     report
 }
 
+/// One durable service config for the recovery sweep. Small and hot:
+/// the sweep measures healing fidelity, not throughput, so a compact
+/// fixed-seed run that still crosses several snapshot boundaries is
+/// ideal.
+fn recovery_config(args: &Args, dur: DurabilityConfig) -> ServeConfig {
+    ServeConfig {
+        shards: args.shards.unwrap_or(2),
+        workers: args.workers,
+        mix: MixConfig { requests: 96, ..MixConfig::mixed() },
+        seed: args.seed,
+        accounts: 64,
+        table_words: 256,
+        txl_words: 16,
+        batch_warps: 1,
+        n_locks: 1 << 10,
+        durability: Some(dur),
+        ..ServeConfig::default()
+    }
+}
+
+/// Kill-and-restart sweep: every (shard × crash point) cell must heal
+/// back to the uncrashed baseline byte-for-byte. Writes
+/// `BENCH_<name>.json` and `recovery-report.json`; exits nonzero on any
+/// divergence so CI fails loudly.
+fn run_recovery(args: &Args) {
+    let durability = DurabilityConfig { segment_batches: 2, ..DurabilityConfig::default() };
+    let points: &[CrashPoint] = if args.smoke {
+        // The two most distinctive repair paths: torn-tail truncation
+        // and verified replay of an already-sealed batch.
+        &[CrashPoint::WalAppend, CrashPoint::PostPrepare]
+    } else {
+        &CrashPoint::ALL
+    };
+
+    let base_cfg = recovery_config(args, durability);
+    let shards = base_cfg.shards;
+    eprintln!("[recovery] baseline: {} shards, seed {} ...", shards, args.seed);
+    let base_store = MemStore::shared();
+    let (baseline, _) = Service::run_durable(&base_cfg, base_store.clone())
+        .unwrap_or_else(|e| panic!("baseline durable run failed: {e}"));
+    let baseline_json = baseline.to_json();
+    let (base_fnv, base_bytes) = store_fingerprint(&base_store);
+
+    struct Cell {
+        shard: usize,
+        point: CrashPoint,
+        identical: bool,
+        rec: tm_serve::RecoveryReport,
+    }
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut diverged_cells = 0usize;
+    for shard in 0..shards {
+        for &point in points {
+            let dur =
+                DurabilityConfig { crash: Some(CrashPlan::at(shard, point, 1)), ..durability };
+            let store = MemStore::shared();
+            let (report, rec) = Service::run_durable(&recovery_config(args, dur), store.clone())
+                .unwrap_or_else(|e| panic!("kill shard {shard} at {point}: {e}"));
+            let identical = report.to_json() == baseline_json
+                && store_fingerprint(&store) == (base_fnv, base_bytes);
+            if !identical {
+                diverged_cells += 1;
+            }
+            eprintln!(
+                "[recovery] shard {shard} at {point}: {}",
+                if identical { "byte-identical" } else { "DIVERGED" }
+            );
+            cells.push(Cell { shard, point, identical, rec });
+        }
+    }
+
+    // Replicated run with an injected single-commit loss: the quorum
+    // must demote exactly the faulted replica and keep the rest.
+    let rep_dur = DurabilityConfig {
+        replicas: 2,
+        replica_fault: Some(ReplicaFault { shard: 0, replica: 1, at_commit: 3 }),
+        ..durability
+    };
+    let (rep_report, rep_rec) =
+        Service::run_durable(&recovery_config(args, rep_dur), MemStore::shared())
+            .unwrap_or_else(|e| panic!("replicated run failed: {e}"));
+    assert!(rep_report.conserved, "replica fault must never touch the primary");
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", "gpu-stm-recovery/1");
+    w.field_u64("shards", shards as u64);
+    w.field_u64("seed", args.seed);
+    w.key("baseline");
+    w.begin_object();
+    w.field_str("store_fnv", &format!("{base_fnv:016x}"));
+    w.field_u64("store_bytes", base_bytes);
+    w.field_u64("completed", baseline.completed);
+    w.field_bool("conserved", baseline.conserved);
+    w.end_object();
+    w.key("crashes");
+    w.begin_array();
+    for cell in &cells {
+        w.begin_object();
+        w.field_u64("shard", cell.shard as u64);
+        w.field_str("point", cell.point.short_name());
+        w.field_bool("byte_identical", cell.identical);
+        w.key("recovery");
+        cell.rec.write_json(&mut w);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("replication");
+    rep_rec.write_json(&mut w);
+    w.end_object();
+    // `--name` still overrides, but the default artifact name is
+    // `recovery` here so the load sweep's BENCH_serve.json survives.
+    let name = if args.name == "serve" { "recovery" } else { args.name.as_str() };
+    let path = bench_output_path(name);
+    let json = w.finish();
+    std::fs::write(&path, &json).expect("write recovery report");
+
+    // Standalone artifact: the replicated run's structured recovery
+    // report (replica census + divergence incidents), for CI upload.
+    std::fs::write("recovery-report.json", rep_rec.to_json()).expect("write recovery-report.json");
+
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            let s = &c.rec.recoveries[0];
+            vec![
+                c.shard.to_string(),
+                c.point.to_string(),
+                if c.identical { "yes" } else { "NO" }.to_string(),
+                s.snapshot_seq.to_string(),
+                s.torn_truncated.to_string(),
+                s.replayed.to_string(),
+                s.reexecuted.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "tm-serve kill-and-restart sweep",
+        &["shard", "point", "byte-identical", "snap-seq", "torn", "replayed", "re-exec"],
+        &rows,
+    );
+    println!(
+        "\nreplication: {}/{} replicas healthy, {} divergence incident(s)",
+        rep_rec.replicas_healthy,
+        rep_rec.replicas_per_shard * shards as u64,
+        rep_rec.diverged.len()
+    );
+    println!("report written to {} ({} bytes)", path.display(), json.len());
+    if diverged_cells > 0 {
+        eprintln!("[recovery] {diverged_cells} cell(s) diverged from the baseline");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = Args::parse();
+    if args.recovery {
+        run_recovery(&args);
+        return;
+    }
 
     // (mix, report) per sweep point, in deterministic sweep order.
     let mut runs: Vec<(String, ServeReport)> = Vec::new();

@@ -108,6 +108,38 @@ impl L2Cache {
         self.stamps.fill(0);
         self.tick = 0;
     }
+
+    /// Captures the full tag/LRU state for crash-recovery snapshots.
+    /// The L2 persists across launches, so replaying a batch stream on a
+    /// fresh simulator only reproduces cycle counts byte-exactly when
+    /// the cache is restored along with memory.
+    pub fn checkpoint(&self) -> CacheCheckpoint {
+        CacheCheckpoint { tags: self.tags.clone(), stamps: self.stamps.clone(), tick: self.tick }
+    }
+
+    /// Restores state captured by [`checkpoint`](Self::checkpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint geometry does not match this cache.
+    pub fn restore(&mut self, ck: &CacheCheckpoint) {
+        assert_eq!(ck.tags.len(), self.tags.len(), "cache checkpoint geometry mismatch");
+        assert_eq!(ck.stamps.len(), self.stamps.len(), "cache checkpoint geometry mismatch");
+        self.tags.copy_from_slice(&ck.tags);
+        self.stamps.copy_from_slice(&ck.stamps);
+        self.tick = ck.tick;
+    }
+}
+
+/// Serializable L2 tag/LRU state (see [`L2Cache::checkpoint`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheCheckpoint {
+    /// Tag words, `sets × ways` entries.
+    pub tags: Vec<u64>,
+    /// LRU stamps, parallel to `tags`.
+    pub stamps: Vec<u64>,
+    /// LRU tick counter.
+    pub tick: u64,
 }
 
 #[cfg(test)]

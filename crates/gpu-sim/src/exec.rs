@@ -15,7 +15,7 @@
 //! Thread blocks are admitted to the GPU respecting SM residency limits
 //! (blocks per SM, warps per SM), like hardware block dispatch.
 
-use crate::cache::{CacheConfig, L2Cache};
+use crate::cache::{CacheCheckpoint, CacheConfig, L2Cache};
 use crate::error::{SimError, WarpProgress};
 use crate::fault::{splitmix64, FaultPlan, FaultState};
 use crate::mask::{LaneMask, WARP_SIZE};
@@ -210,6 +210,23 @@ pub struct RunReport {
     pub cycles: u64,
     /// Counters for this launch.
     pub stats: SimStats,
+}
+
+/// Everything a [`Sim`] carries across launches, captured by
+/// [`Sim::checkpoint`]: the allocated memory image, the L2 state and the
+/// lifetime counters. Plain data — serializable by the caller.
+#[derive(Clone, Debug)]
+pub struct SimCheckpoint {
+    /// Image of every allocated device word, from address 0.
+    pub memory: Vec<u32>,
+    /// L2 tag/LRU state (persists across launches, affects timing).
+    pub cache: CacheCheckpoint,
+    /// Lifetime statistics accumulated over completed launches.
+    pub stats: SimStats,
+    /// Sum of completion cycles over all launches.
+    pub cycles: u64,
+    /// Number of completed launches.
+    pub launches: u64,
 }
 
 pub(crate) struct SimState {
@@ -416,6 +433,46 @@ impl Sim {
     /// Fills `n` device words starting at `a` with `v`.
     pub fn fill(&mut self, a: Addr, n: u32, v: u32) {
         self.state.borrow_mut().mem.fill(a, n, v);
+    }
+
+    /// Captures everything that persists across launches: the allocated
+    /// device memory image, the L2 tag/LRU state (the cache is *not*
+    /// reset per launch, so it shapes the cycle counts of later
+    /// launches), and the lifetime counters. Restoring this checkpoint
+    /// into a freshly constructed, identically allocated simulator makes
+    /// subsequent launches byte-identical to the original timeline —
+    /// the foundation of `tm-serve` crash recovery.
+    pub fn checkpoint(&self) -> SimCheckpoint {
+        let st = self.state.borrow();
+        SimCheckpoint {
+            memory: st.mem.read_slice(Addr(0), st.mem.allocated() as u32),
+            cache: st.cache.checkpoint(),
+            stats: self.lifetime.clone(),
+            cycles: self.lifetime_cycles,
+            launches: self.launches,
+        }
+    }
+
+    /// Restores a [`checkpoint`](Self::checkpoint) taken from a
+    /// simulator with the same configuration and allocation history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory image or cache geometry does not match
+    /// (checkpoints are only meaningful across identically built sims).
+    pub fn restore_checkpoint(&mut self, ck: &SimCheckpoint) {
+        let mut st = self.state.borrow_mut();
+        assert_eq!(
+            ck.memory.len(),
+            st.mem.allocated(),
+            "checkpoint memory image does not match this sim's allocations"
+        );
+        st.mem.write_slice(Addr(0), &ck.memory);
+        st.cache.restore(&ck.cache);
+        drop(st);
+        self.lifetime = ck.stats.clone();
+        self.lifetime_cycles = ck.cycles;
+        self.launches = ck.launches;
     }
 
     /// Launches a kernel and runs it to completion.

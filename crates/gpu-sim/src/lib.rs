@@ -55,9 +55,9 @@ pub mod timing;
 pub mod trace;
 mod warp;
 
-pub use cache::{CacheConfig, L2Cache};
+pub use cache::{CacheCheckpoint, CacheConfig, L2Cache};
 pub use error::{SimError, WarpProgress};
-pub use exec::{GpuConfig, LaunchConfig, RunReport, Sim, SimConfig, WarpId};
+pub use exec::{GpuConfig, LaunchConfig, RunReport, Sim, SimCheckpoint, SimConfig, WarpId};
 pub use fault::FaultPlan;
 pub use json::JsonWriter;
 pub use mask::{LaneMask, WARP_SIZE};

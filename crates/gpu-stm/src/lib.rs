@@ -78,10 +78,12 @@ mod warptx;
 
 pub use api::{lane_addrs, lane_vals, Stm};
 pub use config::{Locking, StmConfig, Validation};
-pub use history::{recorder, recorder_with_hook, CommitHook, CommittedTx, History, Recorder};
+pub use history::{
+    recorder, recorder_with_hook, Access, CommitHook, CommittedTx, History, Recorder,
+};
 pub use profile::ContentionProfile;
 pub use robust::{Robust, RobustConfig};
-pub use scheduler::{Scheduled, SchedulerConfig};
+pub use scheduler::{Scheduled, SchedulerCheckpoint, SchedulerConfig};
 pub use shared::StmShared;
 pub use stats::{
     phase_label, AbortCause, Breakdown, Phase, StatsHandle, TxStats, ABORT_CAUSES, PHASES,

@@ -171,6 +171,19 @@ impl<S: Stm> Robust<S> {
         self.fallback_lock
     }
 
+    /// Current backoff-jitter RNG state, the wrapper's only host-side
+    /// mutable state; capture it in crash-recovery snapshots so replayed
+    /// backoff spans match the original run cycle-for-cycle.
+    pub fn rng_state(&self) -> u64 {
+        self.state.borrow().rng
+    }
+
+    /// Restores the backoff-jitter RNG captured by
+    /// [`rng_state`](Self::rng_state).
+    pub fn restore_rng_state(&self, rng: u64) {
+        self.state.borrow_mut().rng = rng;
+    }
+
     /// Backoff span before the next retry, given the worst losing streak
     /// in the warp: capped exponential with jitter in `[span/2, span]`,
     /// jumping straight to the cap during an abort storm.

@@ -210,6 +210,52 @@ impl<S: Stm> Scheduled<S> {
     pub fn inner(&self) -> &S {
         &self.inner
     }
+
+    /// Captures the adaptive-control state (limit, in-flight count,
+    /// window counters, storm flag) for crash-recovery snapshots. The
+    /// AIMD loop is deterministic, so restoring this alongside the
+    /// device state reproduces subsequent admission decisions exactly.
+    pub fn checkpoint(&self) -> SchedulerCheckpoint {
+        let st = self.state.borrow();
+        SchedulerCheckpoint {
+            limit: st.limit,
+            in_flight: st.in_flight,
+            window_commits: st.window_commits,
+            window_aborts: st.window_aborts,
+            adaptations: st.adaptations,
+            storm: st.storm,
+        }
+    }
+
+    /// Restores state captured by [`checkpoint`](Self::checkpoint). The
+    /// scheduler configuration is not part of the checkpoint; the caller
+    /// must rebuild the wrapper with the same [`SchedulerConfig`].
+    pub fn restore_checkpoint(&self, ck: &SchedulerCheckpoint) {
+        let mut st = self.state.borrow_mut();
+        st.limit = ck.limit;
+        st.in_flight = ck.in_flight;
+        st.window_commits = ck.window_commits;
+        st.window_aborts = ck.window_aborts;
+        st.adaptations = ck.adaptations;
+        st.storm = ck.storm;
+    }
+}
+
+/// Serializable adaptive-scheduler state (see [`Scheduled::checkpoint`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SchedulerCheckpoint {
+    /// Current concurrency limit.
+    pub limit: u32,
+    /// Transactions currently admitted.
+    pub in_flight: u32,
+    /// Commits folded into the open adaptation window.
+    pub window_commits: u64,
+    /// Aborts folded into the open adaptation window.
+    pub window_aborts: u64,
+    /// Completed adaptation windows.
+    pub adaptations: u64,
+    /// Abort-storm flag from the last completed window.
+    pub storm: bool,
 }
 
 impl<S: Stm> Stm for Scheduled<S> {

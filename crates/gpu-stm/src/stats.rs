@@ -127,6 +127,17 @@ impl Breakdown {
         self.cycles[i] += v;
     }
 
+    /// Per-phase cycles as IEEE-754 bit patterns, for exact (lossless)
+    /// serialization into checkpoint/WAL formats.
+    pub fn to_bits(&self) -> [u64; NUM_PHASES] {
+        std::array::from_fn(|i| self.cycles[i].to_bits())
+    }
+
+    /// Reconstructs a breakdown from [`to_bits`](Self::to_bits) output.
+    pub fn from_bits(bits: [u64; NUM_PHASES]) -> Self {
+        Breakdown { cycles: std::array::from_fn(|i| f64::from_bits(bits[i])) }
+    }
+
     /// Serializes per-phase cycles into `w` as a JSON object keyed by
     /// [`phase_label`], in [`PHASES`] order, with the total last.
     pub fn write_json(&self, w: &mut JsonWriter) {
@@ -230,6 +241,78 @@ impl TxStats {
             AbortCause::PreVbv => self.aborts_pre_vbv += 1,
             AbortCause::LockBusy => self.aborts_lock_busy += 1,
         }
+    }
+
+    /// Serializes every counter (and the phase breakdown, losslessly as
+    /// IEEE-754 bits) into a flat word vector for checkpoint formats.
+    /// The exhaustive destructuring makes adding a `TxStats` field
+    /// without extending the encoding a compile error.
+    pub fn encode(&self) -> Vec<u64> {
+        let TxStats {
+            commits,
+            read_only_commits,
+            aborts,
+            aborts_read_validation,
+            aborts_commit_tbv,
+            aborts_commit_vbv,
+            aborts_pre_vbv,
+            aborts_lock_busy,
+            lock_retries,
+            false_conflicts_filtered,
+            reads_committed,
+            writes_committed,
+            max_consec_aborts,
+            escalations,
+            fallback_commits,
+            ref breakdown,
+        } = *self;
+        let mut out = vec![
+            commits,
+            read_only_commits,
+            aborts,
+            aborts_read_validation,
+            aborts_commit_tbv,
+            aborts_commit_vbv,
+            aborts_pre_vbv,
+            aborts_lock_busy,
+            lock_retries,
+            false_conflicts_filtered,
+            reads_committed,
+            writes_committed,
+            max_consec_aborts,
+            escalations,
+            fallback_commits,
+        ];
+        out.extend(breakdown.to_bits());
+        out
+    }
+
+    /// Reconstructs counters from [`encode`](Self::encode) output;
+    /// `None` if the word count does not match this crate's layout.
+    pub fn decode(words: &[u64]) -> Option<TxStats> {
+        if words.len() != 15 + NUM_PHASES {
+            return None;
+        }
+        let mut bits = [0u64; NUM_PHASES];
+        bits.copy_from_slice(&words[15..]);
+        Some(TxStats {
+            commits: words[0],
+            read_only_commits: words[1],
+            aborts: words[2],
+            aborts_read_validation: words[3],
+            aborts_commit_tbv: words[4],
+            aborts_commit_vbv: words[5],
+            aborts_pre_vbv: words[6],
+            aborts_lock_busy: words[7],
+            lock_retries: words[8],
+            false_conflicts_filtered: words[9],
+            reads_committed: words[10],
+            writes_committed: words[11],
+            max_consec_aborts: words[12],
+            escalations: words[13],
+            fallback_commits: words[14],
+            breakdown: Breakdown::from_bits(bits),
+        })
     }
 
     /// Abort rate: aborts / (commits + aborts); 0 when idle.

@@ -14,12 +14,19 @@
 //! *on* their worker thread; only plain-data configs go in and only the
 //! plain-data [`ShardSummary`] comes back out.
 
+use crate::crash::{CrashPoint, ResolvedCrash};
 use crate::error::ServeError;
 use crate::route::route;
 use crate::stm::{build_stm, EngineMode, EngineStm};
-use gpu_sim::{Addr, LaunchConfig, Sim, SimConfig, SimStats, WARP_SIZE};
-use gpu_stm::{lane_addrs, recorder_with_hook, CommittedTx, Recorder, Stm, StmConfig, TxStats};
-use std::cell::RefCell;
+use crate::wal::{dec_seal, enc_seal, BatchSeal, Dec, Enc, StoreHandle, WalRecord, WalWriter};
+use gpu_sim::{
+    Addr, CacheCheckpoint, LaunchConfig, Sim, SimCheckpoint, SimConfig, SimStats, WARP_SIZE,
+};
+use gpu_stm::{
+    lane_addrs, recorder_with_hook, Access, CommittedTx, Recorder, SchedulerCheckpoint, Stm,
+    StmConfig, TxStats,
+};
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use workloads::{mix64, Variant};
 
@@ -66,6 +73,28 @@ pub struct EngineConfig {
     pub credit_cap: u32,
     /// Global version locks for the STM.
     pub n_locks: u32,
+    /// Durability knobs; `None` runs the shard without a WAL.
+    pub wal: Option<WalParams>,
+}
+
+/// Write-ahead-log knobs for one shard engine.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct WalParams {
+    /// Batches per WAL segment. Every `segment_batches`-th batch ends
+    /// with a snapshot, a roll to a fresh segment, and (optionally)
+    /// compaction of the pre-snapshot segments.
+    pub segment_batches: u64,
+    /// Delete pre-snapshot segments at each roll.
+    pub compact: bool,
+    /// Crash injection, if any. Recovered engines run with this
+    /// disarmed so the same crash does not re-fire on replay.
+    pub crash: Option<ResolvedCrash>,
+}
+
+impl Default for WalParams {
+    fn default() -> Self {
+        WalParams { segment_batches: 8, compact: true, crash: None }
+    }
 }
 
 impl EngineConfig {
@@ -137,7 +166,7 @@ pub enum ShardOp {
 }
 
 /// One sealed batch entry: the op plus the client request it serves.
-#[derive(Copy, Clone, Debug)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Entry {
     /// Originating request id (`u64::MAX` for service-internal ops).
     pub req: u64,
@@ -147,7 +176,7 @@ pub struct Entry {
 
 /// Outcome of one batch entry (every entry commits; `ok` is the
 /// business-level result — funds sufficed, key found, vote yes).
-#[derive(Copy, Clone, Debug, Default)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct EntryOutcome {
     /// Business success.
     pub ok: bool,
@@ -156,7 +185,7 @@ pub struct EntryOutcome {
 }
 
 /// Result of running one batch on a shard.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BatchReport {
     /// Per-entry outcomes, in batch order.
     pub outcomes: Vec<EntryOutcome>,
@@ -168,6 +197,17 @@ pub struct BatchReport {
     pub aborts: u64,
     /// Whether the shard's scheduler reports an abort storm.
     pub storm: bool,
+}
+
+/// Outcome of a durable batch: either a report, or the point at which
+/// injected crash-testing killed the worker (the engine must then be
+/// dropped and recovered from its log).
+#[derive(Clone, Debug)]
+pub(crate) enum DurableOutcome {
+    /// The batch ran, was sealed in the log, and was acknowledged.
+    Done(BatchReport),
+    /// The injected crash fired at this lifecycle point.
+    Crashed(CrashPoint),
 }
 
 /// Plain-data end-of-run summary shipped back to the coordinator.
@@ -240,7 +280,7 @@ struct LaneOp {
 const K_IDLE: u8 = 255;
 
 /// A request-tagged commit observed by the history hook.
-#[derive(Copy, Clone)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 struct CommitRec {
     req: u64,
     tid: u32,
@@ -269,12 +309,47 @@ pub(crate) struct ShardEngine {
     span_base: u32,
     span_len: u32,
     txl_launch_seq: u64,
+    /// Full-write-set WAL `Commit` records staged by the hook during a
+    /// launch, drained into the log after each durable batch.
+    wal_pending: Rc<RefCell<Vec<WalRecord>>>,
+    dur: Option<EngineDur>,
+}
+
+/// Durability state of one shard engine.
+struct EngineDur {
+    wal: WalWriter,
+    params: WalParams,
+    /// Sequence number of the next batch (per shard, from 1).
+    next_seq: u64,
+    /// Seal of the most recent sealed batch, embedded in snapshots so
+    /// a crash after compaction can still answer the coordinator.
+    last_seal: Option<BatchSeal>,
+    /// `Commit` records of the most recent batch, retained after the
+    /// log flush so the worker can feed the shard's replica group.
+    last_commits: Vec<WalRecord>,
+    /// `commit_log` entries already folded into `log_fnv_state`.
+    log_folded: usize,
+    /// Running FNV-1a over the request-tagged commit log.
+    log_fnv_state: u64,
 }
 
 impl ShardEngine {
     /// Builds the shard: allocates its data partition, funds its owned
     /// accounts, snapshots the initial state and instantiates the STM.
+    #[cfg(test)]
     pub(crate) fn new(cfg: EngineConfig) -> Result<ShardEngine, ServeError> {
+        ShardEngine::with_store(cfg, None)
+    }
+
+    /// Like [`new`](Self::new), but attaches a write-ahead log on
+    /// `store` when the config carries [`WalParams`]. A fresh log gets
+    /// an `Init` record (the initial data span, for replica bootstrap);
+    /// an existing log is resumed at its tail, so recovery and fresh
+    /// construction share this path.
+    pub(crate) fn with_store(
+        cfg: EngineConfig,
+        store: Option<StoreHandle>,
+    ) -> Result<ShardEngine, ServeError> {
         if cfg.shards == 0 || cfg.shard >= cfg.shards {
             return Err(ServeError::BadConfig(format!(
                 "shard {} out of range for {} shards",
@@ -310,17 +385,32 @@ impl ShardEngine {
 
         let tid_map: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
         let commit_log: Rc<RefCell<Vec<CommitRec>>> = Rc::new(RefCell::new(Vec::new()));
+        let wal_pending: Rc<RefCell<Vec<WalRecord>>> = Rc::new(RefCell::new(Vec::new()));
+        let wal_enabled: Rc<Cell<bool>> = Rc::new(Cell::new(false));
         let hook_map = Rc::clone(&tid_map);
         let hook_log = Rc::clone(&commit_log);
+        let hook_pending = Rc::clone(&wal_pending);
+        let hook_enabled = Rc::clone(&wal_enabled);
         let recorder = recorder_with_hook(Rc::new(move |tx: &CommittedTx| {
             let req = hook_map.borrow().get(tx.tid as usize).copied().unwrap_or(u64::MAX);
+            let version = tx.version.map_or(0, |v| v + 1);
             hook_log.borrow_mut().push(CommitRec {
                 req,
                 tid: tx.tid,
-                version: tx.version.map_or(0, |v| v + 1),
+                version,
                 reads: tx.reads.len() as u32,
                 writes: tx.writes.len() as u32,
             });
+            if hook_enabled.get() {
+                hook_pending.borrow_mut().push(WalRecord::Commit {
+                    req,
+                    tid: tx.tid,
+                    version,
+                    snapshot: tx.snapshot,
+                    reads: tx.reads.len() as u32,
+                    writes: tx.writes.iter().map(|a| (a.addr.index() as u32, a.val)).collect(),
+                });
+            }
         }));
 
         let max_grid = LaunchConfig::new(cfg.batch_warps, WARP_SIZE as u32);
@@ -341,6 +431,40 @@ impl ShardEngine {
             .ok_or_else(|| ServeError::BadConfig("TXL bump kernel missing".into()))?
             .clone();
 
+        let dur = match (&cfg.wal, store) {
+            (Some(params), Some(store)) => {
+                let fresh = store.list(&format!("s{:03}/", cfg.shard)).is_empty();
+                let mut wal = WalWriter::open(store, cfg.shard)
+                    .map_err(|m| ServeError::Engine { shard: cfg.shard, message: m })?;
+                if fresh {
+                    // Replica-bootstrap record: the data span only (the
+                    // host-written TXL argument buffer at the end of the
+                    // allocation is excluded, matching `data_fnv`).
+                    let data_len = (txl_args.index() as u32 - span_base) as usize;
+                    wal.append(&WalRecord::Init {
+                        base: span_base,
+                        words: initial[..data_len].to_vec(),
+                    });
+                }
+                wal_enabled.set(true);
+                Some(EngineDur {
+                    wal,
+                    params: *params,
+                    next_seq: 1,
+                    last_seal: None,
+                    last_commits: Vec::new(),
+                    log_folded: 0,
+                    log_fnv_state: Fnv::new().0,
+                })
+            }
+            (Some(_), None) => {
+                return Err(ServeError::BadConfig(
+                    "EngineConfig has WalParams but no blob store was provided".into(),
+                ))
+            }
+            (None, _) => None,
+        };
+
         Ok(ShardEngine {
             cfg,
             sim,
@@ -358,6 +482,8 @@ impl ShardEngine {
             span_base,
             span_len,
             txl_launch_seq: 0,
+            wal_pending,
+            dur,
         })
     }
 
@@ -416,6 +542,524 @@ impl ShardEngine {
             aborts: stats1.aborts - stats0.aborts,
             storm: self.stm.abort_storm(),
         })
+    }
+
+    // ---- durability ----------------------------------------------------
+
+    fn dur_mut(&mut self) -> &mut EngineDur {
+        self.dur.as_mut().expect("durable path invoked on a WAL-less engine")
+    }
+
+    /// Whether the injected crash (if any) fires for this shard at
+    /// batch `seq`, point `point`.
+    fn crash_fires(&self, seq: u64, point: CrashPoint) -> bool {
+        self.dur
+            .as_ref()
+            .and_then(|d| d.params.crash)
+            .is_some_and(|c| c.fires(self.cfg.shard, seq, point))
+    }
+
+    /// Sequence number the next durable batch will get.
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.dur.as_ref().map_or(1, |d| d.next_seq)
+    }
+
+    /// Seal of the most recently sealed batch, if any.
+    pub(crate) fn last_seal(&self) -> Option<&BatchSeal> {
+        self.dur.as_ref().and_then(|d| d.last_seal.as_ref())
+    }
+
+    /// This engine's shard index.
+    pub(crate) fn shard(&self) -> usize {
+        self.cfg.shard
+    }
+
+    /// Batch capacity in transaction slots.
+    pub(crate) fn batch_capacity(&self) -> usize {
+        self.cfg.batch_capacity()
+    }
+
+    /// The most recent batch's committed stream plus its seal, for
+    /// replica ingestion. `None` before the first sealed batch.
+    pub(crate) fn replica_feed(&self) -> Option<(Vec<WalRecord>, BatchSeal)> {
+        let dur = self.dur.as_ref()?;
+        let seal = dur.last_seal.clone()?;
+        Some((dur.last_commits.clone(), seal))
+    }
+
+    /// Full replica resynchronization payload: the current data span,
+    /// the running commit-log hash and the commits applied so far.
+    /// After a crash the group re-bases on this instead of replaying
+    /// commits whose WAL records compaction may have dropped.
+    pub(crate) fn replica_resync(&self) -> (u32, Vec<u32>, u64, u64) {
+        let len = self.txl_args.index() as u32 - self.span_base;
+        let words = self.sim.read_slice(Addr(self.span_base), len);
+        let dur = self.dur.as_ref().expect("resync on a WAL-less engine");
+        (self.span_base, words, dur.log_fnv_state, self.commit_log.borrow().len() as u64)
+    }
+
+    /// Runs one batch through the write-ahead protocol:
+    /// log the batch → execute → log commits and the sealing result →
+    /// snapshot cadence → acknowledge. Injected crash points interleave
+    /// exactly at the protocol stage they name; on a crash the engine
+    /// must be discarded and recovered from the store.
+    pub(crate) fn run_batch_durable(
+        &mut self,
+        entries: &[Entry],
+    ) -> Result<DurableOutcome, ServeError> {
+        if self.dur.is_none() {
+            return self.run_batch(entries).map(DurableOutcome::Done);
+        }
+        let seq = self.dur_mut().next_seq;
+        let batch_rec = WalRecord::Batch { seq, entries: entries.to_vec() };
+        if self.crash_fires(seq, CrashPoint::WalAppend) {
+            let keep = batch_rec.encode().len() / 2;
+            self.dur_mut().wal.append_torn(&batch_rec, keep);
+            return Ok(DurableOutcome::Crashed(CrashPoint::WalAppend));
+        }
+        self.dur_mut().wal.append(&batch_rec);
+        if self.crash_fires(seq, CrashPoint::PrePrepare) {
+            return Ok(DurableOutcome::Crashed(CrashPoint::PrePrepare));
+        }
+
+        self.wal_pending.borrow_mut().clear();
+        let report = self.run_batch(entries)?;
+        self.flush_commits();
+        let seal = self.make_seal(seq, &report);
+        self.dur_mut().wal.append(&WalRecord::Result(seal.clone()));
+        self.dur_mut().last_seal = Some(seal);
+        if self.crash_fires(seq, CrashPoint::PostPrepare) {
+            return Ok(DurableOutcome::Crashed(CrashPoint::PostPrepare));
+        }
+
+        self.maybe_cadence(seq);
+        if self.crash_fires(seq, CrashPoint::PreAck) {
+            return Ok(DurableOutcome::Crashed(CrashPoint::PreAck));
+        }
+        self.dur_mut().next_seq = seq + 1;
+        Ok(DurableOutcome::Done(report))
+    }
+
+    /// Appends the hook-staged `Commit` records of the batch just run
+    /// and retains them for replica feeding.
+    fn flush_commits(&mut self) {
+        let pending: Vec<WalRecord> = self.wal_pending.borrow_mut().drain(..).collect();
+        let dur = self.dur_mut();
+        for rec in &pending {
+            dur.wal.append(rec);
+        }
+        dur.last_commits = pending;
+    }
+
+    /// Folds the batch's new commit-log entries into the running log
+    /// hash and builds the sealing [`BatchSeal`].
+    fn make_seal(&mut self, seq: u64, report: &BatchReport) -> BatchSeal {
+        {
+            let log = self.commit_log.borrow();
+            let dur = self.dur.as_mut().expect("make_seal on a WAL-less engine");
+            let mut h = Fnv(dur.log_fnv_state);
+            for rec in &log[dur.log_folded..] {
+                h.u64(rec.req);
+                h.u32(rec.tid);
+                h.u32(rec.version);
+                h.u32(rec.reads);
+                h.u32(rec.writes);
+            }
+            dur.log_folded = log.len();
+            dur.log_fnv_state = h.0;
+        }
+        BatchSeal {
+            seq,
+            outcomes: report.outcomes.clone(),
+            cycles: report.cycles,
+            commits: report.commits,
+            aborts: report.aborts,
+            storm: report.storm,
+            data_fnv: self.data_fnv(),
+            log_fnv: self.dur.as_ref().unwrap().log_fnv_state,
+        }
+    }
+
+    /// Snapshot cadence: every `segment_batches`-th batch, snapshot the
+    /// engine, roll to a fresh segment, and (optionally) compact.
+    fn maybe_cadence(&mut self, seq: u64) {
+        let params = self.dur.as_ref().expect("cadence on a WAL-less engine").params;
+        if !seq.is_multiple_of(params.segment_batches) {
+            return;
+        }
+        let payload = self.snapshot_payload(seq);
+        let dur = self.dur_mut();
+        dur.wal.put_snapshot(seq, &payload);
+        dur.wal.roll();
+        if params.compact {
+            dur.wal.compact();
+        }
+    }
+
+    /// FNV-1a over the device data span the committed stream owns —
+    /// accounts, hashtable and TXL counters, *excluding* the
+    /// host-written TXL argument buffer (replicas never see it).
+    pub(crate) fn data_fnv(&self) -> u64 {
+        let len = self.txl_args.index() as u32 - self.span_base;
+        let words = self.sim.read_slice(Addr(self.span_base), len);
+        let mut h = Fnv::new();
+        for w in words {
+            h.u32(w);
+        }
+        h.0
+    }
+
+    /// Recovery replay of a *complete* logged group: re-executes the
+    /// batch and verifies the regenerated commit stream and seal
+    /// byte-for-byte against what the log recorded, without appending
+    /// anything (the group is already durable).
+    ///
+    /// # Errors
+    ///
+    /// A mismatch means replay diverged from the pre-crash execution —
+    /// the verified-recovery self-check failed.
+    pub(crate) fn replay_verified(
+        &mut self,
+        seq: u64,
+        entries: &[Entry],
+        logged_commits: &[WalRecord],
+        logged_seal: &BatchSeal,
+    ) -> Result<BatchReport, ServeError> {
+        let shard = self.cfg.shard;
+        let fail = |m: String| ServeError::Engine { shard, message: m };
+        self.wal_pending.borrow_mut().clear();
+        let report = self.run_batch(entries)?;
+        let regenerated: Vec<WalRecord> = self.wal_pending.borrow_mut().drain(..).collect();
+        if regenerated != logged_commits {
+            return Err(fail(format!(
+                "replay of batch {seq} regenerated {} commit records, log has {} (diverged)",
+                regenerated.len(),
+                logged_commits.len()
+            )));
+        }
+        let seal = self.make_seal(seq, &report);
+        if seal != *logged_seal {
+            return Err(fail(format!(
+                "replay of batch {seq} produced a different seal (diverged)"
+            )));
+        }
+        {
+            let dur = self.dur_mut();
+            dur.last_seal = Some(seal);
+            dur.last_commits = regenerated;
+        }
+        self.maybe_cadence(seq);
+        self.dur_mut().next_seq = seq + 1;
+        Ok(report)
+    }
+
+    /// Recovery execution of a logged-but-unsealed batch (the worker
+    /// died between logging the batch and sealing its result): runs it
+    /// and completes the group exactly as the uncrashed flow would.
+    pub(crate) fn execute_logged(
+        &mut self,
+        seq: u64,
+        entries: &[Entry],
+    ) -> Result<BatchReport, ServeError> {
+        self.wal_pending.borrow_mut().clear();
+        let report = self.run_batch(entries)?;
+        self.flush_commits();
+        let seal = self.make_seal(seq, &report);
+        self.dur_mut().wal.append(&WalRecord::Result(seal.clone()));
+        self.dur_mut().last_seal = Some(seal);
+        self.maybe_cadence(seq);
+        self.dur_mut().next_seq = seq + 1;
+        Ok(report)
+    }
+
+    // ---- snapshot encode / restore -------------------------------------
+
+    /// Serializes the complete engine state after batch `seq`: the full
+    /// simulator image (memory, L2 tags, lifetime counters), STM
+    /// transaction stats, host-side wrapper state (scheduler window,
+    /// backoff RNG), the committed history, the request-tagged commit
+    /// log, and the last batch seal.
+    fn snapshot_payload(&self, seq: u64) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u32(1); // payload format version
+        e.u64(seq);
+
+        let ck = self.sim.checkpoint();
+        e.u32(ck.memory.len() as u32);
+        for &w in &ck.memory {
+            e.u32(w);
+        }
+        e.u32(ck.cache.tags.len() as u32);
+        for &t in &ck.cache.tags {
+            e.u64(t);
+        }
+        for &s in &ck.cache.stamps {
+            e.u64(s);
+        }
+        e.u64(ck.cache.tick);
+        let SimStats {
+            instructions,
+            loads,
+            stores,
+            atomics,
+            fences,
+            mem_transactions,
+            uncoalesced_transactions,
+            l2_hits,
+            l2_misses,
+            divergent_instructions,
+            active_lanes,
+            lane_slots,
+            idle_cycles,
+            blocks_completed,
+            spurious_cas_failures,
+            injected_jitter_cycles,
+        } = ck.stats;
+        for v in [
+            instructions,
+            loads,
+            stores,
+            atomics,
+            fences,
+            mem_transactions,
+            uncoalesced_transactions,
+            l2_hits,
+            l2_misses,
+            divergent_instructions,
+            active_lanes,
+            lane_slots,
+            idle_cycles,
+            blocks_completed,
+            spurious_cas_failures,
+            injected_jitter_cycles,
+        ] {
+            e.u64(v);
+        }
+        e.u64(ck.cycles);
+        e.u64(ck.launches);
+
+        let tx = self.stm.stats().borrow().encode();
+        e.u32(tx.len() as u32);
+        for w in tx {
+            e.u64(w);
+        }
+
+        match self.stm.sched().map(|s| s.checkpoint()) {
+            Some(sc) => {
+                e.u8(1);
+                e.u32(sc.limit);
+                e.u32(sc.in_flight);
+                e.u64(sc.window_commits);
+                e.u64(sc.window_aborts);
+                e.u64(sc.adaptations);
+                e.u8(sc.storm as u8);
+            }
+            None => e.u8(0),
+        }
+        match self.stm.robust().map(|r| r.rng_state()) {
+            Some(rng) => {
+                e.u8(1);
+                e.u64(rng);
+            }
+            None => e.u8(0),
+        }
+
+        let history = self.recorder.borrow();
+        e.u64(history.aborts);
+        e.u32(history.commits.len() as u32);
+        for tx in &history.commits {
+            e.u32(tx.tid);
+            e.u32(tx.version.map_or(0, |v| v + 1));
+            e.u32(tx.snapshot);
+            e.u32(tx.reads.len() as u32);
+            for a in &tx.reads {
+                e.u32(a.addr.index() as u32);
+                e.u32(a.val);
+            }
+            e.u32(tx.writes.len() as u32);
+            for a in &tx.writes {
+                e.u32(a.addr.index() as u32);
+                e.u32(a.val);
+            }
+        }
+        drop(history);
+
+        let log = self.commit_log.borrow();
+        e.u32(log.len() as u32);
+        for rec in log.iter() {
+            e.u64(rec.req);
+            e.u32(rec.tid);
+            e.u32(rec.version);
+            e.u32(rec.reads);
+            e.u32(rec.writes);
+        }
+        drop(log);
+
+        let dur = self.dur.as_ref().expect("snapshot on a WAL-less engine");
+        e.u64(dur.log_fnv_state);
+        e.u64(self.txl_launch_seq);
+        match &dur.last_seal {
+            Some(seal) => {
+                e.u8(1);
+                enc_seal(&mut e, seal);
+            }
+            None => e.u8(0),
+        }
+        e.0
+    }
+
+    /// Restores state captured by `snapshot_payload` into this freshly
+    /// constructed engine (same config ⇒ same deterministic device
+    /// allocations). Returns the snapshot's batch sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a corrupt or layout-incompatible payload.
+    pub(crate) fn restore_snapshot(&mut self, payload: &[u8]) -> Result<u64, ServeError> {
+        let shard = self.cfg.shard;
+        let fail = |m: &str| ServeError::Engine { shard, message: format!("snapshot: {m}") };
+        let mut d = Dec::new(payload);
+        let mut go = || -> Option<u64> {
+            if d.u32()? != 1 {
+                return None;
+            }
+            let seq = d.u64()?;
+
+            let mem_len = d.u32()? as usize;
+            let mut memory = Vec::with_capacity(mem_len);
+            for _ in 0..mem_len {
+                memory.push(d.u32()?);
+            }
+            let lines = d.u32()? as usize;
+            let mut tags = Vec::with_capacity(lines);
+            for _ in 0..lines {
+                tags.push(d.u64()?);
+            }
+            let mut stamps = Vec::with_capacity(lines);
+            for _ in 0..lines {
+                stamps.push(d.u64()?);
+            }
+            let tick = d.u64()?;
+            let mut sim_stats = [0u64; 16];
+            for v in sim_stats.iter_mut() {
+                *v = d.u64()?;
+            }
+            let cycles = d.u64()?;
+            let launches = d.u64()?;
+
+            let tx_len = d.u32()? as usize;
+            let mut tx_words = Vec::with_capacity(tx_len);
+            for _ in 0..tx_len {
+                tx_words.push(d.u64()?);
+            }
+            let tx = TxStats::decode(&tx_words)?;
+
+            let sched = if d.u8()? == 1 {
+                Some(SchedulerCheckpoint {
+                    limit: d.u32()?,
+                    in_flight: d.u32()?,
+                    window_commits: d.u64()?,
+                    window_aborts: d.u64()?,
+                    adaptations: d.u64()?,
+                    storm: d.u8()? != 0,
+                })
+            } else {
+                None
+            };
+            let robust_rng = if d.u8()? == 1 { Some(d.u64()?) } else { None };
+
+            let aborts = d.u64()?;
+            let n_commits = d.u32()? as usize;
+            let mut commits = Vec::with_capacity(n_commits);
+            for _ in 0..n_commits {
+                let tid = d.u32()?;
+                let version = d.u32()?;
+                let snapshot = d.u32()?;
+                let n_reads = d.u32()? as usize;
+                let mut reads = Vec::with_capacity(n_reads);
+                for _ in 0..n_reads {
+                    reads.push(Access { addr: Addr(d.u32()?), val: d.u32()? });
+                }
+                let n_writes = d.u32()? as usize;
+                let mut writes = Vec::with_capacity(n_writes);
+                for _ in 0..n_writes {
+                    writes.push(Access { addr: Addr(d.u32()?), val: d.u32()? });
+                }
+                commits.push(CommittedTx {
+                    tid,
+                    version: version.checked_sub(1),
+                    snapshot,
+                    reads,
+                    writes,
+                });
+            }
+
+            let n_log = d.u32()? as usize;
+            let mut log = Vec::with_capacity(n_log);
+            for _ in 0..n_log {
+                log.push(CommitRec {
+                    req: d.u64()?,
+                    tid: d.u32()?,
+                    version: d.u32()?,
+                    reads: d.u32()?,
+                    writes: d.u32()?,
+                });
+            }
+            let log_fnv_state = d.u64()?;
+            let txl_launch_seq = d.u64()?;
+            let last_seal = if d.u8()? == 1 { Some(dec_seal(&mut d)?) } else { None };
+            d.done()?;
+
+            let [instructions, loads, stores, atomics, fences, mem_transactions, uncoalesced_transactions, l2_hits, l2_misses, divergent_instructions, active_lanes, lane_slots, idle_cycles, blocks_completed, spurious_cas_failures, injected_jitter_cycles] =
+                sim_stats;
+            let ck = SimCheckpoint {
+                memory,
+                cache: CacheCheckpoint { tags, stamps, tick },
+                stats: SimStats {
+                    instructions,
+                    loads,
+                    stores,
+                    atomics,
+                    fences,
+                    mem_transactions,
+                    uncoalesced_transactions,
+                    l2_hits,
+                    l2_misses,
+                    divergent_instructions,
+                    active_lanes,
+                    lane_slots,
+                    idle_cycles,
+                    blocks_completed,
+                    spurious_cas_failures,
+                    injected_jitter_cycles,
+                },
+                cycles,
+                launches,
+            };
+            self.sim.restore_checkpoint(&ck);
+            *self.stm.stats().borrow_mut() = tx;
+            if let (Some(sched_stm), Some(sc)) = (self.stm.sched(), sched.as_ref()) {
+                sched_stm.restore_checkpoint(sc);
+            }
+            if let (Some(robust_stm), Some(rng)) = (self.stm.robust(), robust_rng) {
+                robust_stm.restore_rng_state(rng);
+            }
+            {
+                let mut h = self.recorder.borrow_mut();
+                h.commits = commits;
+                h.aborts = aborts;
+            }
+            let folded = log.len();
+            *self.commit_log.borrow_mut() = log;
+            self.txl_launch_seq = txl_launch_seq;
+            let dur = self.dur.as_mut()?;
+            dur.next_seq = seq + 1;
+            dur.last_seal = last_seal;
+            dur.log_folded = folded;
+            dur.log_fnv_state = log_fnv_state;
+            Some(seq)
+        };
+        go().ok_or_else(|| fail("corrupt or incompatible payload"))
     }
 
     fn run_ops_launch(
@@ -768,6 +1412,7 @@ mod tests {
             initial_balance: 100,
             credit_cap: u32::MAX,
             n_locks: 1 << 10,
+            wal: None,
         }
     }
 

@@ -38,6 +38,16 @@ pub enum ServeError {
         /// Rounds executed before giving up.
         rounds: u64,
     },
+    /// A shard worker died and its replacement is still replaying the
+    /// write-ahead log; admission to that shard resumes once recovery
+    /// finishes. Priced like [`ServeError::Overloaded`]: the hint
+    /// scales with the backlog the recovering shard must absorb.
+    ShardUnavailable {
+        /// Shard whose worker is recovering.
+        shard: usize,
+        /// Suggested wait before retrying, in simulated cycles.
+        retry_after: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -55,6 +65,11 @@ impl fmt::Display for ServeError {
             ServeError::Stalled { rounds } => {
                 write!(f, "service stalled after {rounds} rounds without draining")
             }
+            ServeError::ShardUnavailable { shard, retry_after } => write!(
+                f,
+                "shard {shard} unavailable (recovering from crash); \
+                 retry after {retry_after} cycles"
+            ),
         }
     }
 }
@@ -72,5 +87,14 @@ mod tests {
         assert!(s.contains("shard 3"));
         assert!(s.contains("8/8"));
         assert!(s.contains("1200"));
+    }
+
+    #[test]
+    fn shard_unavailable_formats_hint() {
+        let e = ServeError::ShardUnavailable { shard: 1, retry_after: 800 };
+        let s = e.to_string();
+        assert!(s.contains("shard 1"));
+        assert!(s.contains("recovering"));
+        assert!(s.contains("800"));
     }
 }

@@ -65,18 +65,25 @@
 
 #![warn(missing_docs)]
 
+mod crash;
 mod engine;
 mod error;
+mod recovery;
+mod replica;
 mod report;
 mod request;
 mod route;
 mod service;
 mod stm;
+mod wal;
 
-pub use engine::{EngineConfig, ShardSummary};
+pub use crash::{CrashPlan, CrashPoint, ReplicaFault, ResolvedCrash};
+pub use engine::{EngineConfig, ShardSummary, WalParams};
 pub use error::ServeError;
-pub use report::{ServeReport, ShardReport};
+pub use recovery::RecoveryStats;
+pub use report::{RecoveryReport, ReplicaDiverged, ServeReport, ShardReport};
 pub use request::{MixConfig, Op, Request};
 pub use route::route;
-pub use service::{retry_after_hint, ServeConfig, Service};
+pub use service::{retry_after_hint, DurabilityConfig, ServeConfig, Service};
 pub use stm::EngineMode;
+pub use wal::{store_fingerprint, BlobStore, DirStore, MemStore, StoreHandle};

@@ -5,7 +5,105 @@
 //! time is reported on the console only and never enters the JSON.
 
 use crate::error::ServeError;
+use crate::recovery::RecoveryStats;
 use gpu_sim::JsonWriter;
+
+/// A replica whose span image or commit-log hash lost the epoch quorum
+/// vote — a silent replication error caught and contained by demotion.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ReplicaDiverged {
+    /// Shard the replica shadows.
+    pub shard: usize,
+    /// Replica index within the group.
+    pub replica: usize,
+    /// Batch sequence at which the vote failed.
+    pub seq: u64,
+    /// Quorum-winning data-span FNV.
+    pub expected_data_fnv: u64,
+    /// The demoted replica's data-span FNV.
+    pub got_data_fnv: u64,
+    /// Quorum-winning commit-log FNV.
+    pub expected_log_fnv: u64,
+    /// The demoted replica's commit-log FNV.
+    pub got_log_fnv: u64,
+}
+
+/// Durability telemetry for a service run: crash/recovery events and
+/// replica-group health. Kept separate from [`ServeReport`] so
+/// `BENCH_serve.json` stays byte-identical whether or not durability is
+/// enabled.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Recoveries performed, in the order they happened.
+    pub recoveries: Vec<RecoveryStats>,
+    /// Requests rejected with [`ServeError::ShardUnavailable`] while a
+    /// shard was recovering.
+    pub unavailable_rejections: u64,
+    /// Batches whose dispatch was answered from the recovered WAL
+    /// instead of a live worker ack.
+    pub replayed_acks: u64,
+    /// Replicas configured per shard (0 = replication off).
+    pub replicas_per_shard: u64,
+    /// Replicas still healthy at drain, across all shards.
+    pub replicas_healthy: u64,
+    /// Divergence incidents, in detection order.
+    pub diverged: Vec<ReplicaDiverged>,
+    /// FNV-1a fingerprint of the final blob store (every WAL segment,
+    /// snapshot and decision blob) — the byte-identity witness for
+    /// crash-recovery runs.
+    pub store_fnv: u64,
+    /// Total bytes across surviving blobs.
+    pub store_bytes: u64,
+}
+
+impl RecoveryReport {
+    /// Serializes the durability report (stable field order) into `w`.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("recoveries");
+        w.begin_array();
+        for r in &self.recoveries {
+            w.begin_object();
+            w.field_u64("shard", r.shard as u64);
+            w.field_u64("snapshot_seq", r.snapshot_seq);
+            w.field_bool("torn_truncated", r.torn_truncated);
+            w.field_u64("replayed", r.replayed);
+            w.field_u64("reexecuted", r.reexecuted);
+            w.field_u64("in_doubt_committed", r.in_doubt_committed);
+            w.field_u64("in_doubt_compensated", r.in_doubt_compensated);
+            w.end_object();
+        }
+        w.end_array();
+        w.field_u64("unavailable_rejections", self.unavailable_rejections);
+        w.field_u64("replayed_acks", self.replayed_acks);
+        w.field_u64("replicas_per_shard", self.replicas_per_shard);
+        w.field_u64("replicas_healthy", self.replicas_healthy);
+        w.key("diverged");
+        w.begin_array();
+        for d in &self.diverged {
+            w.begin_object();
+            w.field_u64("shard", d.shard as u64);
+            w.field_u64("replica", d.replica as u64);
+            w.field_u64("seq", d.seq);
+            w.field_str("expected_data_fnv", &format!("{:016x}", d.expected_data_fnv));
+            w.field_str("got_data_fnv", &format!("{:016x}", d.got_data_fnv));
+            w.field_str("expected_log_fnv", &format!("{:016x}", d.expected_log_fnv));
+            w.field_str("got_log_fnv", &format!("{:016x}", d.got_log_fnv));
+            w.end_object();
+        }
+        w.end_array();
+        w.field_str("store_fnv", &format!("{:016x}", self.store_fnv));
+        w.field_u64("store_bytes", self.store_bytes);
+        w.end_object();
+    }
+
+    /// The durability report as a standalone JSON string.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+}
 
 /// Completed-request counts by traffic class.
 #[derive(Copy, Clone, Debug, Default)]
@@ -307,5 +405,39 @@ mod tests {
     fn sim_throughput_is_per_kcycle() {
         let r = sample();
         assert!((r.sim_throughput() - 2.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovery_report_json_is_stable() {
+        let r = RecoveryReport {
+            recoveries: vec![RecoveryStats {
+                shard: 1,
+                snapshot_seq: 8,
+                torn_truncated: true,
+                replayed: 2,
+                reexecuted: 1,
+                ..RecoveryStats::default()
+            }],
+            unavailable_rejections: 3,
+            replayed_acks: 1,
+            replicas_per_shard: 2,
+            replicas_healthy: 3,
+            diverged: vec![ReplicaDiverged {
+                shard: 0,
+                replica: 1,
+                seq: 4,
+                expected_data_fnv: 0xabc,
+                got_data_fnv: 0xdef,
+                expected_log_fnv: 1,
+                got_log_fnv: 2,
+            }],
+            store_fnv: 0x1234,
+            store_bytes: 4096,
+        };
+        let json = r.to_json();
+        assert_eq!(json, r.to_json());
+        assert!(json.contains("\"torn_truncated\":true"));
+        assert!(json.contains("\"got_data_fnv\":\"0000000000000def\""));
+        assert!(json.contains("\"store_bytes\":4096"));
     }
 }

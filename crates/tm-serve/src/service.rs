@@ -17,14 +17,27 @@
 //! threads are a pure execution resource. Hence a fixed seed yields a
 //! byte-identical committed history and report for any worker count.
 
-use crate::engine::{BatchReport, EngineConfig, Entry, ShardEngine, ShardOp, ShardSummary};
+use crate::crash::{CrashPlan, ReplicaFault, ResolvedCrash};
+use crate::engine::{
+    BatchReport, DurableOutcome, EngineConfig, Entry, ShardEngine, ShardOp, ShardSummary, WalParams,
+};
 use crate::error::ServeError;
-use crate::report::{ClassTotals, ServeReport, ShardReport};
+use crate::recovery::{self, RecoveryStats};
+use crate::replica::ReplicaGroup;
+use crate::report::{ClassTotals, RecoveryReport, ServeReport, ShardReport};
 use crate::request::{self, MixConfig, Op, Request};
 use crate::stm::EngineMode;
+use crate::wal::{append_decision, store_fingerprint, BatchSeal, MemStore, StoreHandle, WalRecord};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc;
 use workloads::Variant;
+
+/// One batch's committed stream plus its seal, shipped to the
+/// coordinator for replica ingestion.
+type Feed = (Vec<WalRecord>, BatchSeal);
+
+/// Replica re-base payload: `(span_base, span_words, log_fnv, applied)`.
+type Resync = (u32, Vec<u32>, u64, u64);
 
 /// Full service configuration.
 #[derive(Clone, Debug)]
@@ -59,6 +72,45 @@ pub struct ServeConfig {
     pub n_locks: u32,
     /// Safety cap on coordinator rounds.
     pub max_rounds: u64,
+    /// Durability: write-ahead logging, snapshots, crash injection and
+    /// replica groups. `None` serves from volatile state only.
+    pub durability: Option<DurabilityConfig>,
+}
+
+/// Durability knobs for the service.
+#[derive(Copy, Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Batches per WAL segment; every `segment_batches`-th batch also
+    /// snapshots the shard and rolls to a fresh segment.
+    pub segment_batches: u64,
+    /// Delete pre-snapshot segments at each roll.
+    pub compact: bool,
+    /// Host-side replicas per shard applying the committed stream
+    /// (0 = replication off).
+    pub replicas: usize,
+    /// Coordinator rounds a crashed shard stays down before recovery
+    /// runs. `0` recovers synchronously inside the crash round, which
+    /// keeps the final report byte-identical to an uncrashed run; `> 0`
+    /// opens a window in which admissions to the shard are rejected
+    /// with [`ServeError::ShardUnavailable`].
+    pub recovery_rounds: u64,
+    /// Seeded kill-a-worker injection.
+    pub crash: Option<CrashPlan>,
+    /// Seeded silent-corruption injection into one replica.
+    pub replica_fault: Option<ReplicaFault>,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            segment_batches: 8,
+            compact: true,
+            replicas: 0,
+            recovery_rounds: 0,
+            crash: None,
+            replica_fault: None,
+        }
+    }
 }
 
 impl Default for ServeConfig {
@@ -79,12 +131,16 @@ impl Default for ServeConfig {
             credit_cap: u32::MAX,
             n_locks: 1 << 12,
             max_rounds: 1 << 20,
+            durability: None,
         }
     }
 }
 
 impl ServeConfig {
-    fn engine_config(&self, shard: usize) -> EngineConfig {
+    /// Engine config for `shard`. `crash` arms the injected kill for
+    /// the initial worker fleet; recovery rebuilds with `None` so the
+    /// same crash cannot re-fire on replay.
+    fn engine_config(&self, shard: usize, crash: Option<ResolvedCrash>) -> EngineConfig {
         EngineConfig {
             shard,
             shards: self.shards,
@@ -98,10 +154,20 @@ impl ServeConfig {
             initial_balance: self.initial_balance,
             credit_cap: self.credit_cap,
             n_locks: self.n_locks,
+            wal: self.durability.as_ref().map(|d| WalParams {
+                segment_batches: d.segment_batches,
+                compact: d.compact,
+                crash,
+            }),
         }
     }
 
-    fn validate(&self) -> Result<(), ServeError> {
+    /// Checks the configuration without running it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), ServeError> {
         if self.shards == 0 {
             return Err(ServeError::BadConfig("shards must be ≥ 1".into()));
         }
@@ -114,7 +180,63 @@ impl ServeConfig {
         if self.accounts < 2 {
             return Err(ServeError::BadConfig("need at least 2 accounts".into()));
         }
+        if let Some(d) = &self.durability {
+            if d.segment_batches == 0 {
+                return Err(ServeError::BadConfig("segment_batches must be ≥ 1".into()));
+            }
+            if d.replicas > self.shards {
+                return Err(ServeError::BadConfig(format!(
+                    "{} replicas per shard exceed the {}-shard budget",
+                    d.replicas, self.shards
+                )));
+            }
+            if let Some(plan) = &d.crash {
+                if let Some(shard) = plan.shard {
+                    if shard >= self.shards {
+                        return Err(ServeError::BadConfig(format!(
+                            "crash plan pins shard {shard}, but only {} shards exist",
+                            self.shards
+                        )));
+                    }
+                }
+                if plan.after_batches == Some(u64::MAX) {
+                    return Err(ServeError::BadConfig(
+                        "crash plan after_batches overflows the batch sequence".into(),
+                    ));
+                }
+            }
+            if let Some(f) = &d.replica_fault {
+                if f.shard >= self.shards {
+                    return Err(ServeError::BadConfig(format!(
+                        "replica fault targets shard {}, but only {} shards exist",
+                        f.shard, self.shards
+                    )));
+                }
+                if f.replica >= d.replicas {
+                    return Err(ServeError::BadConfig(format!(
+                        "replica fault targets replica {}, but groups have {}",
+                        f.replica, d.replicas
+                    )));
+                }
+                if f.at_commit == 0 {
+                    return Err(ServeError::BadConfig(
+                        "replica fault at_commit is 1-based; 0 never fires".into(),
+                    ));
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// Validating constructor: returns the config only if
+    /// [`validate`](Self::validate) passes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation failure.
+    pub fn try_new(cfg: ServeConfig) -> Result<ServeConfig, ServeError> {
+        cfg.validate()?;
+        Ok(cfg)
     }
 }
 
@@ -193,15 +315,30 @@ impl Admission {
         }
     }
 
+    /// Retry pricing for a shard whose worker is mid-recovery: same
+    /// backlog-proportional hint as [`Self::overloaded`], because the
+    /// client's best move is identical — wait out the queue.
+    fn unavailable(&self, shard: usize, cost: u64, storm: bool) -> ServeError {
+        ServeError::ShardUnavailable {
+            shard,
+            retry_after: retry_after_hint(self.queues[shard].len(), cost, storm),
+        }
+    }
+
     /// Admits `req`, or reports the structured overload. `cost`/`storm`
-    /// feed the retry-after hint of the rejecting shard.
+    /// feed the retry-after hint of the rejecting shard; `down` marks
+    /// shards in their crash-recovery window.
     fn try_admit(
         &mut self,
         req: &Request,
         cost: &[u64],
         storm: &[bool],
+        down: &[bool],
     ) -> Result<Class, ServeError> {
         let (primary, secondary) = req.op.shards(self.shards, self.seed);
+        if let Some(&s) = [Some(primary), secondary].iter().flatten().find(|&&s| down[s]) {
+            return Err(self.unavailable(s, cost[s], storm[s]));
+        }
         match (req.op, secondary) {
             (Op::Transfer { from, to, amount }, Some(credit_shard)) => {
                 let debit_shard = primary;
@@ -286,29 +423,70 @@ impl Admission {
 }
 
 enum ToWorker {
-    Run { shard: usize, entries: Vec<Entry> },
-    Finish { shard: usize },
+    Run {
+        shard: usize,
+        entries: Vec<Entry>,
+    },
+    /// Rebuild a crashed shard from its WAL (config arrives with crash
+    /// injection disarmed).
+    Recover {
+        shard: usize,
+        cfg: Box<EngineConfig>,
+    },
+    Finish {
+        shard: usize,
+    },
 }
 
 enum FromWorker {
-    Ready,
-    Fatal { shard: usize, message: String },
-    Batch { shard: usize, report: BatchReport },
-    Summary { shard: usize, summary: Box<ShardSummary> },
+    /// Engine constructed; `boot` carries the replica-bootstrap payload
+    /// when replication is on.
+    Ready {
+        shard: usize,
+        boot: Option<Box<Resync>>,
+    },
+    Fatal {
+        shard: usize,
+        message: String,
+    },
+    /// Injected crash fired: the engine is gone; only its WAL survives.
+    Crashed {
+        shard: usize,
+    },
+    Batch {
+        shard: usize,
+        report: BatchReport,
+        feed: Option<Box<Feed>>,
+    },
+    Recovered {
+        shard: usize,
+        stats: Box<RecoveryStats>,
+        /// Highest durable batch sequence (0 = none) and its report.
+        last_seq: u64,
+        report: Option<BatchReport>,
+        resync: Option<Box<Resync>>,
+    },
+    Summary {
+        shard: usize,
+        summary: Box<ShardSummary>,
+    },
 }
 
 fn worker_main(
     cfgs: Vec<EngineConfig>,
+    store: Option<StoreHandle>,
+    feed_replicas: bool,
     rx: mpsc::Receiver<ToWorker>,
     tx: mpsc::Sender<FromWorker>,
 ) {
     let mut engines: BTreeMap<usize, ShardEngine> = BTreeMap::new();
     for cfg in cfgs {
         let shard = cfg.shard;
-        match ShardEngine::new(cfg) {
+        match ShardEngine::with_store(cfg, store.clone()) {
             Ok(e) => {
+                let boot = feed_replicas.then(|| Box::new(e.replica_resync()));
                 engines.insert(shard, e);
-                let _ = tx.send(FromWorker::Ready);
+                let _ = tx.send(FromWorker::Ready { shard, boot });
             }
             Err(e) => {
                 let _ = tx.send(FromWorker::Fatal { shard, message: e.to_string() });
@@ -322,9 +500,45 @@ fn worker_main(
                     let _ = tx.send(FromWorker::Fatal { shard, message: "no engine".into() });
                     continue;
                 };
-                match engine.run_batch(&entries) {
-                    Ok(report) => {
-                        let _ = tx.send(FromWorker::Batch { shard, report });
+                match engine.run_batch_durable(&entries) {
+                    Ok(DurableOutcome::Done(report)) => {
+                        let feed =
+                            feed_replicas.then(|| engine.replica_feed().map(Box::new)).flatten();
+                        let _ = tx.send(FromWorker::Batch { shard, report, feed });
+                    }
+                    Ok(DurableOutcome::Crashed(_point)) => {
+                        // Simulated worker death: the engine (and all
+                        // volatile state) is discarded; the blob store
+                        // is the only survivor.
+                        engines.remove(&shard);
+                        let _ = tx.send(FromWorker::Crashed { shard });
+                    }
+                    Err(e) => {
+                        let _ = tx.send(FromWorker::Fatal { shard, message: e.to_string() });
+                    }
+                }
+            }
+            ToWorker::Recover { shard, cfg } => {
+                let Some(store) = store.clone() else {
+                    let _ = tx
+                        .send(FromWorker::Fatal { shard, message: "recover without store".into() });
+                    continue;
+                };
+                match recovery::recover(*cfg, store) {
+                    Ok(rec) => {
+                        let (last_seq, report) = match rec.last {
+                            Some((seq, rep)) => (seq, Some(rep)),
+                            None => (0, None),
+                        };
+                        let resync = feed_replicas.then(|| Box::new(rec.engine.replica_resync()));
+                        engines.insert(shard, rec.engine);
+                        let _ = tx.send(FromWorker::Recovered {
+                            shard,
+                            stats: Box::new(rec.stats),
+                            last_seq,
+                            report,
+                            resync,
+                        });
                     }
                     Err(e) => {
                         let _ = tx.send(FromWorker::Fatal { shard, message: e.to_string() });
@@ -348,18 +562,25 @@ struct Pool {
 }
 
 impl Pool {
-    fn spawn(cfg: &ServeConfig, workers: usize) -> Pool {
+    fn spawn(
+        cfg: &ServeConfig,
+        workers: usize,
+        store: Option<StoreHandle>,
+        crash: Option<ResolvedCrash>,
+        feed_replicas: bool,
+    ) -> Pool {
         let (res_tx, results) = mpsc::channel();
         let mut senders = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let cfgs: Vec<EngineConfig> = (0..cfg.shards)
                 .filter(|s| s % workers == w)
-                .map(|s| cfg.engine_config(s))
+                .map(|s| cfg.engine_config(s, crash))
                 .collect();
             let (tx, rx) = mpsc::channel();
             let res = res_tx.clone();
-            handles.push(std::thread::spawn(move || worker_main(cfgs, rx, res)));
+            let st = store.clone();
+            handles.push(std::thread::spawn(move || worker_main(cfgs, st, feed_replicas, rx, res)));
             senders.push(tx);
         }
         Pool { senders, handles, results }
@@ -379,27 +600,168 @@ impl Pool {
     }
 }
 
+/// Recovery protocol for one crashed shard, run after the round
+/// barrier has drained every other in-flight message: rebuild the
+/// engine from its WAL (crash disarmed), re-base the replica group on
+/// the recovered state, then resolve the batch the dead worker never
+/// acknowledged — answered from the log if it was sealed durably,
+/// re-dispatched to the recovered engine otherwise.
+#[allow(clippy::too_many_arguments)]
+fn recover_shard(
+    pool: &Pool,
+    workers: usize,
+    cfg: &ServeConfig,
+    s: usize,
+    expect_seq: u64,
+    entries: &[QEntry],
+    groups: &mut [Option<ReplicaGroup>],
+    rec_report: &mut RecoveryReport,
+) -> Result<BatchReport, ServeError> {
+    let proto = |m: String| ServeError::Engine { shard: s, message: m };
+    pool.send(
+        s % workers,
+        ToWorker::Recover { shard: s, cfg: Box::new(cfg.engine_config(s, None)) },
+    )?;
+    let (last_seq, report, resync) = match pool.results.recv() {
+        Ok(FromWorker::Recovered { shard, stats, last_seq, report, resync }) if shard == s => {
+            rec_report.recoveries.push(*stats);
+            (last_seq, report, resync)
+        }
+        Ok(FromWorker::Fatal { shard, message }) => {
+            return Err(ServeError::Engine { shard, message });
+        }
+        Ok(_) => return Err(proto("unexpected message during shard recovery".into())),
+        Err(_) => return Err(proto("worker pool died during shard recovery".into())),
+    };
+    if let (Some(g), Some(r)) = (groups[s].as_mut(), resync) {
+        let (_base, words, log_fnv, applied) = *r;
+        g.resync(&words, log_fnv, applied);
+    }
+    if last_seq == expect_seq {
+        // The crashed batch was already durable; the log answers for
+        // the dead worker. Replicas were re-based past it above.
+        rec_report.replayed_acks += 1;
+        return report.ok_or_else(|| proto("durable batch has no replayable report".into()));
+    }
+    if last_seq + 1 != expect_seq {
+        return Err(proto(format!(
+            "recovered log at batch {last_seq} cannot resume coordinator batch {expect_seq}"
+        )));
+    }
+    // The batch never became durable (torn or pre-execution crash):
+    // re-dispatch the same sealed entries to the recovered engine.
+    let run: Vec<Entry> = entries.iter().map(|q| Entry { req: q.req, op: q.op }).collect();
+    pool.send(s % workers, ToWorker::Run { shard: s, entries: run })?;
+    match pool.results.recv() {
+        Ok(FromWorker::Batch { shard, report, feed }) if shard == s => {
+            if let (Some(g), Some(f)) = (groups[s].as_mut(), feed) {
+                g.ingest(&f.0);
+                rec_report.diverged.extend(g.check_epoch(&f.1));
+            }
+            Ok(report)
+        }
+        Ok(FromWorker::Fatal { shard, message }) => Err(ServeError::Engine { shard, message }),
+        Ok(_) => Err(proto("unexpected message during recovery re-dispatch".into())),
+        Err(_) => Err(proto("worker pool died during recovery re-dispatch".into())),
+    }
+}
+
 /// The transaction service entry point.
 pub struct Service;
 
 impl Service {
     /// Runs the full service lifecycle for `cfg`: generate the request
     /// stream, serve it to completion (drain), verify every shard's
-    /// history with `tm-check`, and aggregate the report.
+    /// history with `tm-check`, and aggregate the report. With
+    /// durability configured, the run logs to a private in-memory store
+    /// (use [`run_durable`](Self::run_durable) to supply your own and
+    /// get the recovery report back).
     pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
+        if cfg.durability.is_some() {
+            return Self::run_durable(cfg, MemStore::shared()).map(|(r, _)| r);
+        }
+        Self::run_inner(cfg, None).map(|(r, _)| r)
+    }
+
+    /// Like [`run`](Self::run), but logs to `store` (which must be
+    /// empty — restarting a whole service from an existing store goes
+    /// through recovery, not `run`) and returns the durability report
+    /// alongside the serve report. Requires `cfg.durability`.
+    pub fn run_durable(
+        cfg: &ServeConfig,
+        store: StoreHandle,
+    ) -> Result<(ServeReport, RecoveryReport), ServeError> {
+        if cfg.durability.is_none() {
+            return Err(ServeError::BadConfig("run_durable needs cfg.durability".into()));
+        }
+        if !store.list("").is_empty() {
+            return Err(ServeError::BadConfig("run_durable needs an empty blob store".into()));
+        }
+        Self::run_inner(cfg, Some(store))
+    }
+
+    /// Cold restart after total coordinator loss: rebuilds every shard
+    /// engine from `store` (latest snapshot plus WAL tail), resolves
+    /// in-doubt cross-shard holds against the coordinator decision log
+    /// (commit if a decision was logged, compensate otherwise —
+    /// presumed abort), and returns each shard's recovery stats with
+    /// its final verified summary. Requires `cfg.durability`; the
+    /// config must match the one that produced the store.
+    pub fn cold_recover(
+        cfg: &ServeConfig,
+        store: StoreHandle,
+    ) -> Result<Vec<(RecoveryStats, ShardSummary)>, ServeError> {
         cfg.validate()?;
+        if cfg.durability.is_none() {
+            return Err(ServeError::BadConfig("cold_recover needs cfg.durability".into()));
+        }
+        let mut out = Vec::with_capacity(cfg.shards);
+        for s in 0..cfg.shards {
+            let mut rec = recovery::recover(cfg.engine_config(s, None), store.clone())?;
+            let (committed, compensated) = recovery::resolve_in_doubt(&mut rec.engine, &store)?;
+            rec.stats.in_doubt_committed = committed;
+            rec.stats.in_doubt_compensated = compensated;
+            out.push((rec.stats, rec.engine.finish()));
+        }
+        Ok(out)
+    }
+
+    fn run_inner(
+        cfg: &ServeConfig,
+        store_opt: Option<StoreHandle>,
+    ) -> Result<(ServeReport, RecoveryReport), ServeError> {
+        cfg.validate()?;
+        let dur_cfg = cfg.durability.unwrap_or_default();
+        let replicas_n = if cfg.durability.is_some() { dur_cfg.replicas } else { 0 };
+        let feed_replicas = replicas_n > 0;
+        let crash =
+            cfg.durability.as_ref().and_then(|d| d.crash.as_ref()).map(|p| p.resolve(cfg.shards));
         let workers = if cfg.workers == 0 { cfg.shards } else { cfg.workers.min(cfg.shards) };
         let requests =
             request::generate(&cfg.mix, cfg.accounts, cfg.txl_words, cfg.shards, cfg.seed);
 
         let wall_start = std::time::Instant::now();
-        let pool = Pool::spawn(cfg, workers);
+        let pool = Pool::spawn(cfg, workers, store_opt.clone(), crash, feed_replicas);
 
-        // Wait for every shard engine to come up.
+        // Wait for every shard engine to come up; collect replica
+        // bootstrap payloads when replication is on.
+        let mut groups: Vec<Option<ReplicaGroup>> = (0..cfg.shards).map(|_| None).collect();
         let mut ready = 0usize;
         while ready < cfg.shards {
             match pool.results.recv() {
-                Ok(FromWorker::Ready) => ready += 1,
+                Ok(FromWorker::Ready { shard, boot }) => {
+                    if let Some(b) = boot {
+                        let (base, words, _, _) = *b;
+                        groups[shard] = Some(ReplicaGroup::new(
+                            shard,
+                            base,
+                            &words,
+                            replicas_n,
+                            dur_cfg.replica_fault,
+                        ));
+                    }
+                    ready += 1;
+                }
                 Ok(FromWorker::Fatal { shard, message }) => {
                     pool.shutdown();
                     return Err(ServeError::Engine { shard, message });
@@ -438,10 +800,24 @@ impl Service {
         let mut cross_admitted = 0u64;
         let mut ht_value_sum = 0u64;
 
-        let fail = |pool: Pool, e: ServeError| -> Result<ServeReport, ServeError> {
-            pool.shutdown();
-            Err(e)
-        };
+        // Durability bookkeeping.
+        let mut rec_report = RecoveryReport::default();
+        // Shards inside their crash-recovery window reject admissions.
+        let mut down = vec![false; shards];
+        // `(rounds left in the window, the batch the dead worker held)`.
+        let mut recovering: Vec<Option<(u64, Vec<QEntry>)>> = (0..shards).map(|_| None).collect();
+        // A recovered batch whose report folds into the current round.
+        let mut prefilled: Vec<Option<(Vec<QEntry>, BatchReport)>> =
+            (0..shards).map(|_| None).collect();
+        // Next engine batch sequence each shard expects (engines start
+        // at 1); lets recovery tell a durable batch from a torn one.
+        let mut dispatch_seq = vec![1u64; shards];
+
+        let fail =
+            |pool: Pool, e: ServeError| -> Result<(ServeReport, RecoveryReport), ServeError> {
+                pool.shutdown();
+                Err(e)
+            };
 
         loop {
             rounds += 1;
@@ -449,11 +825,42 @@ impl Service {
                 return fail(pool, ServeError::Stalled { rounds });
             }
 
+            // 0. Progress crash-recovery windows: a shard whose window
+            //    has elapsed is rebuilt from its WAL now, and the batch
+            //    its dead worker held folds into this round.
+            for s in 0..shards {
+                let due = match &mut recovering[s] {
+                    Some((left, _)) if *left > 0 => {
+                        *left -= 1;
+                        false
+                    }
+                    Some(_) => true,
+                    None => false,
+                };
+                if due {
+                    let (_, entries) = recovering[s].take().expect("due shard is recovering");
+                    match recover_shard(
+                        &pool,
+                        workers,
+                        cfg,
+                        s,
+                        dispatch_seq[s],
+                        &entries,
+                        &mut groups,
+                        &mut rec_report,
+                    ) {
+                        Ok(report) => prefilled[s] = Some((entries, report)),
+                        Err(e) => return fail(pool, e),
+                    }
+                    down[s] = false;
+                }
+            }
+
             // 1. Admit everything that has arrived by the current epoch.
             while next_arr < requests.len() && requests[next_arr].arrival <= epoch {
                 let r = requests[next_arr];
                 next_arr += 1;
-                match adm.try_admit(&r, &cost, &storm) {
+                match adm.try_admit(&r, &cost, &storm, &down) {
                     Ok(class) => {
                         admitted += 1;
                         if class == Class::BankCross {
@@ -481,9 +888,17 @@ impl Service {
                         }
                     }
                     Err(e) => {
-                        if let ServeError::Overloaded { shard, retry_after, .. } = e {
-                            rejected[shard] += 1;
-                            hint_peak[shard] = hint_peak[shard].max(retry_after);
+                        match e {
+                            ServeError::Overloaded { shard, retry_after, .. } => {
+                                rejected[shard] += 1;
+                                hint_peak[shard] = hint_peak[shard].max(retry_after);
+                            }
+                            ServeError::ShardUnavailable { shard, retry_after } => {
+                                rejected[shard] += 1;
+                                hint_peak[shard] = hint_peak[shard].max(retry_after);
+                                rec_report.unavailable_rejections += 1;
+                            }
+                            _ => {}
                         }
                         first_rejection.get_or_insert(e);
                     }
@@ -493,11 +908,24 @@ impl Service {
                 *peak = (*peak).max(queue.len());
             }
 
-            // 2. Seal one batch per shard.
-            let sealed: Vec<Vec<QEntry>> = (0..shards).map(|s| adm.seal(s, batch_cap)).collect();
+            // 2. Seal one batch per shard. Down shards hold their
+            //    queues; a prefilled shard's batch for this round is
+            //    the one its recovery just resolved.
+            let mut sealed: Vec<Vec<QEntry>> = (0..shards)
+                .map(|s| {
+                    if down[s] || prefilled[s].is_some() {
+                        Vec::new()
+                    } else {
+                        adm.seal(s, batch_cap)
+                    }
+                })
+                .collect();
             let dispatched: Vec<usize> = (0..shards).filter(|&s| !sealed[s].is_empty()).collect();
 
-            if dispatched.is_empty() {
+            if dispatched.is_empty() && prefilled.iter().all(|p| p.is_none()) {
+                if recovering.iter().any(|r| r.is_some()) {
+                    continue; // burn a round of the recovery window
+                }
                 if next_arr >= requests.len() && inflight.is_empty() && adm.idle() {
                     break; // drained
                 }
@@ -509,7 +937,8 @@ impl Service {
                 return fail(pool, ServeError::Stalled { rounds });
             }
 
-            // 3. Dispatch and barrier.
+            // 3. Dispatch and barrier. An injected crash surfaces here
+            //    as a `Crashed` message in place of the batch report.
             for &s in &dispatched {
                 let entries: Vec<Entry> =
                     sealed[s].iter().map(|q| Entry { req: q.req, op: q.op }).collect();
@@ -518,9 +947,15 @@ impl Service {
                 }
             }
             let mut reports: Vec<Option<BatchReport>> = vec![None; shards];
+            let mut feeds: Vec<Option<Feed>> = (0..shards).map(|_| None).collect();
+            let mut crashed: Vec<usize> = Vec::new();
             for _ in 0..dispatched.len() {
                 match pool.results.recv() {
-                    Ok(FromWorker::Batch { shard, report }) => reports[shard] = Some(report),
+                    Ok(FromWorker::Batch { shard, report, feed }) => {
+                        reports[shard] = Some(report);
+                        feeds[shard] = feed.map(|b| *b);
+                    }
+                    Ok(FromWorker::Crashed { shard }) => crashed.push(shard),
                     Ok(FromWorker::Fatal { shard, message }) => {
                         return fail(pool, ServeError::Engine { shard, message });
                     }
@@ -533,23 +968,63 @@ impl Service {
                     }
                 }
             }
+            crashed.sort_unstable();
+
+            // 3b. Crashed shards: recover synchronously inside this
+            //     round (recovery_rounds = 0, keeps the report
+            //     byte-identical to an uncrashed run) or open an
+            //     unavailability window and hold the batch.
+            for &s in &crashed {
+                if dur_cfg.recovery_rounds == 0 {
+                    match recover_shard(
+                        &pool,
+                        workers,
+                        cfg,
+                        s,
+                        dispatch_seq[s],
+                        &sealed[s],
+                        &mut groups,
+                        &mut rec_report,
+                    ) {
+                        Ok(report) => reports[s] = Some(report),
+                        Err(e) => return fail(pool, e),
+                    }
+                } else {
+                    down[s] = true;
+                    recovering[s] = Some((dur_cfg.recovery_rounds, std::mem::take(&mut sealed[s])));
+                }
+            }
 
             // 4. Advance virtual time by the slowest shard of the round
             //    (shards execute concurrently in virtual time) and fold
-            //    outcomes back in deterministic shard order.
-            let quantum = reports.iter().flatten().map(|r| r.cycles).max().unwrap_or(0);
+            //    outcomes back in deterministic shard order. A shard's
+            //    fold comes from its recovered prefill or its report;
+            //    a shard that just went down contributes neither.
+            let mut folds: Vec<(usize, Vec<QEntry>, BatchReport)> = Vec::new();
+            for s in 0..shards {
+                if let Some((entries, report)) = prefilled[s].take() {
+                    folds.push((s, entries, report));
+                } else if let Some(report) = reports[s].take() {
+                    folds.push((s, std::mem::take(&mut sealed[s]), report));
+                }
+            }
+            let quantum = folds.iter().map(|(_, _, r)| r.cycles).max().unwrap_or(0);
             epoch += quantum.max(1);
 
-            for &s in &dispatched {
-                let report = reports[s].take().expect("barrier collected this shard");
-                cost[s] = (report.cycles / sealed[s].len().max(1) as u64).max(1);
+            for (s, entries, report) in folds {
+                dispatch_seq[s] += 1;
+                if let (Some(g), Some(f)) = (groups[s].as_mut(), feeds[s].take()) {
+                    g.ingest(&f.0);
+                    rec_report.diverged.extend(g.check_epoch(&f.1));
+                }
+                cost[s] = (report.cycles / entries.len().max(1) as u64).max(1);
                 storm[s] = report.storm;
                 if report.storm {
                     storm_rounds[s] += 1;
                 }
                 commits_batched[s] += report.commits;
                 aborts_batched[s] += report.aborts;
-                for (q, out) in sealed[s].iter().zip(&report.outcomes) {
+                for (q, out) in entries.iter().zip(&report.outcomes) {
                     match q.op {
                         ShardOp::PrepareDebit { .. } => {
                             if let Some(p) = inflight.get_mut(&q.req) {
@@ -597,6 +1072,12 @@ impl Service {
                 match (debit, credit) {
                     (true, true) => {
                         p.resolved = true;
+                        // Log the decision before phase 2 can touch any
+                        // shard: a crash between them leaves a hold that
+                        // cold recovery resolves from this record.
+                        if let Some(store) = &store_opt {
+                            append_decision(store, id, true);
+                        }
                         let (to, amount, arrival, cs) = (p.to, p.amount, p.arrival, p.credit_shard);
                         adm.phase2[cs].push_back(QEntry {
                             req: id,
@@ -607,6 +1088,9 @@ impl Service {
                     }
                     (true, false) => {
                         p.resolved = true;
+                        if let Some(store) = &store_opt {
+                            append_decision(store, id, false);
+                        }
                         let (from, amount, arrival, ds) =
                             (p.from, p.amount, p.arrival, p.debit_shard);
                         adm.phase2[ds].push_back(QEntry {
@@ -654,6 +1138,18 @@ impl Service {
         }
         pool.shutdown();
         let wall_seconds = wall_start.elapsed().as_secs_f64();
+
+        // Finalize the durability report: replica census, then the
+        // store fingerprint (taken after every worker has joined, so
+        // all WAL writes are in).
+        rec_report.replicas_per_shard =
+            groups.iter().flatten().map(|g| g.total() as u64).max().unwrap_or(0);
+        rec_report.replicas_healthy = groups.iter().flatten().map(|g| g.healthy() as u64).sum();
+        if let Some(store) = &store_opt {
+            let (fnv, bytes) = store_fingerprint(store);
+            rec_report.store_fnv = fnv;
+            rec_report.store_bytes = bytes;
+        }
 
         let summaries: Vec<ShardSummary> =
             summaries.into_iter().map(|s| s.expect("collected all")).collect();
@@ -711,7 +1207,7 @@ impl Service {
             .collect();
         let violations_total = shard_reports.iter().map(|r| r.violations.len()).sum();
 
-        Ok(ServeReport {
+        let report = ServeReport {
             variant: cfg.variant.short_name().to_string(),
             mode: cfg.mode.short_name().to_string(),
             shards: shards as u64,
@@ -737,7 +1233,8 @@ impl Service {
             first_rejection,
             shard_reports,
             wall_seconds,
-        })
+        };
+        Ok((report, rec_report))
     }
 }
 
@@ -755,10 +1252,11 @@ mod tests {
         let mut adm = Admission::new(shards, 2, 7);
         let cost = vec![100u64];
         let storm = vec![false];
+        let down = vec![false];
         for i in 0..2 {
-            adm.try_admit(&req(i, Op::TxlBump { key: i as u32 }), &cost, &storm).unwrap();
+            adm.try_admit(&req(i, Op::TxlBump { key: i as u32 }), &cost, &storm, &down).unwrap();
         }
-        let err = adm.try_admit(&req(9, Op::TxlBump { key: 0 }), &cost, &storm).unwrap_err();
+        let err = adm.try_admit(&req(9, Op::TxlBump { key: 0 }), &cost, &storm, &down).unwrap_err();
         match err {
             ServeError::Overloaded { shard, queue_len, capacity, retry_after } => {
                 assert_eq!(shard, 0);
@@ -791,13 +1289,14 @@ mod tests {
         let mut adm = Admission::new(2, 1, seed);
         let cost = vec![10u64; 2];
         let storm = vec![false; 2];
+        let down = vec![false; 2];
         // Fill the credit shard's queue.
         let filler = (0..64).find(|&k| crate::route(k, 2, seed) == 1).unwrap();
-        adm.try_admit(&req(0, Op::TxlBump { key: filler }), &cost, &storm).unwrap();
+        adm.try_admit(&req(0, Op::TxlBump { key: filler }), &cost, &storm, &down).unwrap();
         // The cross-shard transfer must be rejected whole: debit queue
         // stays empty rather than holding an orphaned prepare.
         let err = adm
-            .try_admit(&req(1, Op::Transfer { from, to, amount: 1 }), &cost, &storm)
+            .try_admit(&req(1, Op::Transfer { from, to, amount: 1 }), &cost, &storm, &down)
             .unwrap_err();
         assert!(matches!(err, ServeError::Overloaded { shard: 1, .. }));
         assert!(adm.queues[0].is_empty());
@@ -808,7 +1307,8 @@ mod tests {
         let mut adm = Admission::new(1, 8, 1);
         let cost = vec![10u64];
         let storm = vec![false];
-        adm.try_admit(&req(0, Op::TxlBump { key: 0 }), &cost, &storm).unwrap();
+        let down = vec![false];
+        adm.try_admit(&req(0, Op::TxlBump { key: 0 }), &cost, &storm, &down).unwrap();
         adm.phase2[0].push_back(QEntry {
             req: 99,
             arrival: 0,

@@ -139,6 +139,28 @@ macro_rules! engine_delegate {
     };
 }
 
+impl EngineStm {
+    /// The [`Scheduled`] wrapper, when one is in the stack (directly or
+    /// under [`Robust`]) — its adaptive-control state is part of engine
+    /// snapshots.
+    pub(crate) fn sched(&self) -> Option<&Scheduled<BaseStm>> {
+        match self {
+            EngineStm::Base(_) => None,
+            EngineStm::Scheduled(s) => Some(s),
+            EngineStm::Robust(r) => Some(r.inner()),
+        }
+    }
+
+    /// The [`Robust`] wrapper, when the stack has one — its backoff RNG
+    /// is part of engine snapshots.
+    pub(crate) fn robust(&self) -> Option<&Robust<Scheduled<BaseStm>>> {
+        match self {
+            EngineStm::Robust(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
 impl Stm for EngineStm {
     fn name(&self) -> &'static str {
         engine_delegate!(self, s => s.name())

@@ -1,0 +1,262 @@
+//! Kill-and-restart crash recovery, end to end: killing any single
+//! shard worker at any WAL lifecycle point must leave the drained
+//! service byte-identical to an uncrashed run — same serve report,
+//! same conservation, same blob-store bytes. Also covers the
+//! recovery-window admission path, replica quorum voting, cold restart
+//! with in-doubt 2PC resolution, and the durability config surface.
+
+use tm_serve::{
+    store_fingerprint, CrashPlan, CrashPoint, DurabilityConfig, MemStore, MixConfig, ReplicaFault,
+    ServeConfig, ServeError, Service,
+};
+
+fn base_cfg() -> ServeConfig {
+    ServeConfig {
+        shards: 2,
+        mix: MixConfig { requests: 96, ..MixConfig::mixed() },
+        seed: 11,
+        accounts: 64,
+        table_words: 256,
+        txl_words: 16,
+        batch_warps: 1,
+        n_locks: 1 << 10,
+        ..ServeConfig::default()
+    }
+}
+
+fn durable_cfg(dur: DurabilityConfig) -> ServeConfig {
+    ServeConfig { durability: Some(dur), ..base_cfg() }
+}
+
+fn durability() -> DurabilityConfig {
+    DurabilityConfig { segment_batches: 2, ..DurabilityConfig::default() }
+}
+
+#[test]
+fn durable_run_matches_volatile_run() {
+    let volatile = Service::run(&base_cfg()).expect("volatile run");
+    let store = MemStore::shared();
+    let (durable, rec) =
+        Service::run_durable(&durable_cfg(durability()), store.clone()).expect("durable run");
+    // The write-ahead protocol must be invisible to the service
+    // semantics: identical report, no recoveries, a populated store.
+    assert_eq!(durable.to_json(), volatile.to_json());
+    assert!(rec.recoveries.is_empty());
+    assert_eq!(rec.replayed_acks, 0);
+    let (_, bytes) = store_fingerprint(&store);
+    assert!(bytes > 0, "WAL must actually be written");
+}
+
+#[test]
+fn killing_any_shard_at_any_point_is_byte_identical() {
+    let baseline_store = MemStore::shared();
+    let (baseline, _) = Service::run_durable(&durable_cfg(durability()), baseline_store.clone())
+        .expect("uncrashed durable run");
+    let baseline_json = baseline.to_json();
+    let baseline_fp = store_fingerprint(&baseline_store);
+
+    for shard in 0..2 {
+        for point in CrashPoint::ALL {
+            let dur =
+                DurabilityConfig { crash: Some(CrashPlan::at(shard, point, 1)), ..durability() };
+            let store = MemStore::shared();
+            let (report, rec) = Service::run_durable(&durable_cfg(dur), store.clone())
+                .unwrap_or_else(|e| panic!("kill shard {shard} at {point}: {e}"));
+            assert_eq!(
+                report.to_json(),
+                baseline_json,
+                "report diverged after killing shard {shard} at {point}"
+            );
+            assert!(report.conserved);
+            assert_eq!(report.completed, report.admitted);
+            assert_eq!(rec.recoveries.len(), 1, "exactly one recovery for shard {shard}");
+            assert_eq!(rec.recoveries[0].shard, shard);
+            assert_eq!(rec.unavailable_rejections, 0, "synchronous recovery rejects nothing");
+            assert_eq!(
+                store_fingerprint(&store),
+                baseline_fp,
+                "store diverged after killing shard {shard} at {point}"
+            );
+            // Each point exercises its own repair path.
+            let stats = &rec.recoveries[0];
+            match point {
+                CrashPoint::WalAppend => assert!(stats.torn_truncated, "torn tail expected"),
+                CrashPoint::PrePrepare => assert!(stats.reexecuted > 0 || stats.replayed > 0),
+                CrashPoint::PostPrepare | CrashPoint::PreAck => assert!(!stats.torn_truncated),
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_crash_plans_preserve_history_hashes() {
+    let (baseline, _) = Service::run_durable(&durable_cfg(durability()), MemStore::shared())
+        .expect("uncrashed durable run");
+    for seed in [1u64, 2, 3, 4] {
+        let dur = DurabilityConfig { crash: Some(CrashPlan::seeded(seed)), ..durability() };
+        let (report, rec) = Service::run_durable(&durable_cfg(dur), MemStore::shared())
+            .unwrap_or_else(|e| panic!("seeded crash {seed}: {e}"));
+        for (a, b) in baseline.shard_reports.iter().zip(&report.shard_reports) {
+            assert_eq!(a.history_fnv, b.history_fnv, "seed {seed}: shard {} history", a.shard);
+            assert_eq!(a.commit_log_fnv, b.commit_log_fnv, "seed {seed}: shard {}", a.shard);
+        }
+        // A seeded plan may target a batch sequence the shard never
+        // reaches; when it does fire, exactly one recovery runs.
+        assert!(rec.recoveries.len() <= 1);
+    }
+}
+
+#[test]
+fn recovery_window_rejects_admissions_then_drains() {
+    let dur = DurabilityConfig {
+        recovery_rounds: 6,
+        crash: Some(CrashPlan::at(0, CrashPoint::PrePrepare, 0)),
+        ..durability()
+    };
+    let cfg = ServeConfig {
+        mix: MixConfig { requests: 160, mean_interarrival: 600, ..MixConfig::mixed() },
+        ..durable_cfg(dur)
+    };
+    let (report, rec) = Service::run_durable(&cfg, MemStore::shared()).expect("windowed recovery");
+    assert_eq!(rec.recoveries.len(), 1);
+    assert!(report.conserved, "conservation must survive a recovery window");
+    assert_eq!(report.completed, report.admitted, "held batches must still complete");
+    assert!(report.txl_consistent);
+    assert_eq!(report.violations_total, 0);
+    assert!(
+        rec.unavailable_rejections > 0,
+        "arrivals during the window must be rejected as ShardUnavailable"
+    );
+    assert!(matches!(report.first_rejection, Some(ServeError::ShardUnavailable { shard: 0, .. })));
+}
+
+#[test]
+fn healthy_replicas_track_every_shard() {
+    let dur = DurabilityConfig { replicas: 2, ..durability() };
+    let (report, rec) =
+        Service::run_durable(&durable_cfg(dur), MemStore::shared()).expect("replicated run");
+    assert!(report.conserved);
+    assert_eq!(rec.replicas_per_shard, 2);
+    assert_eq!(rec.replicas_healthy, 4, "2 shards × 2 replicas all healthy");
+    assert!(rec.diverged.is_empty());
+}
+
+#[test]
+fn corrupted_replica_is_demoted_with_incident() {
+    let dur = DurabilityConfig {
+        replicas: 2,
+        replica_fault: Some(ReplicaFault { shard: 0, replica: 1, at_commit: 3 }),
+        ..durability()
+    };
+    let (report, rec) = Service::run_durable(&durable_cfg(dur), MemStore::shared())
+        .expect("faulted replicated run");
+    assert!(report.conserved, "a replica fault must never touch the primary");
+    assert_eq!(rec.replicas_healthy, 3, "the corrupted replica is out of quorum");
+    assert_eq!(rec.diverged.len(), 1, "one divergence incident");
+    let inc = &rec.diverged[0];
+    assert_eq!((inc.shard, inc.replica), (0, 1));
+    // A later commit may overwrite the dropped writes, re-converging
+    // the data span — but the log hash records the loss permanently.
+    assert_ne!(inc.got_log_fnv, inc.expected_log_fnv);
+}
+
+#[test]
+fn replicas_survive_a_crash_via_resync() {
+    let dur = DurabilityConfig {
+        replicas: 2,
+        crash: Some(CrashPlan::at(1, CrashPoint::PostPrepare, 1)),
+        ..durability()
+    };
+    let (report, rec) =
+        Service::run_durable(&durable_cfg(dur), MemStore::shared()).expect("replicated crash run");
+    assert!(report.conserved);
+    assert_eq!(rec.recoveries.len(), 1);
+    assert_eq!(rec.replicas_healthy, 4, "resync must keep replicas in quorum across a crash");
+    assert!(rec.diverged.is_empty());
+}
+
+#[test]
+fn cold_recover_rebuilds_every_shard_conserved() {
+    // compact=false keeps the full log so the cold pass can audit
+    // 2PC holds arbitrarily far back.
+    let dur = DurabilityConfig { compact: false, ..durability() };
+    let cfg = durable_cfg(dur);
+    let store = MemStore::shared();
+    let (report, _) = Service::run_durable(&cfg, store.clone()).expect("durable run");
+
+    let shards = Service::cold_recover(&cfg, store).expect("cold recover");
+    assert_eq!(shards.len(), 2);
+    let balance: u64 = shards.iter().map(|(_, s)| s.balance_sum).sum();
+    assert_eq!(balance, 64 * 1000, "cold-recovered shards conserve the bank");
+    for (stats, summary) in &shards {
+        assert!(summary.violations.is_empty(), "tm-check passes on recovered history");
+        // A drained run left no undecided holds to compensate.
+        assert_eq!(stats.in_doubt_compensated, 0);
+    }
+    // The recovered engines carry the exact served histories.
+    for ((_, summary), shard_report) in shards.iter().zip(&report.shard_reports) {
+        assert_eq!(summary.history_fnv, shard_report.history_fnv);
+        assert_eq!(summary.commit_log_fnv, shard_report.commit_log_fnv);
+    }
+}
+
+#[test]
+fn durability_config_is_validated() {
+    let ok = durable_cfg(durability());
+    assert!(ServeConfig::try_new(ok.clone()).is_ok());
+
+    let cases: Vec<(&str, ServeConfig)> = vec![
+        (
+            "segment_batches zero",
+            durable_cfg(DurabilityConfig { segment_batches: 0, ..durability() }),
+        ),
+        ("too many replicas", durable_cfg(DurabilityConfig { replicas: 3, ..durability() })),
+        (
+            "crash shard out of range",
+            durable_cfg(DurabilityConfig {
+                crash: Some(CrashPlan::at(7, CrashPoint::PreAck, 0)),
+                ..durability()
+            }),
+        ),
+        (
+            "after_batches overflow",
+            durable_cfg(DurabilityConfig {
+                crash: Some(CrashPlan { after_batches: Some(u64::MAX), ..CrashPlan::seeded(1) }),
+                ..durability()
+            }),
+        ),
+        (
+            "replica fault without replicas",
+            durable_cfg(DurabilityConfig {
+                replica_fault: Some(ReplicaFault { shard: 0, replica: 0, at_commit: 1 }),
+                ..durability()
+            }),
+        ),
+        (
+            "replica fault at_commit zero",
+            durable_cfg(DurabilityConfig {
+                replicas: 1,
+                replica_fault: Some(ReplicaFault { shard: 0, replica: 0, at_commit: 0 }),
+                ..durability()
+            }),
+        ),
+    ];
+    for (what, cfg) in cases {
+        assert!(
+            matches!(ServeConfig::try_new(cfg), Err(ServeError::BadConfig(_))),
+            "{what} must be rejected"
+        );
+    }
+
+    // run_durable guards its own preconditions.
+    let store = MemStore::shared();
+    assert!(matches!(
+        Service::run_durable(&base_cfg(), store.clone()),
+        Err(ServeError::BadConfig(_))
+    ));
+    let (_, _) = Service::run_durable(&ok, store.clone()).expect("first run");
+    assert!(
+        matches!(Service::run_durable(&ok, store), Err(ServeError::BadConfig(_))),
+        "a non-empty store must be refused"
+    );
+}
