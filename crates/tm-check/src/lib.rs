@@ -227,6 +227,18 @@ pub fn check_final_state(
     violations
 }
 
+/// The combined dynamic gate used by `txl fix`: opacity replay of the
+/// commit history plus lifted happens-before races, deduplicated into
+/// one violation list. Memory is assumed zero-initialised (freshly
+/// allocated simulator arrays), which is how the fix-verify gate runs
+/// its kernels.
+pub fn gate_violations(history: &History, races: &[gpu_sim::DataRace]) -> Vec<Violation> {
+    let mut vs = check_history(history, |_| 0).violations;
+    vs.extend(races_to_violations(races));
+    dedup_violations(&mut vs);
+    vs
+}
+
 /// Panics with a readable message if the history fails the opacity check.
 ///
 /// # Panics

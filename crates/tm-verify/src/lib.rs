@@ -41,6 +41,7 @@ pub mod controller;
 pub mod explore;
 pub mod litmus;
 pub mod sched;
+pub mod witness;
 
 pub use controller::{
     Controller, DecisionRecord, Event, FootprintFilter, ForcedChoice, Schedule, WarpKey,
@@ -52,6 +53,10 @@ pub use explore::{
 };
 pub use litmus::{footprint_filter, model, run_once, Litmus, Workload, STRIPES_SRC};
 pub use sched::{minimize, parse, serialize, HEADER};
+pub use witness::{
+    explore_case, finding_to_witness, minimize_case_finding, replay_case, run_case, unsorted_locks,
+    witness_reproduces, witness_rule, TxlCase,
+};
 
 use gpu_sim::PolicyHandle;
 use std::cell::RefCell;

@@ -1,0 +1,64 @@
+//! The model-checking half of the fix gate: a minimized `.sched` witness
+//! of the unsorted-locks deadlock must stop reproducing once `txl fix`
+//! repairs the program it was mined from.
+
+use tm_verify::{
+    explore_case, finding_to_witness, minimize_case_finding, unsorted_locks, witness_reproduces,
+    witness_rule,
+};
+
+#[test]
+fn repaired_program_kills_the_deadlock_witness() {
+    let case = unsorted_locks();
+
+    // Mine a deadlock witness from the buggy program.
+    let report = explore_case(&case, 2, 500);
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.violation.kind.is_progress_failure())
+        .expect("the crossing-lock case deadlocks under exploration");
+    let min = minimize_case_finding(&case, finding);
+    let witness = finding_to_witness(&case, finding, &min);
+    assert_eq!(
+        witness_reproduces(&case, &witness),
+        Ok(true),
+        "minimized witness must reproduce on the buggy source:\n{witness}"
+    );
+
+    // The witness carries provenance back to the lint rule, and the
+    // repair engine discharges exactly that rule.
+    let (_, meta) = tm_verify::parse(&witness).expect("witness parses");
+    let rule = witness_rule(&meta).expect("witness names its rule");
+    assert_eq!(rule, case.rule);
+
+    let fixed =
+        txl::fix_source(&case.source, &txl::FixConfig::default()).expect("buggy source compiles");
+    assert!(fixed.is_clean(), "repair left residual findings: {:?}", fixed.residual);
+    assert!(fixed.changed(), "repair must rewrite the lock protocol");
+    let diags = txl::lint_source(&fixed.fixed, &txl::LintConfig::default())
+        .expect("repaired source compiles");
+    assert!(
+        diags.iter().all(|d| d.rule.id() != rule),
+        "repaired source still lints {rule}: {diags:?}"
+    );
+
+    // The witness schedule no longer reproduces any matching violation
+    // on the repaired program.
+    let repaired = case.with_source(&fixed.fixed);
+    assert_eq!(
+        witness_reproduces(&repaired, &witness),
+        Ok(false),
+        "witness survived the repair:\n{witness}\nrepaired source:\n{}",
+        fixed.fixed
+    );
+
+    // And not just under the witness schedule: the repaired program's
+    // whole bounded schedule space is deadlock-free.
+    let re = explore_case(&repaired, 2, 500);
+    assert!(
+        re.findings.iter().all(|f| !f.violation.kind.is_progress_failure()),
+        "repaired program still deadlocks somewhere: {:?}",
+        re.findings
+    );
+}

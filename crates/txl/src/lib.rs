@@ -57,20 +57,24 @@ pub mod analysis;
 pub mod ast;
 pub mod check;
 mod error;
+pub mod fix;
 pub mod footprint;
 mod interp;
 pub mod lint;
 pub mod parse;
+pub mod patch;
 pub mod token;
 
 pub use ast::{Kernel, Program};
 pub use error::TxlError;
+pub use fix::{fix_source, plan, AppliedPatch, DynamicReport, FixConfig, FixReport};
 pub use footprint::{
     kernel_footprint, thread_footprint, Interval, KernelFootprint, ParamFootprint,
 };
 pub use interp::{launch, ArrayBinding};
-pub use lint::{lint_program, lint_source, Diagnostic, LintConfig, Rule};
+pub use lint::{lint_program, lint_source, lint_source_with_fixes, Diagnostic, LintConfig, Rule};
 pub use parse::parse;
+pub use patch::{unified_diff, Edit, EditSet, Patch, PatchError};
 pub use token::Span;
 
 /// Parses, checks and instruments a TXL program: the full front-end.

@@ -136,6 +136,10 @@ pub struct Diagnostic {
     pub span: Span,
     /// Human-readable explanation.
     pub message: String,
+    /// The repair [`crate::fix`] proposes for this finding, when one is
+    /// known. Populated by [`lint_source_with_fixes`]; plain
+    /// [`lint_program`]/[`lint_source`] leave it `None`.
+    pub suggested_fix: Option<crate::patch::Patch>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -183,12 +187,35 @@ pub fn lint_source(src: &str, cfg: &LintConfig) -> Result<Vec<Diagnostic>, TxlEr
     Ok(lint_program(&program, cfg))
 }
 
+/// Like [`lint_source`], but asks the repair engine ([`crate::fix`]) to
+/// plan a patch for each finding and carries it in
+/// [`Diagnostic::suggested_fix`].
+///
+/// # Errors
+///
+/// Any [`TxlError`] from lexing, parsing or semantic checking.
+pub fn lint_source_with_fixes(src: &str, cfg: &LintConfig) -> Result<Vec<Diagnostic>, TxlError> {
+    let program = crate::compile(src)?;
+    let mut diags = lint_program(&program, cfg);
+    for d in &mut diags {
+        d.suggested_fix = crate::fix::plan(src, &program, d, cfg);
+    }
+    Ok(diags)
+}
+
 fn diag(kernel: &Kernel, rule: Rule, span: Span, message: String) -> Diagnostic {
-    Diagnostic { rule, kernel: kernel.name.clone(), line: span.line, span, message }
+    Diagnostic {
+        rule,
+        kernel: kernel.name.clone(),
+        line: span.line,
+        span,
+        message,
+        suggested_fix: None,
+    }
 }
 
 /// Collects every array access in an expression as `(param, span)`.
-fn expr_accesses(e: &Expr, out: &mut Vec<(usize, Span)>) {
+pub(crate) fn expr_accesses(e: &Expr, out: &mut Vec<(usize, Span)>) {
     match e {
         Expr::Int(_) | Expr::Tid | Expr::NThreads | Expr::Var { .. } => {}
         Expr::Index { param, index, span, .. } => {
@@ -205,7 +232,7 @@ fn expr_accesses(e: &Expr, out: &mut Vec<(usize, Span)>) {
 
 /// Collects every array access in a block as `(param, span)`, including
 /// store targets, conditions, and nested blocks.
-fn block_accesses(stmts: &[Stmt], out: &mut Vec<(usize, Span)>) {
+pub(crate) fn block_accesses(stmts: &[Stmt], out: &mut Vec<(usize, Span)>) {
     for s in stmts {
         match s {
             Stmt::Let { init, .. } | Stmt::Assign { value: init, .. } => expr_accesses(init, out),
@@ -308,13 +335,13 @@ fn non_atomic_shared(kernel: &Kernel, out: &mut Vec<Diagnostic>) {
 
 /// A spin-wait acquisition site: `while A[e] { .. }` where the body
 /// performs no stores (a pure spin).
-struct Spin<'a> {
-    param: usize,
-    index: &'a Expr,
-    span: Span,
+pub(crate) struct Spin<'a> {
+    pub(crate) param: usize,
+    pub(crate) index: &'a Expr,
+    pub(crate) span: Span,
 }
 
-fn as_spin(s: &Stmt) -> Option<Spin<'_>> {
+pub(crate) fn as_spin(s: &Stmt) -> Option<Spin<'_>> {
     let Stmt::While { cond, body, span } = s else { return None };
     // The condition must read exactly one array element (the lock word).
     let mut acc = Vec::new();
@@ -346,7 +373,7 @@ fn as_spin(s: &Stmt) -> Option<Spin<'_>> {
 }
 
 /// Structural expression equality, ignoring spans.
-fn expr_eq(a: &Expr, b: &Expr) -> bool {
+pub(crate) fn expr_eq(a: &Expr, b: &Expr) -> bool {
     match (a, b) {
         (Expr::Int(x), Expr::Int(y)) => x == y,
         (Expr::Tid, Expr::Tid) | (Expr::NThreads, Expr::NThreads) => true,
@@ -430,7 +457,7 @@ fn unsorted_locks(kernel: &Kernel, out: &mut Vec<Diagnostic>) {
 
 /// Static upper bound on the number of stores a block executes; `None`
 /// means unbounded (a loop containing stores).
-fn store_bound(stmts: &[Stmt]) -> Option<u32> {
+pub(crate) fn store_bound(stmts: &[Stmt]) -> Option<u32> {
     let mut total: u32 = 0;
     for s in stmts {
         let b = match s {
@@ -584,6 +611,35 @@ fn divergent_atomic(kernel: &Kernel, out: &mut Vec<Diagnostic>) {
 
 // ---------------------------------------------------------------- TL005
 
+/// Arrays on which footprints `a` and `b` may conflict *and* whose
+/// first-touch orders are inverted between the two blocks. `None` when
+/// the pair shares fewer than two arrays or the orders agree — i.e. the
+/// pair is not a TL005 hazard. Shared with [`crate::fix`], which uses it
+/// both to locate a diagnostic's partner block and to prove a candidate
+/// reorder actually discharges the inversion.
+pub(crate) fn inverted_shared(
+    a: &crate::footprint::AtomicFootprint,
+    b: &crate::footprint::AtomicFootprint,
+    nparams: usize,
+) -> Option<Vec<usize>> {
+    let shared: Vec<usize> =
+        (0..nparams).filter(|&p| a.params[p].conflicts(&b.params[p])).collect();
+    if shared.len() < 2 {
+        return None;
+    }
+    let pos = |order: &[usize], p: usize| order.iter().position(|&x| x == p);
+    let inverted = shared.iter().enumerate().any(|(x, &p)| {
+        shared.iter().skip(x + 1).any(|&q| match (pos(&a.first_order, p), pos(&a.first_order, q)) {
+            (Some(ap), Some(aq)) => match (pos(&b.first_order, p), pos(&b.first_order, q)) {
+                (Some(bp), Some(bq)) => (ap < aq) != (bp < bq),
+                _ => false,
+            },
+            _ => false,
+        })
+    });
+    inverted.then_some(shared)
+}
+
 fn conflicting_footprint_order(kernel: &Kernel, out: &mut Vec<Diagnostic>) {
     // Symbolic view: tid unconstrained, so the footprints cover every
     // thread. Over-approximation only ever *adds* overlap, which is the
@@ -592,27 +648,7 @@ fn conflicting_footprint_order(kernel: &Kernel, out: &mut Vec<Diagnostic>) {
     for i in 0..fps.atomics.len() {
         for j in i + 1..fps.atomics.len() {
             let (a, b) = (&fps.atomics[i], &fps.atomics[j]);
-            // Arrays on which the two blocks' footprints may conflict.
-            let shared: Vec<usize> =
-                (0..kernel.params.len()).filter(|&p| a.params[p].conflicts(&b.params[p])).collect();
-            if shared.len() < 2 {
-                continue;
-            }
-            let pos = |order: &[usize], p: usize| order.iter().position(|&x| x == p);
-            let inverted = shared.iter().enumerate().any(|(x, &p)| {
-                shared.iter().skip(x + 1).any(|&q| {
-                    match (pos(&a.first_order, p), pos(&a.first_order, q)) {
-                        (Some(ap), Some(aq)) => {
-                            match (pos(&b.first_order, p), pos(&b.first_order, q)) {
-                                (Some(bp), Some(bq)) => (ap < aq) != (bp < bq),
-                                _ => false,
-                            }
-                        }
-                        _ => false,
-                    }
-                })
-            });
-            if inverted {
+            if let Some(shared) = inverted_shared(a, b, kernel.params.len()) {
                 let names: Vec<&str> =
                     shared.iter().map(|&p| kernel.params[p].name.as_str()).collect();
                 out.push(diag(

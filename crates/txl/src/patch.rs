@@ -1,0 +1,349 @@
+//! Byte-exact source patches: span edits, overlap-checked edit sets, and
+//! a unified-diff printer.
+//!
+//! The repair engine ([`crate::fix`]) expresses every rewrite as a set of
+//! [`Edit`]s — replacements of half-open byte ranges of the *original*
+//! source — so a patch can be applied, diffed, serialized, and compared
+//! byte for byte against an expected post-fix twin. Edits never reference
+//! patched text: an [`EditSet`] is built against one source revision and
+//! applied in a single pass, and any two edits that overlap are rejected
+//! up front (the fix-verify loop defers the loser to its next round
+//! instead of guessing at a merge).
+
+use crate::lint::Rule;
+use crate::token::Span;
+use std::fmt;
+
+/// One replacement of the byte range `[start, end)` with `replacement`.
+///
+/// An insertion is an edit with `start == end`; a deletion has an empty
+/// `replacement`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Edit {
+    /// Byte offset of the first replaced byte.
+    pub start: u32,
+    /// Byte offset one past the last replaced byte.
+    pub end: u32,
+    /// Replacement text.
+    pub replacement: String,
+}
+
+impl Edit {
+    /// An edit replacing the bytes of `span`.
+    pub fn replace(span: Span, replacement: impl Into<String>) -> Edit {
+        Edit { start: span.start, end: span.end, replacement: replacement.into() }
+    }
+
+    /// Whether two edits touch overlapping byte ranges. Touching at a
+    /// shared endpoint is *not* an overlap (adjacent edits compose), but
+    /// two insertions at the same point are (their order is ambiguous).
+    pub fn overlaps(&self, other: &Edit) -> bool {
+        if self.start == self.end && other.start == other.end {
+            return self.start == other.start;
+        }
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// Why an edit could not join an [`EditSet`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PatchError {
+    /// The edit's byte range overlaps one already in the set.
+    Overlap {
+        /// The range of the incoming edit.
+        incoming: (u32, u32),
+        /// The range it collided with.
+        existing: (u32, u32),
+    },
+    /// The edit's range does not lie inside the source it is applied to.
+    OutOfBounds {
+        /// The offending range.
+        range: (u32, u32),
+        /// Length of the source text.
+        len: u32,
+    },
+}
+
+impl fmt::Display for PatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatchError::Overlap { incoming, existing } => write!(
+                f,
+                "edit {}..{} overlaps edit {}..{}",
+                incoming.0, incoming.1, existing.0, existing.1
+            ),
+            PatchError::OutOfBounds { range, len } => {
+                write!(f, "edit {}..{} exceeds source length {len}", range.0, range.1)
+            }
+        }
+    }
+}
+
+/// A set of non-overlapping edits against one source revision, kept
+/// sorted by start offset.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EditSet {
+    edits: Vec<Edit>,
+}
+
+impl EditSet {
+    /// An empty edit set.
+    pub fn new() -> EditSet {
+        EditSet::default()
+    }
+
+    /// The edits, sorted by start offset.
+    pub fn edits(&self) -> &[Edit] {
+        &self.edits
+    }
+
+    /// Whether the set holds no edits.
+    pub fn is_empty(&self) -> bool {
+        self.edits.is_empty()
+    }
+
+    /// Number of edits in the set.
+    pub fn len(&self) -> usize {
+        self.edits.len()
+    }
+
+    /// Whether `edit` could be added without overlapping the set.
+    pub fn accepts(&self, edit: &Edit) -> bool {
+        self.edits.iter().all(|e| !e.overlaps(edit))
+    }
+
+    /// Adds an edit, keeping the set sorted.
+    ///
+    /// An edit byte-identical to one already present is absorbed silently
+    /// (two diagnostics may propose the same repair of the same bytes).
+    ///
+    /// # Errors
+    ///
+    /// [`PatchError::Overlap`] when the range collides with an existing,
+    /// non-identical edit.
+    pub fn push(&mut self, edit: Edit) -> Result<(), PatchError> {
+        if self.edits.contains(&edit) {
+            return Ok(());
+        }
+        if let Some(hit) = self.edits.iter().find(|e| e.overlaps(&edit)) {
+            return Err(PatchError::Overlap {
+                incoming: (edit.start, edit.end),
+                existing: (hit.start, hit.end),
+            });
+        }
+        let at = self.edits.partition_point(|e| (e.start, e.end) <= (edit.start, edit.end));
+        self.edits.insert(at, edit);
+        Ok(())
+    }
+
+    /// Applies every edit to `src` in one left-to-right pass.
+    ///
+    /// # Errors
+    ///
+    /// [`PatchError::OutOfBounds`] when an edit exceeds the source (the
+    /// set was built against a different revision).
+    pub fn apply(&self, src: &str) -> Result<String, PatchError> {
+        let len = src.len() as u32;
+        let mut out = String::with_capacity(src.len());
+        let mut cursor = 0u32;
+        for e in &self.edits {
+            if e.end > len || e.start > e.end {
+                return Err(PatchError::OutOfBounds { range: (e.start, e.end), len });
+            }
+            out.push_str(&src[cursor as usize..e.start as usize]);
+            out.push_str(&e.replacement);
+            cursor = e.end;
+        }
+        out.push_str(&src[cursor as usize..]);
+        Ok(out)
+    }
+}
+
+/// One planned repair: the rule it discharges, where, and the edits that
+/// do it. Produced by [`crate::fix::plan`] and carried on lint
+/// diagnostics as `suggested_fix`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Patch {
+    /// The rule this patch repairs.
+    pub rule: Rule,
+    /// Kernel the repair applies to.
+    pub kernel: String,
+    /// One-line description of the rewrite (stable, golden-file friendly).
+    pub title: String,
+    /// The byte edits, non-overlapping within this patch.
+    pub edits: Vec<Edit>,
+}
+
+impl fmt::Display for Patch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} kernel {}: {}", self.rule.id(), self.kernel, self.title)
+    }
+}
+
+/// Renders a unified diff (`---`/`+++`/`@@` hunks) between two texts,
+/// labelled with `path`, with up to `context` lines of context per hunk.
+///
+/// Line-based with trailing-newline fidelity: a missing final newline is
+/// marked with the conventional `\ No newline at end of file`.
+pub fn unified_diff(old: &str, new: &str, path: &str, context: usize) -> String {
+    if old == new {
+        return String::new();
+    }
+    let a: Vec<&str> = old.lines().collect();
+    let b: Vec<&str> = new.lines().collect();
+
+    // LCS table over lines (fixture-scale inputs: O(n*m) is fine).
+    let (n, m) = (a.len(), b.len());
+    let mut lcs = vec![vec![0u32; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[i][j] =
+                if a[i] == b[j] { lcs[i + 1][j + 1] + 1 } else { lcs[i + 1][j].max(lcs[i][j + 1]) };
+        }
+    }
+
+    // Walk the table into an op list: ' ' keep, '-' delete, '+' insert.
+    let mut ops: Vec<(char, usize, usize)> = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            ops.push((' ', i, j));
+            i += 1;
+            j += 1;
+        } else if lcs[i + 1][j] >= lcs[i][j + 1] {
+            ops.push(('-', i, j));
+            i += 1;
+        } else {
+            ops.push(('+', i, j));
+            j += 1;
+        }
+    }
+    while i < n {
+        ops.push(('-', i, j));
+        i += 1;
+    }
+    while j < m {
+        ops.push(('+', i, j));
+        j += 1;
+    }
+
+    // Group changed ops into hunks with `context` lines around each.
+    let changed: Vec<usize> =
+        ops.iter().enumerate().filter(|(_, op)| op.0 != ' ').map(|(k, _)| k).collect();
+    let mut out = String::new();
+    out.push_str(&format!("--- a/{path}\n+++ b/{path}\n"));
+    let mut k = 0usize;
+    while k < changed.len() {
+        let lo = changed[k].saturating_sub(context);
+        let mut hi = changed[k] + context;
+        let mut last = k;
+        while last + 1 < changed.len() && changed[last + 1] <= hi + context + 1 {
+            last += 1;
+            hi = changed[last] + context;
+        }
+        hi = hi.min(ops.len().saturating_sub(1));
+        // Hunk header positions are 1-based; empty sides use start 0.
+        let first = &ops[lo];
+        let a_start = first.1;
+        let b_start = first.2;
+        let a_count = ops[lo..=hi].iter().filter(|o| o.0 != '+').count();
+        let b_count = ops[lo..=hi].iter().filter(|o| o.0 != '-').count();
+        out.push_str(&format!(
+            "@@ -{},{} +{},{} @@\n",
+            if a_count == 0 { a_start } else { a_start + 1 },
+            a_count,
+            if b_count == 0 { b_start } else { b_start + 1 },
+            b_count,
+        ));
+        for op in &ops[lo..=hi] {
+            match op.0 {
+                ' ' => out.push_str(&format!(" {}\n", a[op.1])),
+                '-' => out.push_str(&format!("-{}\n", a[op.1])),
+                '+' => out.push_str(&format!("+{}\n", b[op.2])),
+                _ => unreachable!(),
+            }
+            if op.0 != '+' && op.1 + 1 == n && !old.ends_with('\n') {
+                out.push_str("\\ No newline at end of file\n");
+            }
+            if op.0 != '-' && op.2 + 1 == m && !new.ends_with('\n') {
+                out.push_str("\\ No newline at end of file\n");
+            }
+        }
+        k = last + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edit(start: u32, end: u32, text: &str) -> Edit {
+        Edit { start, end, replacement: text.to_string() }
+    }
+
+    #[test]
+    fn apply_replaces_in_order() {
+        let mut set = EditSet::new();
+        set.push(edit(5, 10, "WORLD")).unwrap();
+        set.push(edit(0, 3, "bye")).unwrap();
+        assert_eq!(set.apply("hey, world!").unwrap(), "bye, WORLD!");
+    }
+
+    #[test]
+    fn insertion_and_deletion() {
+        let mut set = EditSet::new();
+        set.push(edit(3, 3, "XY")).unwrap();
+        set.push(edit(5, 6, "")).unwrap();
+        assert_eq!(set.apply("abcdef").unwrap(), "abcXYde");
+    }
+
+    #[test]
+    fn overlap_rejected_identical_absorbed() {
+        let mut set = EditSet::new();
+        set.push(edit(2, 6, "x")).unwrap();
+        assert!(matches!(set.push(edit(5, 8, "y")), Err(PatchError::Overlap { .. })));
+        set.push(edit(2, 6, "x")).unwrap(); // identical: absorbed
+        assert_eq!(set.len(), 1);
+        // Adjacent ranges compose.
+        set.push(edit(6, 7, "z")).unwrap();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn same_point_insertions_conflict() {
+        let mut set = EditSet::new();
+        set.push(edit(3, 3, "a")).unwrap();
+        assert!(!set.accepts(&edit(3, 3, "b")));
+    }
+
+    #[test]
+    fn out_of_bounds_reported() {
+        let mut set = EditSet::new();
+        set.push(edit(0, 99, "")).unwrap();
+        assert!(matches!(set.apply("short"), Err(PatchError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn diff_of_equal_texts_is_empty() {
+        assert_eq!(unified_diff("same\n", "same\n", "f.txl", 3), "");
+    }
+
+    #[test]
+    fn diff_marks_changed_lines() {
+        let old = "a\nb\nc\n";
+        let new = "a\nB\nc\n";
+        let d = unified_diff(old, new, "k.txl", 1);
+        assert!(d.starts_with("--- a/k.txl\n+++ b/k.txl\n"), "{d}");
+        assert!(d.contains("-b\n"), "{d}");
+        assert!(d.contains("+B\n"), "{d}");
+        assert!(d.contains(" a\n") && d.contains(" c\n"), "context missing: {d}");
+    }
+
+    #[test]
+    fn diff_handles_insertions_at_end() {
+        let d = unified_diff("x\n", "x\ny\n", "f", 3);
+        assert!(d.contains("+y\n"), "{d}");
+        assert!(!d.contains("-x\n"), "{d}");
+    }
+}

@@ -1,0 +1,3 @@
+kernel vote(tally: array) {
+    atomic { if tid() % 2 { tally[0] = tally[0] + 1; } }
+}

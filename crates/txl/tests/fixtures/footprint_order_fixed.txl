@@ -1,0 +1,11 @@
+kernel transfer(from: array, into: array) {
+    let i = tid() % 8;
+    atomic {
+        from[i] = from[i] - 1;
+        into[i] = into[i] + 1;
+    }
+    atomic {
+        from[i] = from[i] + 1;
+        into[i] = into[i] - 1;
+    }
+}

@@ -1,0 +1,4 @@
+kernel scatter(out: array) {
+    let i = 0;
+    while i < 64 { atomic { out[i] = out[i] + 1; i = i + 1; } }
+}

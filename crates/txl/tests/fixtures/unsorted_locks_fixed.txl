@@ -1,0 +1,5 @@
+kernel locks(lock: array, data: array) {
+    let a = tid() % 4;
+    let b = 3 - a;
+    atomic { data[a] = data[a] + 1; }
+}

@@ -1,0 +1,5 @@
+kernel weak_iso(acct: array) {
+    let i = tid() % 8;
+    atomic { acct[i] = acct[i] + 1; }
+    atomic { acct[7] = 0; }
+}
