@@ -331,7 +331,9 @@ fn run_recovery(args: &Args) {
 
     // Standalone artifact: the replicated run's structured recovery
     // report (replica census + divergence incidents), for CI upload.
-    std::fs::write("recovery-report.json", rep_rec.to_json()).expect("write recovery-report.json");
+    // Routed like every other artifact so `BENCH_OUT_DIR` moves it too.
+    let rec_path = bench::artifact_output_path("recovery-report.json");
+    std::fs::write(&rec_path, rep_rec.to_json()).expect("write recovery-report.json");
 
     let rows: Vec<Vec<String>> = cells
         .iter()

@@ -192,10 +192,19 @@ pub fn square_grid(threads: u64) -> LaunchConfig {
 /// stable place regardless of the invocation directory — overridable
 /// with the `BENCH_OUT_DIR` environment variable.
 pub fn bench_output_path(name: &str) -> std::path::PathBuf {
+    artifact_output_path(&format!("BENCH_{name}.json"))
+}
+
+/// Absolute path for any non-`BENCH_`-prefixed run artifact (e.g.
+/// `recovery-report.json`, flight-recorder bundles), routed through the
+/// same `BENCH_OUT_DIR`-else-workspace-root rule as
+/// [`bench_output_path`] so every artifact a run emits lands in one
+/// place.
+pub fn artifact_output_path(file_name: &str) -> std::path::PathBuf {
     let dir = std::env::var_os("BENCH_OUT_DIR")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."));
-    dir.join(format!("BENCH_{name}.json"))
+    dir.join(file_name)
 }
 
 /// Formats `value` with thousands separators.

@@ -157,6 +157,13 @@ impl TraceBuffer {
     pub fn clear(&mut self) {
         self.events.clear();
     }
+
+    /// Moves the retained events out, oldest first, leaving the buffer
+    /// empty (counters keep accumulating). The epoch-windowed tap used
+    /// by live observability: drain once per window and ship the slice.
+    pub fn drain(&mut self) -> Vec<SimEvent> {
+        self.events.drain(..).collect()
+    }
 }
 
 /// Shared handle to a [`TraceBuffer`], cloned into

@@ -93,6 +93,17 @@ pub trait Stm {
         false
     }
 
+    /// Cumulative abort rate in permille (aborts per thousand attempts),
+    /// computed from [`stats`](Stm::stats). Integer permille keeps the
+    /// figure exact and platform-independent, so observability layers can
+    /// fold it into byte-identical reports. Returns 0 before the first
+    /// commit or abort.
+    fn abort_permille(&self) -> u32 {
+        let s = self.stats();
+        let s = s.borrow();
+        (s.aborts * 1000).checked_div(s.commits + s.aborts).unwrap_or(0) as u32
+    }
+
     /// Single-lane transactional read convenience wrapper.
     async fn read_one(&self, w: &mut WarpTx, ctx: &WarpCtx, lane: usize, addr: Addr) -> u32 {
         let mut addrs = [Addr::NULL; WARP_SIZE];

@@ -184,6 +184,18 @@ impl TxTraceBuffer {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// Discards all retained events (counters keep accumulating).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Moves the retained events out, oldest first, leaving the buffer
+    /// empty (counters keep accumulating). The epoch-windowed tap used
+    /// by live observability: drain once per window and ship the slice.
+    pub fn drain(&mut self) -> Vec<TxEvent> {
+        self.events.drain(..).collect()
+    }
 }
 
 /// Shared handle to a [`TxTraceBuffer`].

@@ -73,6 +73,11 @@ pub struct EngineConfig {
     pub credit_cap: u32,
     /// Global version locks for the STM.
     pub n_locks: u32,
+    /// Flight-recorder trace-tap ring capacity (events per batch kept
+    /// by the simulator and STM sinks). Zero disables event capture;
+    /// tracing is pure observation either way, so cycle counts and
+    /// report metrics are identical with or without it.
+    pub trace_events: usize,
     /// Durability knobs; `None` runs the shard without a WAL.
     pub wal: Option<WalParams>,
 }
@@ -197,6 +202,15 @@ pub struct BatchReport {
     pub aborts: u64,
     /// Whether the shard's scheduler reports an abort storm.
     pub storm: bool,
+    /// WAL sequence number the batch ran under (0 on volatile shards).
+    pub seq: u64,
+    /// Simulator events drained from the engine's flight-recorder tap
+    /// (empty when `EngineConfig::trace_events` is 0). Replay of a
+    /// logged batch regenerates the identical stream, so equality
+    /// checks over reports remain valid under recovery.
+    pub sim_events: Vec<gpu_sim::trace::SimEvent>,
+    /// Transaction-lifecycle events drained from the STM's tap.
+    pub tx_events: Vec<gpu_stm::trace::TxEvent>,
 }
 
 /// Outcome of a durable batch: either a report, or the point at which
@@ -312,6 +326,10 @@ pub(crate) struct ShardEngine {
     /// Full-write-set WAL `Commit` records staged by the hook during a
     /// launch, drained into the log after each durable batch.
     wal_pending: Rc<RefCell<Vec<WalRecord>>>,
+    /// Flight-recorder tap over simulator events, drained per batch.
+    sim_trace: Option<gpu_sim::trace::TraceSink>,
+    /// Flight-recorder tap over transaction-lifecycle events.
+    tx_trace: Option<gpu_stm::trace::TxTraceSink>,
     dur: Option<EngineDur>,
 }
 
@@ -362,7 +380,15 @@ impl ShardEngine {
             + (cfg.txl_words + cap) as u64
             + cap as u64;
         let mem = data_words + 2 * cfg.n_locks as u64 + cap as u64 * 64 + (1 << 16);
-        let mut sim = Sim::new(SimConfig::with_memory(mem as usize));
+        let mut sim_cfg = SimConfig::with_memory(mem as usize);
+        let sim_trace =
+            (cfg.trace_events > 0).then(|| gpu_sim::trace::trace_sink(cfg.trace_events));
+        if let Some(t) = &sim_trace {
+            sim_cfg.trace = Some(Rc::clone(t));
+        }
+        let tx_trace =
+            (cfg.trace_events > 0).then(|| gpu_stm::trace::tx_trace_sink(cfg.trace_events));
+        let mut sim = Sim::new(sim_cfg);
         let se =
             |e: gpu_sim::SimError| ServeError::Engine { shard: cfg.shard, message: e.to_string() };
         let accounts = sim.alloc(cfg.accounts).map_err(se)?;
@@ -422,6 +448,7 @@ impl ShardEngine {
             span_len as u64,
             max_grid,
             Rc::clone(&recorder),
+            tx_trace.clone(),
         )?;
 
         let program = txl::compile(TXL_BUMP)
@@ -483,6 +510,8 @@ impl ShardEngine {
             span_len,
             txl_launch_seq: 0,
             wal_pending,
+            sim_trace,
+            tx_trace,
             dur,
         })
     }
@@ -535,12 +564,17 @@ impl ShardEngine {
         }
 
         let stats1 = self.stm.stats().borrow().clone();
+        let sim_events = self.sim_trace.as_ref().map_or_else(Vec::new, |t| t.borrow_mut().drain());
+        let tx_events = self.tx_trace.as_ref().map_or_else(Vec::new, |t| t.borrow_mut().drain());
         Ok(BatchReport {
             outcomes,
             cycles,
             commits: stats1.commits - stats0.commits,
             aborts: stats1.aborts - stats0.aborts,
             storm: self.stm.abort_storm(),
+            seq: self.dur.as_ref().map_or(0, |d| d.next_seq),
+            sim_events,
+            tx_events,
         })
     }
 
@@ -1412,6 +1446,7 @@ mod tests {
             initial_balance: 100,
             credit_cap: u32::MAX,
             n_locks: 1 << 10,
+            trace_events: 0,
             wal: None,
         }
     }

@@ -68,6 +68,7 @@
 mod crash;
 mod engine;
 mod error;
+mod obs;
 mod recovery;
 mod replica;
 mod report;
@@ -80,6 +81,11 @@ mod wal;
 pub use crash::{CrashPlan, CrashPoint, ReplicaFault, ResolvedCrash};
 pub use engine::{EngineConfig, ShardSummary, WalParams};
 pub use error::ServeError;
+pub use obs::{
+    FlightBundle, FlightFrame, HealthState, Hist, Incident, IncidentCause, MetricsSnapshot,
+    ObsConfig, ObsReport, ShardSnapshot, WinCounter, WitnessRef, BATCH_CYCLE_BOUNDS,
+    RETRY_AFTER_BOUNDS,
+};
 pub use recovery::RecoveryStats;
 pub use report::{RecoveryReport, ReplicaDiverged, ServeReport, ShardReport};
 pub use request::{MixConfig, Op, Request};

@@ -187,6 +187,11 @@ fn report_from_seal(seal: &BatchSeal) -> BatchReport {
         commits: seal.commits,
         aborts: seal.aborts,
         storm: seal.storm,
+        seq: seal.seq,
+        // Seals carry no trace events; a flight frame rebuilt from one
+        // replays as counters only.
+        sim_events: Vec::new(),
+        tx_events: Vec::new(),
     }
 }
 

@@ -267,6 +267,7 @@ mod engine_fidelity {
             initial_balance: 1000,
             credit_cap: u32::MAX,
             n_locks: 1 << 10,
+            trace_events: 0,
             wal: Some(WalParams { segment_batches: 8, compact: false, crash: None }),
         };
         ShardEngine::with_store(cfg, Some(MemStore::shared())).unwrap()

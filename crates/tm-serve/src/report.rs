@@ -5,6 +5,7 @@
 //! time is reported on the console only and never enters the JSON.
 
 use crate::error::ServeError;
+use crate::obs::{FlightBundle, Hist, Incident, ObsReport};
 use crate::recovery::RecoveryStats;
 use gpu_sim::JsonWriter;
 
@@ -48,6 +49,12 @@ pub struct RecoveryReport {
     pub replicas_healthy: u64,
     /// Divergence incidents, in detection order.
     pub diverged: Vec<ReplicaDiverged>,
+    /// Durability-dependent health incidents (synchronously-healed
+    /// crashes, replica demotions); epoch-visible incidents live in
+    /// [`ServeReport::obs`] instead.
+    pub incidents: Vec<Incident>,
+    /// Flight-recorder bundles cut at crash and divergence points.
+    pub bundles: Vec<FlightBundle>,
     /// FNV-1a fingerprint of the final blob store (every WAL segment,
     /// snapshot and decision blob) — the byte-identity witness for
     /// crash-recovery runs.
@@ -90,6 +97,18 @@ impl RecoveryReport {
             w.field_str("expected_log_fnv", &format!("{:016x}", d.expected_log_fnv));
             w.field_str("got_log_fnv", &format!("{:016x}", d.got_log_fnv));
             w.end_object();
+        }
+        w.end_array();
+        w.key("incidents");
+        w.begin_array();
+        for i in &self.incidents {
+            i.write_json(w);
+        }
+        w.end_array();
+        w.key("bundles");
+        w.begin_array();
+        for b in &self.bundles {
+            b.write_json(w);
         }
         w.end_array();
         w.field_str("store_fnv", &format!("{:016x}", self.store_fnv));
@@ -159,8 +178,23 @@ pub struct ShardReport {
     pub history_fnv: u64,
     /// FNV-1a hash of the request-tagged commit log.
     pub commit_log_fnv: u64,
+    /// Histogram of the retry-after hints this shard's rejections
+    /// handed out (fixed [`crate::obs::RETRY_AFTER_BOUNDS`] buckets).
+    pub retry_after: Hist,
     /// `tm-check` violations (empty = opaque-serializable).
     pub violations: Vec<String>,
+}
+
+impl ShardReport {
+    /// Abort rate: `aborts / (commits + aborts)`, 0 for an idle shard.
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.commits + self.aborts;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / attempts as f64
+        }
+    }
 }
 
 /// The full service run report.
@@ -218,6 +252,9 @@ pub struct ServeReport {
     pub first_rejection: Option<ServeError>,
     /// Per-shard reports, in shard order.
     pub shard_reports: Vec<ShardReport>,
+    /// Live-observability block: final metrics snapshot plus the
+    /// epoch-visible incidents and their flight-recorder bundles.
+    pub obs: ObsReport,
     /// Wall-clock duration of the run. **Console-only**: deliberately
     /// never serialized, so reports stay byte-identical across worker
     /// counts and machines.
@@ -317,6 +354,7 @@ impl ServeReport {
             w.field_str("stm", &s.stm_name);
             w.field_u64("commits", s.commits);
             w.field_u64("aborts", s.aborts);
+            w.field_f64("abort_rate", s.abort_rate());
             w.field_u64("writers", s.writers);
             w.field_u64("read_only", s.read_only);
             w.field_u64("launches", s.launches);
@@ -331,6 +369,8 @@ impl ServeReport {
             w.field_u64("retry_hint_final", s.retry_hint_final);
             w.field_str("history_fnv", &format!("{:016x}", s.history_fnv));
             w.field_str("commit_log_fnv", &format!("{:016x}", s.commit_log_fnv));
+            w.key("retry_after");
+            s.retry_after.write_json(w);
             w.key("violations");
             w.begin_array();
             for v in &s.violations {
@@ -340,6 +380,8 @@ impl ServeReport {
             w.end_object();
         }
         w.end_array();
+        w.key("obs");
+        self.obs.write_json(w);
         w.end_object();
     }
 
@@ -381,6 +423,7 @@ mod tests {
             violations_total: 0,
             first_rejection: None,
             shard_reports: vec![],
+            obs: ObsReport::default(),
             wall_seconds: 1.5,
         }
     }
@@ -431,6 +474,8 @@ mod tests {
                 expected_log_fnv: 1,
                 got_log_fnv: 2,
             }],
+            incidents: vec![],
+            bundles: vec![],
             store_fnv: 0x1234,
             store_bytes: 4096,
         };

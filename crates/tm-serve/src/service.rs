@@ -22,6 +22,7 @@ use crate::engine::{
     BatchReport, DurableOutcome, EngineConfig, Entry, ShardEngine, ShardOp, ShardSummary, WalParams,
 };
 use crate::error::ServeError;
+use crate::obs::{ObsConfig, ObsState};
 use crate::recovery::{self, RecoveryStats};
 use crate::replica::ReplicaGroup;
 use crate::report::{ClassTotals, RecoveryReport, ServeReport, ShardReport};
@@ -75,6 +76,9 @@ pub struct ServeConfig {
     /// Durability: write-ahead logging, snapshots, crash injection and
     /// replica groups. `None` serves from volatile state only.
     pub durability: Option<DurabilityConfig>,
+    /// Live-observability knobs (windowed metrics, health incidents,
+    /// flight recorder). The defaults are always-on and cheap.
+    pub obs: ObsConfig,
 }
 
 /// Durability knobs for the service.
@@ -132,6 +136,7 @@ impl Default for ServeConfig {
             n_locks: 1 << 12,
             max_rounds: 1 << 20,
             durability: None,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -154,6 +159,7 @@ impl ServeConfig {
             initial_balance: self.initial_balance,
             credit_cap: self.credit_cap,
             n_locks: self.n_locks,
+            trace_events: self.obs.flight_events,
             wal: self.durability.as_ref().map(|d| WalParams {
                 segment_batches: d.segment_batches,
                 compact: d.compact,
@@ -779,6 +785,15 @@ impl Service {
 
         let shards = cfg.shards;
         let batch_cap = cfg.batch_warps as usize * gpu_sim::WARP_SIZE;
+        // Live observability: windowed metrics, health incidents and the
+        // per-shard flight recorder, all driven by the epoch clock below.
+        let mut obs = ObsState::new(
+            cfg.obs.clone(),
+            shards,
+            cfg.variant.short_name(),
+            cfg.mode.short_name(),
+            cfg.seed,
+        );
         let mut adm = Admission::new(shards, cfg.queue_capacity, cfg.seed);
         let mut inflight: BTreeMap<u64, Pending2pc> = BTreeMap::new();
         let mut epoch = 0u64;
@@ -839,6 +854,7 @@ impl Service {
                 };
                 if due {
                     let (_, entries) = recovering[s].take().expect("due shard is recovering");
+                    let div_before = rec_report.diverged.len();
                     match recover_shard(
                         &pool,
                         workers,
@@ -852,6 +868,10 @@ impl Service {
                         Ok(report) => prefilled[s] = Some((entries, report)),
                         Err(e) => return fail(pool, e),
                     }
+                    for d in rec_report.diverged[div_before..].iter().copied() {
+                        obs.on_diverged(s, rounds, epoch, d.replica as u64);
+                    }
+                    obs.on_recovered(s, rounds, epoch);
                     down[s] = false;
                 }
             }
@@ -892,11 +912,13 @@ impl Service {
                             ServeError::Overloaded { shard, retry_after, .. } => {
                                 rejected[shard] += 1;
                                 hint_peak[shard] = hint_peak[shard].max(retry_after);
+                                obs.on_reject(shard, retry_after);
                             }
                             ServeError::ShardUnavailable { shard, retry_after } => {
                                 rejected[shard] += 1;
                                 hint_peak[shard] = hint_peak[shard].max(retry_after);
                                 rec_report.unavailable_rejections += 1;
+                                obs.on_reject(shard, retry_after);
                             }
                             _ => {}
                         }
@@ -932,6 +954,7 @@ impl Service {
                 if next_arr < requests.len() {
                     // Idle: jump the epoch clock to the next arrival.
                     epoch = epoch.max(requests[next_arr].arrival);
+                    obs.roll_to(epoch);
                     continue;
                 }
                 return fail(pool, ServeError::Stalled { rounds });
@@ -975,7 +998,23 @@ impl Service {
             //     byte-identical to an uncrashed run) or open an
             //     unavailability window and hold the batch.
             for &s in &crashed {
+                // Cut the crash bundle off the coordinator's view: the
+                // WAL position the shard must resume at and the store
+                // fingerprint at the moment of death.
+                let store_fnv =
+                    store_opt.as_ref().map(|st| store_fingerprint(st).0).unwrap_or_default();
+                let replicas_up = groups[s].as_ref().is_some_and(|g| g.healthy() > 0);
+                obs.on_crash(
+                    s,
+                    rounds,
+                    epoch,
+                    dispatch_seq[s],
+                    store_fnv,
+                    dur_cfg.recovery_rounds,
+                    replicas_up,
+                );
                 if dur_cfg.recovery_rounds == 0 {
+                    let div_before = rec_report.diverged.len();
                     match recover_shard(
                         &pool,
                         workers,
@@ -988,6 +1027,9 @@ impl Service {
                     ) {
                         Ok(report) => reports[s] = Some(report),
                         Err(e) => return fail(pool, e),
+                    }
+                    for d in rec_report.diverged[div_before..].iter().copied() {
+                        obs.on_diverged(s, rounds, epoch, d.replica as u64);
                     }
                 } else {
                     down[s] = true;
@@ -1010,12 +1052,17 @@ impl Service {
             }
             let quantum = folds.iter().map(|(_, _, r)| r.cycles).max().unwrap_or(0);
             epoch += quantum.max(1);
+            obs.roll_to(epoch);
 
-            for (s, entries, report) in folds {
+            for (s, entries, mut report) in folds {
                 dispatch_seq[s] += 1;
                 if let (Some(g), Some(f)) = (groups[s].as_mut(), feeds[s].take()) {
                     g.ingest(&f.0);
-                    rec_report.diverged.extend(g.check_epoch(&f.1));
+                    let div = g.check_epoch(&f.1);
+                    for d in &div {
+                        obs.on_diverged(s, rounds, epoch, d.replica as u64);
+                    }
+                    rec_report.diverged.extend(div);
                 }
                 cost[s] = (report.cycles / entries.len().max(1) as u64).max(1);
                 storm[s] = report.storm;
@@ -1024,6 +1071,8 @@ impl Service {
                 }
                 commits_batched[s] += report.commits;
                 aborts_batched[s] += report.aborts;
+                obs.on_gauges(s, adm.queues[s].len() as u64, cost[s]);
+                obs.on_batch(s, rounds, epoch, &mut report);
                 for (q, out) in entries.iter().zip(&report.outcomes) {
                     match q.op {
                         ShardOp::PrepareDebit { .. } => {
@@ -1153,6 +1202,9 @@ impl Service {
 
         let summaries: Vec<ShardSummary> =
             summaries.into_iter().map(|s| s.expect("collected all")).collect();
+        for (s, sum) in summaries.iter().enumerate() {
+            obs.on_violations(s, rounds, epoch, sum.violations.len() as u64);
+        }
 
         let offered = requests.len() as u64;
         let rejected_total: u64 = rejected.iter().sum();
@@ -1202,6 +1254,7 @@ impl Service {
                 retry_hint_final: retry_after_hint(0, cost[s], false),
                 history_fnv: sum.history_fnv,
                 commit_log_fnv: sum.commit_log_fnv,
+                retry_after: obs.retry_after(s).clone(),
                 violations: sum.violations.clone(),
             })
             .collect();
@@ -1232,8 +1285,11 @@ impl Service {
             violations_total,
             first_rejection,
             shard_reports,
+            obs: obs.report(epoch),
             wall_seconds,
         };
+        rec_report.incidents = obs.recovery_incidents();
+        rec_report.bundles = obs.recovery_bundles();
         Ok((report, rec_report))
     }
 }

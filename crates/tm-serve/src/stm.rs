@@ -12,8 +12,9 @@ use crate::error::ServeError;
 use gpu_sim::{LaneAddrs, LaneMask, LaneVals, LaunchConfig, Sim, WarpCtx};
 use gpu_stm::{
     CglStm, EgpgvStm, LockStm, NorecStm, OptimizedStm, Recorder, Robust, Scheduled, StatsHandle,
-    Stm, StmConfig, StmShared, WarpTx,
+    Stm, StmConfig, StmShared, TxTraceSink, WarpTx,
 };
+use std::rc::Rc;
 use workloads::Variant;
 
 /// How the base variant is wrapped for serving.
@@ -212,9 +213,11 @@ impl Stm for EngineStm {
     }
 }
 
-/// Instantiates `variant` in `sim` with `recorder` attached, wrapped
-/// per `mode`. Mirrors `workloads::dispatch`, but returns a long-lived
-/// value instead of running a one-shot closure.
+/// Instantiates `variant` in `sim` with `recorder` (and, when given, the
+/// flight-recorder `trace` tap) attached, wrapped per `mode`. Mirrors
+/// `workloads::dispatch`, but returns a long-lived value instead of
+/// running a one-shot closure.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn build_stm(
     sim: &mut Sim,
     variant: Variant,
@@ -223,10 +226,23 @@ pub(crate) fn build_stm(
     shared_data_words: u64,
     grid: LaunchConfig,
     recorder: Recorder,
+    trace: Option<TxTraceSink>,
 ) -> Result<EngineStm, ServeError> {
     let err = |e: gpu_sim::SimError| ServeError::BadConfig(format!("stm init: {e}"));
+    // Applies the optional trace tap to any builder-style STM value.
+    macro_rules! traced {
+        ($stm:expr) => {{
+            let stm = $stm;
+            match &trace {
+                Some(t) => stm.with_trace(Rc::clone(t)),
+                None => stm,
+            }
+        }};
+    }
     let base = match variant {
-        Variant::Cgl => BaseStm::Cgl(CglStm::init(sim).map_err(err)?.with_recorder(recorder)),
+        Variant::Cgl => {
+            BaseStm::Cgl(traced!(CglStm::init(sim).map_err(err)?.with_recorder(recorder)))
+        }
         Variant::Egpgv => {
             let shared = StmShared::init(sim, &stm_cfg).map_err(err)?;
             let stm = EgpgvStm::init(sim, shared, stm_cfg).map_err(err)?.with_recorder(recorder);
@@ -236,17 +252,17 @@ pub(crate) fn build_stm(
                     grid.blocks
                 )));
             }
-            BaseStm::Egpgv(stm)
+            BaseStm::Egpgv(traced!(stm))
         }
         Variant::Vbv => {
             let shared = StmShared::init(sim, &stm_cfg).map_err(err)?;
-            BaseStm::Norec(NorecStm::new(shared, stm_cfg).with_recorder(recorder))
+            BaseStm::Norec(traced!(NorecStm::new(shared, stm_cfg).with_recorder(recorder)))
         }
         Variant::Optimized => {
             let shared = StmShared::init(sim, &stm_cfg).map_err(err)?;
-            BaseStm::Optimized(
-                OptimizedStm::new(shared, stm_cfg, shared_data_words).with_recorder(recorder),
-            )
+            BaseStm::Optimized(traced!(
+                OptimizedStm::new(shared, stm_cfg, shared_data_words).with_recorder(recorder)
+            ))
         }
         Variant::TbvSorting | Variant::HvSorting | Variant::HvBackoff | Variant::TbvBackoff => {
             let shared = StmShared::init(sim, &stm_cfg).map_err(err)?;
@@ -256,15 +272,15 @@ pub(crate) fn build_stm(
                 Variant::HvBackoff => LockStm::hv_backoff(shared, stm_cfg),
                 _ => LockStm::tbv_backoff(shared, stm_cfg),
             };
-            BaseStm::Lock(stm.with_recorder(recorder))
+            BaseStm::Lock(traced!(stm.with_recorder(recorder)))
         }
     };
     Ok(match mode {
         EngineMode::Plain => EngineStm::Base(base),
-        EngineMode::Scheduled => EngineStm::Scheduled(Scheduled::with_defaults(base)),
+        EngineMode::Scheduled => EngineStm::Scheduled(traced!(Scheduled::with_defaults(base))),
         EngineMode::Robust => {
-            let sched = Scheduled::with_defaults(base);
-            EngineStm::Robust(Robust::with_defaults(sim, sched).map_err(err)?)
+            let sched = traced!(Scheduled::with_defaults(base));
+            EngineStm::Robust(traced!(Robust::with_defaults(sim, sched).map_err(err)?))
         }
     })
 }

@@ -6,7 +6,7 @@
 //! barrier results in shard order, and the report serializes only
 //! virtual quantities.
 
-use tm_serve::{EngineMode, MixConfig, ServeConfig, Service};
+use tm_serve::{EngineMode, MixConfig, ObsConfig, ServeConfig, Service};
 use workloads::Variant;
 
 fn cfg(workers: usize) -> ServeConfig {
@@ -49,6 +49,37 @@ fn report_and_history_identical_across_worker_counts() {
     assert!(r.txl_consistent, "TXL counters consistent");
     assert_eq!(r.violations_total, 0, "tm-check must pass on served histories");
     assert!(r.completed > 0);
+}
+
+/// Observability is part of the determinism contract: both encoders of
+/// the final `MetricsSnapshot` — the JSON document and the Prometheus
+/// text scrape — must be byte-identical for 1, 2 and 4 workers, with
+/// narrow windows and the flight recorder capturing events so every
+/// obs code path (window rolls, frame cuts, trace taps) is exercised.
+#[test]
+fn metrics_snapshot_identical_across_worker_counts() {
+    let make = |workers| {
+        let cfg = ServeConfig {
+            obs: ObsConfig {
+                window_cycles: 1 << 12,
+                flight_events: 1 << 12,
+                storm_open: 1,
+                ..ObsConfig::default()
+            },
+            ..cfg(workers)
+        };
+        Service::run(&cfg).expect("serve run")
+    };
+    let runs: Vec<_> = [1usize, 2, 4].iter().map(|&w| make(w)).collect();
+    let snap0 = &runs[0].obs.snapshot;
+    assert!(snap0.window > 1, "run must cross several metric windows");
+    let json0 = snap0.to_json();
+    let prom0 = snap0.to_prometheus();
+    assert!(prom0.contains("tm_commits_total"), "scrape has content");
+    for r in &runs[1..] {
+        assert_eq!(r.obs.snapshot.to_json(), json0, "snapshot JSON diverged across workers");
+        assert_eq!(r.obs.snapshot.to_prometheus(), prom0, "scrape diverged across workers");
+    }
 }
 
 #[test]

@@ -230,6 +230,40 @@ pub fn witness_rule(meta: &[(String, String)]) -> Option<&str> {
     meta.iter().find(|(k, _)| k == "rule").map(|(_, v)| v.as_str())
 }
 
+/// Provenance of a saved `.sched` witness: what it proves and where it
+/// lives. Observability layers attach this to incident bundles so a
+/// model-checker violation in a post-mortem links straight back to its
+/// minimized reproduction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WitnessProvenance {
+    /// Case name (`meta case` in the witness file).
+    pub case: String,
+    /// Lint rule the seeded bug maps to (`meta rule`).
+    pub rule: String,
+    /// Path of the written witness file.
+    pub path: std::path::PathBuf,
+}
+
+/// Minimizes `finding`, renders it as witness text and writes it to
+/// `<dir>/<case-name>.sched`, returning the provenance record to thread
+/// into incident bundles.
+///
+/// # Errors
+///
+/// Propagates directory-creation and file-write failures.
+pub fn save_witness(
+    dir: &std::path::Path,
+    case: &TxlCase,
+    finding: &Finding,
+) -> std::io::Result<WitnessProvenance> {
+    let min = minimize_case_finding(case, finding);
+    let text = finding_to_witness(case, finding, &min);
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.sched", case.name));
+    std::fs::write(&path, text)?;
+    Ok(WitnessProvenance { case: case.name.clone(), rule: case.rule.clone(), path })
+}
+
 /// Parses a [`ViolationKind`] from its `Display` name.
 fn parse_kind(s: &str) -> Option<ViolationKind> {
     let all = [

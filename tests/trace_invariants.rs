@@ -11,8 +11,9 @@
 //!    `aborts`. The trace is not a sample; it is the same ground truth.
 //! 4. **Pure observation** — attaching the sink changes no cycle count.
 
+use gpu_sim::trace::{SimEvent, SimEventKind};
 use gpu_sim::LaunchConfig;
-use gpu_stm::{tx_trace_sink, TxEvent, TxEventKind};
+use gpu_stm::{chrome_trace, tx_trace_sink, TxEvent, TxEventKind};
 use workloads::{ht, RunConfig, RunError, Variant};
 
 fn params() -> ht::HtParams {
@@ -106,6 +107,50 @@ fn events_reconcile_exactly_with_stats() {
         checked += 1;
     }
     assert!(checked >= 7, "only {checked} variants ran — grid too big for the rest?");
+}
+
+/// The exporter's degenerate inputs: an empty trace must still be a
+/// complete, loadable document (incident tooling renders bundles from
+/// idle shards), and event-free inputs must contribute no process
+/// metadata.
+#[test]
+fn empty_trace_exports_a_complete_document() {
+    let json = chrome_trace(&[], &[]);
+    assert_eq!(json, r#"{"traceEvents":[],"displayTimeUnit":"ns"}"#);
+    // One-sided emptiness still works and names the block exactly once.
+    let sim = vec![SimEvent { cycle: 0, block: 3, warp: 0, kind: SimEventKind::WarpStart }];
+    let json = chrome_trace(&sim, &[]);
+    assert_eq!(json.matches("process_name").count(), 1);
+    assert!(json.contains(r#""pid":3"#), "{json}");
+}
+
+/// Zero-duration spans are legal trace events: a Begin/Commit pair on
+/// the same cycle and a zero-cycle idle/backoff span must export with
+/// explicit zero timestamps and durations, in input order, without
+/// confusing the slice nesting.
+#[test]
+fn zero_duration_spans_export_cleanly() {
+    let sim =
+        vec![SimEvent { cycle: 7, block: 0, warp: 0, kind: SimEventKind::Idle { cycles: 0 } }];
+    let txe = vec![
+        TxEvent { cycle: 7, block: 0, warp: 0, kind: TxEventKind::Begin { lanes: 1 } },
+        TxEvent { cycle: 7, block: 0, warp: 0, kind: TxEventKind::Backoff { cycles: 0 } },
+        TxEvent {
+            cycle: 7,
+            block: 0,
+            warp: 0,
+            kind: TxEventKind::Commit { committed: 1, aborted: 0 },
+        },
+    ];
+    let json = chrome_trace(&sim, &txe);
+    // The zero-length spans carry dur 0 rather than being dropped.
+    assert_eq!(json.matches(r#""dur":0"#).count(), 2, "{json}");
+    // All four events share one timestamp; the B slice still precedes
+    // its E slice (stable merge, sim-first on ties).
+    let begin = json.find(r#""ph":"B""#).expect("begin slice");
+    let end = json.find(r#""ph":"E""#).expect("end slice");
+    assert!(begin < end, "{json}");
+    assert_eq!(json.matches(r#""ts":7"#).count(), 4, "{json}");
 }
 
 #[test]
