@@ -44,8 +44,10 @@ fn render() -> Result<Sweep, String> {
         return Err(format!("no *_bug.txl fixtures under {}", dir.display()));
     }
 
-    let cfg =
-        FixConfig { lint: LintConfig { write_set_capacity: Some(32) }, ..FixConfig::default() };
+    let cfg = FixConfig {
+        lint: LintConfig { write_set_capacity: Some(32), ..LintConfig::default() },
+        ..FixConfig::default()
+    };
     let mut out = String::new();
     let mut w = gpu_sim::JsonWriter::new();
     w.begin_object();

@@ -34,7 +34,7 @@ fn render_report() -> Result<String, String> {
         return Err(format!("no .txl fixtures under {}", dir.display()));
     }
 
-    let cfg = LintConfig { write_set_capacity: Some(32) };
+    let cfg = LintConfig { write_set_capacity: Some(32), ..LintConfig::default() };
     let mut out = String::new();
     let mut findings = 0usize;
     for path in &files {

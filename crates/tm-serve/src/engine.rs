@@ -31,8 +31,10 @@ use std::rc::Rc;
 use workloads::{mix64, Variant};
 
 /// The TXL program served for `TxlBump` requests: a compiled
-/// `atomic{}` read-modify-write on one counter cell.
-const TXL_BUMP: &str = "
+/// `atomic{}` read-modify-write on one counter cell. Public so
+/// [`crate::ServeConfig::seed_from_txl`] can statically analyze the
+/// program each shard will actually run.
+pub const TXL_BUMP: &str = "
 kernel bump(args: array, data: array) {
     let k = args[tid()];
     atomic {

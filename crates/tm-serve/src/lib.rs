@@ -79,7 +79,7 @@ mod stm;
 mod wal;
 
 pub use crash::{CrashPlan, CrashPoint, ReplicaFault, ResolvedCrash};
-pub use engine::{EngineConfig, ShardSummary, WalParams};
+pub use engine::{EngineConfig, ShardSummary, WalParams, TXL_BUMP};
 pub use error::ServeError;
 pub use obs::{
     FlightBundle, FlightFrame, HealthState, Hist, Incident, IncidentCause, MetricsSnapshot,

@@ -244,6 +244,35 @@ impl ServeConfig {
         cfg.validate()?;
         Ok(cfg)
     }
+
+    /// Applies a `txl analyze` static profile to this config: the
+    /// per-shard STM variant becomes the profile's top-ranked variant
+    /// and the lock-table size its stripe recommendation — the acting
+    /// half of the obs layer's sense/act split, applied before any
+    /// traffic arrives.
+    pub fn seed_from_profile(mut self, profile: &txl::StaticProfile) -> Self {
+        if let Some(v) = Variant::parse(profile.recommended().short_name()) {
+            self.variant = v;
+        }
+        self.n_locks = profile.stripes;
+        self
+    }
+
+    /// Statically analyzes `src` at this config's modeled concurrency
+    /// (`batch_warps` warps of 32 lanes) and seeds variant/stripes from
+    /// the result via [`seed_from_profile`](Self::seed_from_profile).
+    /// Pass [`crate::TXL_BUMP`] to seed from the program the engine
+    /// actually serves for `TxlBump` requests.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadConfig`] if `src` does not compile.
+    pub fn seed_from_txl(self, src: &str) -> Result<Self, ServeError> {
+        let cfg = txl::CostConfig { threads: self.batch_warps * 32, ..txl::CostConfig::default() };
+        let profile = txl::analyze_source(src, &cfg)
+            .map_err(|e| ServeError::BadConfig(format!("seed_from_txl: {e}")))?;
+        Ok(self.seed_from_profile(&profile))
+    }
 }
 
 /// Suggested retry delay (simulated cycles) for a client rejected by a

@@ -54,8 +54,9 @@ pub use explore::{
 pub use litmus::{footprint_filter, model, run_once, Litmus, Workload, STRIPES_SRC};
 pub use sched::{minimize, parse, serialize, HEADER};
 pub use witness::{
-    explore_case, finding_to_witness, minimize_case_finding, replay_case, run_case, save_witness,
-    unsorted_locks, witness_reproduces, witness_rule, TxlCase, WitnessProvenance,
+    explore_case, finding_to_witness, footprint_order, minimize_case_finding, replay_case,
+    run_case, save_witness, unsorted_locks, witness_reproduces, witness_rule, TxlCase,
+    WitnessProvenance,
 };
 
 use gpu_sim::PolicyHandle;

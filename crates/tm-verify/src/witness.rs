@@ -18,6 +18,7 @@ use crate::explore::{
 };
 use crate::{sched, Schedule};
 use gpu_sim::{race_sink, PolicyHandle, Sim, SimConfig, SimError};
+use gpu_stm::Mutation;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -48,6 +49,12 @@ pub struct TxlCase {
     /// TXL threads. The case runs one single-thread block per TXL thread
     /// so thread ids map 1:1 onto `(block, 0)` warp keys.
     pub threads: u32,
+    /// Seeded STM [`Mutation`] the case runs under (all-off for cases
+    /// whose bug lives in the program itself, like [`unsorted_locks`]).
+    /// Cases whose lint rule guards against a *weakened* STM — TL005's
+    /// footprint-order inversion only deadlocks when lock sorting is
+    /// disabled — seed the corresponding mutant here.
+    pub mutation: Mutation,
 }
 
 impl TxlCase {
@@ -80,6 +87,35 @@ pub fn unsorted_locks() -> TxlCase {
         .to_string(),
         rule: "TL002".to_string(),
         threads: 2,
+        mutation: Mutation::default(),
+    }
+}
+
+/// The conflicting-footprint-order case: two transfer transactions whose
+/// footprints overlap on both arrays but first-touch them in inverted
+/// order — the shape rule `TL005` flags statically. A sorting STM
+/// tolerates it; under the `unsorted_locks` mutant (blocking
+/// encounter-order commit locking, the discipline the paper's lock
+/// sorting exists to forbid) the crossed orders deadlock. `txl fix`
+/// reorders the second block's body, after which even the mutant STM
+/// acquires both stripes in one order and the witness dies.
+pub fn footprint_order() -> TxlCase {
+    TxlCase {
+        name: "footprint-order".to_string(),
+        source: "kernel transfer(from: array, into: array) {
+    atomic {
+        from[0] = from[0] - 1;
+        into[0] = into[0] + 1;
+    }
+    atomic {
+        into[0] = into[0] - 1;
+        from[0] = from[0] + 1;
+    }
+}"
+        .to_string(),
+        rule: "TL005".to_string(),
+        threads: 2,
+        mutation: Mutation { unsorted_locks: true, ..Mutation::default() },
     }
 }
 
@@ -111,7 +147,11 @@ pub fn run_case(case: &TxlCase, policy: Option<PolicyHandle>) -> ModelOutcome {
         Err(e) => return outcome_for_error(ViolationKind::Sim, e.to_string()),
     };
     let rec = gpu_stm::recorder();
-    let stm = Rc::new(gpu_stm::LockStm::hv_sorting(shared, stm_cfg).with_recorder(rec.clone()));
+    let stm = Rc::new(
+        gpu_stm::LockStm::hv_sorting(shared, stm_cfg)
+            .with_mutation(case.mutation)
+            .with_recorder(rec.clone()),
+    );
 
     let fp = txl::kernel_footprint(
         kernel,
@@ -313,6 +353,34 @@ mod tests {
             diags.iter().any(|d| d.rule.id() == case.rule),
             "expected a {} finding, got {diags:?}",
             case.rule
+        );
+    }
+
+    #[test]
+    fn footprint_order_compiles_and_lints_as_tl005() {
+        let case = footprint_order();
+        let diags =
+            txl::lint_source(&case.source, &txl::LintConfig::default()).expect("case compiles");
+        assert!(
+            diags.iter().any(|d| d.rule.id() == case.rule),
+            "expected a {} finding, got {diags:?}",
+            case.rule
+        );
+    }
+
+    #[test]
+    fn explorer_finds_the_footprint_order_deadlock() {
+        let case = footprint_order();
+        let report = explore_case(&case, 2, 500);
+        let finding = report
+            .findings
+            .iter()
+            .find(|f| f.violation.kind.is_progress_failure())
+            .unwrap_or_else(|| panic!("no deadlock among {} findings", report.findings.len()));
+        let outcome = replay_case(&case, &finding.schedule);
+        assert!(
+            outcome.violations.iter().any(|v| finding.violation.kind.matches(v.kind)),
+            "witness schedule does not replay: {outcome:?}"
         );
     }
 

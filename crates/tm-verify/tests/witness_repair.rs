@@ -3,8 +3,8 @@
 //! repairs the program it was mined from.
 
 use tm_verify::{
-    explore_case, finding_to_witness, minimize_case_finding, unsorted_locks, witness_reproduces,
-    witness_rule,
+    explore_case, finding_to_witness, footprint_order, minimize_case_finding, unsorted_locks,
+    witness_reproduces, witness_rule,
 };
 
 #[test]
@@ -55,6 +55,60 @@ fn repaired_program_kills_the_deadlock_witness() {
 
     // And not just under the witness schedule: the repaired program's
     // whole bounded schedule space is deadlock-free.
+    let re = explore_case(&repaired, 2, 500);
+    assert!(
+        re.findings.iter().all(|f| !f.violation.kind.is_progress_failure()),
+        "repaired program still deadlocks somewhere: {:?}",
+        re.findings
+    );
+}
+
+/// The same gate for TL005: the footprint-order case deadlocks (under
+/// the unsorted-locks STM mutant) until `txl fix` reorders the second
+/// transaction's body, after which the minimized witness — and the whole
+/// bounded schedule space — is deadlock-free, even though the mutant
+/// stays armed on replay.
+#[test]
+fn reordered_program_kills_the_footprint_order_witness() {
+    let case = footprint_order();
+
+    let report = explore_case(&case, 2, 500);
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.violation.kind.is_progress_failure())
+        .expect("the footprint-order case deadlocks under the unsorted-locks mutant");
+    let min = minimize_case_finding(&case, finding);
+    let witness = finding_to_witness(&case, finding, &min);
+    assert_eq!(
+        witness_reproduces(&case, &witness),
+        Ok(true),
+        "minimized witness must reproduce on the buggy source:\n{witness}"
+    );
+
+    let (_, meta) = tm_verify::parse(&witness).expect("witness parses");
+    assert_eq!(witness_rule(&meta), Some("TL005"));
+
+    let fixed =
+        txl::fix_source(&case.source, &txl::FixConfig::default()).expect("buggy source compiles");
+    assert!(fixed.is_clean(), "repair left residual findings: {:?}", fixed.residual);
+    assert!(fixed.changed(), "repair must reorder the second transaction");
+    let diags = txl::lint_source(&fixed.fixed, &txl::LintConfig::default())
+        .expect("repaired source compiles");
+    assert!(
+        diags.iter().all(|d| d.rule.id() != "TL005"),
+        "repaired source still lints TL005: {diags:?}"
+    );
+
+    // The mutation stays armed — only the program changed.
+    let repaired = case.with_source(&fixed.fixed);
+    assert_eq!(
+        witness_reproduces(&repaired, &witness),
+        Ok(false),
+        "witness survived the repair:\n{witness}\nrepaired source:\n{}",
+        fixed.fixed
+    );
+
     let re = explore_case(&repaired, 2, 500);
     assert!(
         re.findings.iter().all(|f| !f.violation.kind.is_progress_failure()),

@@ -6,6 +6,7 @@
 //! txl fix  [--capacity N] [--format text|json] [--diff|--write|--check]
 //!          [--max-rounds N] [--no-gate] <file.txl ...|->
 //! txl compile <file.txl ...|->               # parse + check only
+//! txl analyze [--threads N] [--capacity N] [--format text|json] <file.txl ...|->
 //! ```
 //!
 //! `lint` prints one finding per line (`TLnnn [kernel:line span] message`)
@@ -22,6 +23,15 @@
 //! clean, the dynamic gate ([`txl::fix::dynamic_check`]) re-runs it on
 //! the simulator with the race detector attached; `--no-gate` skips
 //! that. `--format json` emits machine-readable patch records.
+//!
+//! `analyze` runs the static contention & cost analysis
+//! ([`txl::analyze_source`]) and prints each file's per-transaction
+//! profile, conflict graph, STM-variant ranking and stripe
+//! recommendation. `--threads N` sets the modeled thread count (default
+//! 256); `--capacity N` caps modeled write-set bounds. The analysis also
+//! turns on lint rules TL006/TL007 and reports their findings. `analyze`
+//! exits 0 even when contention findings exist — they are advice, not
+//! defects; only errors exit nonzero.
 //!
 //! Exit status, for both `lint` and `fix`:
 //!
@@ -56,6 +66,9 @@ fn usage() -> ExitCode {
     eprintln!("       txl fix  [--capacity N] [--format text|json] [--diff|--write|--check]");
     eprintln!("                [--max-rounds N] [--no-gate] <file.txl ...|->");
     eprintln!("       txl compile <file.txl ...|->");
+    eprintln!(
+        "       txl analyze [--threads N] [--capacity N] [--format text|json] <file.txl ...|->"
+    );
     ExitCode::from(EXIT_ERROR)
 }
 
@@ -187,10 +200,17 @@ fn main() -> ExitCode {
     let mut fix_mode = FixMode::Diff;
     let mut max_rounds = FixConfig::default().max_rounds;
     let mut gate = true;
+    let mut threads = txl::CostConfig::default().threads;
     let mut files: Vec<&str> = Vec::new();
     let mut rest = args[1..].iter();
     while let Some(a) = rest.next() {
-        if a == "--capacity" {
+        if a == "--threads" {
+            let Some(n) = rest.next().and_then(|v| v.parse::<u32>().ok()).filter(|&n| n > 0) else {
+                eprintln!("txl: --threads needs a positive integer argument");
+                return ExitCode::from(EXIT_ERROR);
+            };
+            threads = n;
+        } else if a == "--capacity" {
             let Some(n) = rest.next().and_then(|v| v.parse::<u32>().ok()) else {
                 eprintln!("txl: --capacity needs an integer argument");
                 return ExitCode::from(EXIT_ERROR);
@@ -234,8 +254,82 @@ fn main() -> ExitCode {
         "compile" => run_compile(&files),
         "lint" => run_lint(&files, &cfg, format),
         "fix" => run_fix(&files, &cfg, format, fix_mode, max_rounds, gate),
+        "analyze" => run_analyze(&files, &cfg, threads, format),
         _ => usage(),
     }
+}
+
+fn run_analyze(files: &[&str], cfg: &LintConfig, threads: u32, format: Format) -> ExitCode {
+    let cost_cfg = txl::CostConfig { threads, write_set_capacity: cfg.write_set_capacity };
+    // The analysis doubles as the trigger for the contention lint rules.
+    let lint_cfg = LintConfig {
+        hot_degree: Some(0.5),
+        flag_read_only: true,
+        write_set_capacity: cfg.write_set_capacity,
+    };
+    let mut json = gpu_sim::JsonWriter::new();
+    json.begin_object();
+    json.field_str("tool", "txl-analyze");
+    json.field_u64("threads", u64::from(threads));
+    json.key("files");
+    json.begin_array();
+    for path in files {
+        let source = match read_source(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("txl: {e}");
+                return ExitCode::from(EXIT_ERROR);
+            }
+        };
+        let profile = match txl::analyze_source(&source, &cost_cfg) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::from(EXIT_ERROR);
+            }
+        };
+        let diags = match txl::lint::lint_source(&source, &lint_cfg) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::from(EXIT_ERROR);
+            }
+        };
+        let contention: Vec<&Diagnostic> =
+            diags.iter().filter(|d| matches!(d.rule.id(), "TL006" | "TL007")).collect();
+        match format {
+            Format::Text => {
+                println!("{path}:");
+                for line in txl::cost::render_text(&profile).lines() {
+                    println!("  {line}");
+                }
+                for d in &contention {
+                    println!("  {d}");
+                }
+            }
+            Format::Json => {
+                json.begin_object();
+                json.field_str("file", path);
+                json.key("profile");
+                json.begin_object();
+                txl::cost::write_profile_json(&mut json, &profile);
+                json.end_object();
+                json.key("findings");
+                json.begin_array();
+                for d in &contention {
+                    write_diag_json(&mut json, path, d);
+                }
+                json.end_array();
+                json.end_object();
+            }
+        }
+    }
+    json.end_array();
+    json.end_object();
+    if format == Format::Json {
+        println!("{}", json.finish());
+    }
+    ExitCode::SUCCESS
 }
 
 fn run_compile(files: &[&str]) -> ExitCode {

@@ -190,6 +190,9 @@ pub fn plan(src: &str, program: &Program, diag: &Diagnostic, cfg: &LintConfig) -
         Rule::UnboundedWriteSet => plan_tl003(src, kernel, diag, cfg),
         Rule::DivergentAtomic => plan_tl004(src, kernel, diag),
         Rule::ConflictingFootprintOrder => plan_tl005(src, kernel, diag),
+        // Contention findings are configuration advice (variant / stripe
+        // choice), not source defects — there is no sound source rewrite.
+        Rule::StaticallyHotStripe | Rule::ReadOnlyWriteCost => None,
     }
 }
 
@@ -854,7 +857,7 @@ mod tests {
 
     fn fix_cap(src: &str, cap: u32) -> FixReport {
         let cfg = FixConfig {
-            lint: LintConfig { write_set_capacity: Some(cap) },
+            lint: LintConfig { write_set_capacity: Some(cap), ..LintConfig::default() },
             ..FixConfig::default()
         };
         fix_source(src, &cfg).expect("fixture compiles")

@@ -82,11 +82,11 @@ impl Interval {
         }
     }
 
-    fn add(self, o: Interval) -> Interval {
+    pub(crate) fn add(self, o: Interval) -> Interval {
         Interval::from_u64(self.lo as u64 + o.lo as u64, self.hi as u64 + o.hi as u64)
     }
 
-    fn sub(self, o: Interval) -> Interval {
+    pub(crate) fn sub(self, o: Interval) -> Interval {
         if o.hi <= self.lo {
             Interval { lo: self.lo - o.hi, hi: self.hi - o.lo }
         } else {
@@ -95,23 +95,32 @@ impl Interval {
         }
     }
 
-    fn mul(self, o: Interval) -> Interval {
+    pub(crate) fn mul(self, o: Interval) -> Interval {
         Interval::from_u64(self.lo as u64 * o.lo as u64, self.hi as u64 * o.hi as u64)
     }
 
-    fn div(self) -> Interval {
+    pub(crate) fn div(self) -> Interval {
         // TXL defines x / 0 = 0, so the result never exceeds the
         // dividend.
         Interval { lo: 0, hi: self.hi }
     }
 
-    fn rem(self, o: Interval) -> Interval {
+    pub(crate) fn rem(self, o: Interval) -> Interval {
         // TXL defines x % 0 = 0; otherwise the result is < divisor and
         // never exceeds the dividend.
+        if o.lo == o.hi && o.lo > 0 {
+            let d = o.lo;
+            let (lo, hi) = (self.lo % d, self.hi % d);
+            // The dividend range stays within one period of the
+            // divisor, so the remainder is monotone across it.
+            if self.hi - self.lo < d && lo <= hi {
+                return Interval { lo, hi };
+            }
+        }
         Interval { lo: 0, hi: self.hi.min(o.hi.saturating_sub(1)) }
     }
 
-    fn bit_hull(self, o: Interval) -> Interval {
+    pub(crate) fn bit_hull(self, o: Interval) -> Interval {
         // |, ^, &-with-unknowns: bounded by an all-ones mask covering the
         // larger operand's bit-length.
         let m = self.hi | o.hi;
@@ -128,16 +137,21 @@ impl Interval {
         Interval { lo: 0, hi }
     }
 
-    fn shl(self, o: Interval) -> Interval {
+    pub(crate) fn shl(self, o: Interval) -> Interval {
         if o.hi >= 32 {
             return Interval::TOP;
         }
         Interval::from_u64((self.lo as u64) << o.lo, (self.hi as u64) << o.hi)
     }
 
-    fn shr(self, o: Interval) -> Interval {
-        let hi_shift = o.lo.min(31);
-        Interval { lo: self.lo >> o.hi.min(31), hi: self.hi >> hi_shift }
+    pub(crate) fn shr(self, o: Interval) -> Interval {
+        if o.hi >= 32 {
+            // The interpreter shifts modulo 32 (`wrapping_shr`), so a
+            // shift interval reaching 32 admits an effective shift of 0
+            // and the result can be as large as the dividend.
+            return Interval { lo: 0, hi: self.hi };
+        }
+        Interval { lo: self.lo >> o.hi, hi: self.hi >> o.lo }
     }
 }
 
@@ -504,5 +518,91 @@ mod tests {
         assert_eq!(Interval::new(0, 7).rem(Interval::exact(4)), Interval::new(0, 3));
         assert_eq!(top.rem(Interval::exact(8)), Interval::new(0, 7));
         assert_eq!(Interval::exact(3).mul(Interval::exact(4)), Interval::exact(12));
+    }
+
+    /// The interpreter's shifts are `wrapping_shl`/`wrapping_shr` (shift
+    /// amount taken modulo 32), so a shift interval that reaches 32
+    /// admits an *effective shift of zero*. The abstract operators must
+    /// cover that case — `[9,9] >> [1,33]` must still contain 9.
+    #[test]
+    fn shift_intervals_crossing_32_stay_sound() {
+        let v = Interval::exact(9);
+        let s = Interval::new(1, 33);
+        let shr = v.shr(s);
+        for k in [1u32, 31, 32, 33] {
+            let concrete = 9u32.wrapping_shr(k);
+            assert!(
+                shr.lo <= concrete && concrete <= shr.hi,
+                "9 >> {k} = {concrete} escaped hull {shr}"
+            );
+        }
+        // shl with a crossing interval likewise admits shift 0.
+        assert!(v.shl(s).overlaps(Interval::exact(9)));
+        // Entirely-below-32 shifts stay precise in both directions.
+        assert_eq!(Interval::new(8, 16).shr(Interval::new(1, 2)), Interval::new(2, 8));
+        assert_eq!(Interval::new(1, 2).shl(Interval::new(2, 3)), Interval::new(4, 16));
+    }
+
+    /// End-to-end regression for the mod-32 shift: a kernel whose index
+    /// shifts by `1 + rand(33)` can execute an effective shift of 0
+    /// (k = 32), so thread 9's hull must contain index 9. The previous
+    /// `shr` clamped the shift to 31 and reported `[0, 4]`.
+    #[test]
+    fn kernel_footprint_covers_mod32_shift() {
+        let p = kernel(
+            "kernel s(a: array[16]) {
+                 let k = 1 + rand(33);
+                 a[(tid() >> k) % 16] = 1;
+             }",
+        );
+        let f = thread_footprint(only(&p), 9, 16);
+        let w = f[0].write.expect("write recorded");
+        assert!(w.lo <= 9 && 9 <= w.hi, "index 9 escaped hull {w}");
+    }
+
+    /// Index wrap-around below zero: `a[i - 1]` with `i = 0` executes at
+    /// u32::MAX under wrapping semantics, so without a declared length
+    /// the hull must go to ⊤ (and with one, the clamp keeps it in range).
+    #[test]
+    fn underflow_index_widens_to_top() {
+        let p = kernel("kernel u(a: array) { let i = 0; a[i - 1] = 1; }");
+        let f = kernel_footprint(only(&p), Interval::exact(0), 1);
+        assert!(f.params[0].write.unwrap().is_top());
+        let clamped = kernel("kernel u(a: array[8]) { let i = 0; a[i - 1] = 1; }");
+        let w = kernel_footprint(only(&clamped), Interval::exact(0), 1).params[0].write.unwrap();
+        assert!(w.hi <= 7, "declared length must clamp the wrapped index, got {w}");
+    }
+
+    /// Zero-trip loops: the body never executes, but this is a *may*
+    /// analysis — recording the body's accesses is sound (a superset) and
+    /// the fixpoint must still terminate immediately.
+    #[test]
+    fn zero_trip_loops_terminate() {
+        let p = kernel(
+            "kernel z(a: array) {
+                 let i = 10;
+                 while i < 10 { a[i] = 1; i = i + 1; }
+                 a[0] = 2;
+             }",
+        );
+        let f = kernel_footprint(only(&p), Interval::exact(0), 1);
+        let w = f.params[0].write.expect("unconditional store recorded");
+        assert!(w.lo == 0, "a[0] must be in the hull");
+    }
+
+    /// Negative stride (descending induction): the hull must cover every
+    /// index the countdown touches, including the final one.
+    #[test]
+    fn descending_loop_covers_all_indices() {
+        let p = kernel(
+            "kernel d(a: array) {
+                 let i = 7;
+                 while i > 0 { a[i] = 1; i = i - 1; }
+                 a[i] = 2;
+             }",
+        );
+        let f = kernel_footprint(only(&p), Interval::exact(0), 1);
+        let w = f.params[0].write.expect("writes recorded");
+        assert!(w.lo == 0 && w.hi >= 7, "countdown hull {w} must cover [0,7]");
     }
 }

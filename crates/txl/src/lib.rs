@@ -56,6 +56,7 @@
 pub mod analysis;
 pub mod ast;
 pub mod check;
+pub mod cost;
 mod error;
 pub mod fix;
 pub mod footprint;
@@ -66,6 +67,7 @@ pub mod patch;
 pub mod token;
 
 pub use ast::{Kernel, Program};
+pub use cost::{analyze_program, analyze_source, CostConfig, StaticProfile, StmKind, SymBound};
 pub use error::TxlError;
 pub use fix::{fix_source, plan, AppliedPatch, DynamicReport, FixConfig, FixReport};
 pub use footprint::{

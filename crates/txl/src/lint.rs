@@ -60,6 +60,19 @@ pub enum Rule {
     /// the lock-order-inversion shape that deadlocks a lock-stepped warp
     /// unless the STM sorts its lock-log.
     ConflictingFootprintOrder,
+    /// TL006: a statically-hot stripe — the block's weighted degree in
+    /// the [`crate::cost`] conflict graph (sum of incident may-conflict
+    /// rates over thread pairs) is at or above the configured threshold,
+    /// so most concurrent executions contend for the same stripes and
+    /// abort-retry cycles dominate. Off unless
+    /// [`LintConfig::hot_degree`] is set.
+    StaticallyHotStripe,
+    /// TL007: a provably read-only transaction running on the ordinary
+    /// write path — it still pays per-access write-set buffering and
+    /// commit machinery for a write-set that is statically empty, and
+    /// should be routed to a read-only fast path. Off unless
+    /// [`LintConfig::flag_read_only`] is set.
+    ReadOnlyWriteCost,
 }
 
 impl Rule {
@@ -71,6 +84,8 @@ impl Rule {
             Rule::UnboundedWriteSet => "TL003",
             Rule::DivergentAtomic => "TL004",
             Rule::ConflictingFootprintOrder => "TL005",
+            Rule::StaticallyHotStripe => "TL006",
+            Rule::ReadOnlyWriteCost => "TL007",
         }
     }
 
@@ -84,6 +99,10 @@ impl Rule {
             Rule::ConflictingFootprintOrder => {
                 "overlapping transactional footprints acquired in different orders"
             }
+            Rule::StaticallyHotStripe => {
+                "statically-hot stripe: conflict-graph degree above threshold"
+            }
+            Rule::ReadOnlyWriteCost => "read-only transaction paying write-set cost",
         }
     }
 
@@ -95,6 +114,8 @@ impl Rule {
             Rule::UnboundedWriteSet => "Section 3.1 (ownership table)",
             Rule::DivergentAtomic => "Section 2.2 (SIMT divergence)",
             Rule::ConflictingFootprintOrder => "Sections 2.2, 3.1 (lock-order inversion)",
+            Rule::StaticallyHotStripe => "Sections 2.2, 4.2 (conflicts cap concurrency)",
+            Rule::ReadOnlyWriteCost => "Section 3.1 (lazy versioning write-sets)",
         }
     }
 }
@@ -106,12 +127,14 @@ impl fmt::Display for Rule {
 }
 
 /// All rules, in ID order.
-pub const RULES: [Rule; 5] = [
+pub const RULES: [Rule; 7] = [
     Rule::NonAtomicSharedAccess,
     Rule::UnsortedLockAcquisition,
     Rule::UnboundedWriteSet,
     Rule::DivergentAtomic,
     Rule::ConflictingFootprintOrder,
+    Rule::StaticallyHotStripe,
+    Rule::ReadOnlyWriteCost,
 ];
 
 /// Configuration for the lint pass.
@@ -121,6 +144,15 @@ pub struct LintConfig {
     /// TL003 additionally flags transactions whose finite write-set bound
     /// exceeds it; unbounded write-sets are always flagged.
     pub write_set_capacity: Option<u32>,
+    /// TL006 threshold on a block's weighted conflict-graph degree
+    /// ([`crate::cost::ConflictGraph::weighted_degree`]). `None`
+    /// disables TL006 (the default — contention is a performance
+    /// concern, not a correctness bug, so it is opt-in; `txl analyze`
+    /// turns it on).
+    pub hot_degree: Option<f64>,
+    /// Enables TL007 (read-only transaction on the write path). Off by
+    /// default for the same reason; `txl analyze` turns it on.
+    pub flag_read_only: bool,
 }
 
 /// One lint finding, anchored to source bytes.
@@ -162,6 +194,17 @@ impl fmt::Display for Diagnostic {
 /// Diagnostics are sorted by kernel order, then source position, then
 /// rule ID, so output is deterministic and golden-file friendly.
 pub fn lint_program(program: &Program, cfg: &LintConfig) -> Vec<Diagnostic> {
+    // TL006/TL007 need the whole-program cost profile (the conflict
+    // graph spans kernels); compute it once when either rule is on.
+    let profile = (cfg.hot_degree.is_some() || cfg.flag_read_only).then(|| {
+        crate::cost::analyze_program(
+            program,
+            &crate::cost::CostConfig {
+                write_set_capacity: cfg.write_set_capacity,
+                ..crate::cost::CostConfig::default()
+            },
+        )
+    });
     let mut out = Vec::new();
     for (ki, kernel) in program.kernels.iter().enumerate() {
         let mut diags = Vec::new();
@@ -170,10 +213,55 @@ pub fn lint_program(program: &Program, cfg: &LintConfig) -> Vec<Diagnostic> {
         unbounded_write_set(kernel, cfg, &mut diags);
         divergent_atomic(kernel, &mut diags);
         conflicting_footprint_order(kernel, &mut diags);
+        if let Some(profile) = &profile {
+            contention_rules(kernel, profile, cfg, &mut diags);
+        }
         diags.sort_by_key(|d| (d.span.start, d.rule));
         out.extend(diags.into_iter().map(|d| (ki, d)));
     }
     out.into_iter().map(|(_, d)| d).collect()
+}
+
+/// TL006 + TL007, driven by the [`crate::cost`] static profile.
+fn contention_rules(
+    kernel: &Kernel,
+    profile: &crate::cost::StaticProfile,
+    cfg: &LintConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    for tx in profile.tx.iter().filter(|t| t.kernel == kernel.name) {
+        if let Some(threshold) = cfg.hot_degree {
+            if tx.conflict_degree >= threshold {
+                let hot: Vec<&str> =
+                    tx.arrays.iter().filter(|a| a.density > 1.0).map(|a| a.name.as_str()).collect();
+                let arrays = if hot.is_empty() { "its arrays".to_string() } else { hot.join(", ") };
+                out.push(diag(
+                    kernel,
+                    Rule::StaticallyHotStripe,
+                    tx.span,
+                    format!(
+                        "atomic block contends on statically-hot stripes of {arrays}: weighted \
+                         conflict degree {:.2} >= {threshold:.2} across {} thread(s); expect \
+                         abort-retry serialization",
+                        tx.conflict_degree, profile.threads
+                    ),
+                ));
+            }
+        }
+        if cfg.flag_read_only && tx.read_only {
+            out.push(diag(
+                kernel,
+                Rule::ReadOnlyWriteCost,
+                tx.span,
+                format!(
+                    "atomic block is provably read-only ({} read(s), write-set statically \
+                     empty) but runs on the write path; route it to a read-only fast path \
+                     that skips write-set buffering and commit locking",
+                    tx.read_ops
+                ),
+            ));
+        }
+    }
 }
 
 /// Compiles `src` and lints it: the one-call front door used by the
@@ -678,7 +766,8 @@ mod tests {
     }
 
     fn lint_cap(src: &str, cap: u32) -> Vec<Diagnostic> {
-        lint_source(src, &LintConfig { write_set_capacity: Some(cap) }).unwrap()
+        lint_source(src, &LintConfig { write_set_capacity: Some(cap), ..LintConfig::default() })
+            .unwrap()
     }
 
     #[test]
@@ -850,11 +939,66 @@ mod tests {
 
     #[test]
     fn rule_catalog_is_stable() {
-        assert_eq!(RULES.map(Rule::id), ["TL001", "TL002", "TL003", "TL004", "TL005"]);
+        assert_eq!(
+            RULES.map(Rule::id),
+            ["TL001", "TL002", "TL003", "TL004", "TL005", "TL006", "TL007"]
+        );
         for r in RULES {
             assert!(!r.title().is_empty());
             assert!(r.paper_ref().starts_with("Section"), "{}", r.paper_ref());
         }
+    }
+
+    #[test]
+    fn tl006_flags_hot_counter_only_when_enabled() {
+        let src = "kernel bump(c: array) {
+            atomic { c[0] = c[0] + 1; }
+        }";
+        // Silent by default: contention rules are opt-in.
+        assert!(lint(src).is_empty());
+        let cfg = LintConfig { hot_degree: Some(0.9), ..LintConfig::default() };
+        let d = lint_source(src, &cfg).unwrap();
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::StaticallyHotStripe);
+        assert!(d[0].message.contains("c"), "{}", d[0]);
+    }
+
+    #[test]
+    fn tl006_quiet_for_striped_access() {
+        // Perfectly striped: each thread owns its own slot, degree 0.
+        let src = "kernel own(c: array[1024]) {
+            let i = tid();
+            atomic { c[i] = c[i] + 1; }
+        }";
+        let cfg = LintConfig { hot_degree: Some(0.5), ..LintConfig::default() };
+        assert!(lint_source(src, &cfg).unwrap().is_empty());
+    }
+
+    #[test]
+    fn tl007_flags_read_only_tx_only_when_enabled() {
+        let src = "kernel sum(a: array[8]) {
+            let acc = 0;
+            atomic {
+                let i = 0;
+                while i < 8 { acc = acc + a[i]; i = i + 1; }
+            }
+        }";
+        assert!(lint(src).is_empty());
+        let cfg = LintConfig { flag_read_only: true, ..LintConfig::default() };
+        let d = lint_source(src, &cfg).unwrap();
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::ReadOnlyWriteCost);
+        assert!(d[0].message.contains("read-only"), "{}", d[0]);
+    }
+
+    #[test]
+    fn tl007_quiet_for_writing_tx() {
+        let src = "kernel w(a: array[8]) {
+            let i = tid() % 8;
+            atomic { a[i] = a[i] + 1; }
+        }";
+        let cfg = LintConfig { flag_read_only: true, ..LintConfig::default() };
+        assert!(lint_source(src, &cfg).unwrap().is_empty());
     }
 
     #[test]

@@ -17,7 +17,10 @@ fn fixture(name: &str) -> String {
 }
 
 fn cfg() -> FixConfig {
-    FixConfig { lint: LintConfig { write_set_capacity: Some(CAPACITY) }, ..FixConfig::default() }
+    FixConfig {
+        lint: LintConfig { write_set_capacity: Some(CAPACITY), ..LintConfig::default() },
+        ..FixConfig::default()
+    }
 }
 
 /// (bug fixture, expected twin, the rule the seeded bug exercises).

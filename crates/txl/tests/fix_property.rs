@@ -7,7 +7,10 @@ use txl::lint::LintConfig;
 use txl::{fix_source, FixConfig, FixReport};
 
 fn cfg() -> FixConfig {
-    FixConfig { lint: LintConfig { write_set_capacity: Some(32) }, ..FixConfig::default() }
+    FixConfig {
+        lint: LintConfig { write_set_capacity: Some(32), ..LintConfig::default() },
+        ..FixConfig::default()
+    }
 }
 
 /// Fix, then fix the output again: the second pass must be a no-op with

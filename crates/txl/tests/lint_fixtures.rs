@@ -87,10 +87,17 @@ fn clean_twins_lint_clean() {
 #[test]
 fn capacity_config_tightens_overflow_rule() {
     // The clean twin writes 2 words; a 1-entry table makes it a finding.
-    let d = lint_source(OVERFLOW_CLEAN, &LintConfig { write_set_capacity: Some(1) }).unwrap();
+    let d = lint_source(
+        OVERFLOW_CLEAN,
+        &LintConfig { write_set_capacity: Some(1), ..LintConfig::default() },
+    )
+    .unwrap();
     assert_eq!(d.len(), 1, "{d:?}");
     assert_eq!(d[0].rule, Rule::UnboundedWriteSet);
-    assert!(lint_source(OVERFLOW_CLEAN, &LintConfig { write_set_capacity: Some(2) })
-        .unwrap()
-        .is_empty());
+    assert!(lint_source(
+        OVERFLOW_CLEAN,
+        &LintConfig { write_set_capacity: Some(2), ..LintConfig::default() }
+    )
+    .unwrap()
+    .is_empty());
 }
