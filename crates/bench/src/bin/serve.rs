@@ -14,7 +14,8 @@
 //! cargo run -p bench --release --bin serve -- --shards 4    # single run
 //! ```
 //!
-//! Single-run mode (`--shards N`) accepts `--mix bank|ht|mixed`,
+//! Single-run mode (`--shards N`) accepts `--mix bank|ht|mixed|blocking`
+//! (`blocking` turns on parking admission with its bursty preset),
 //! `--variant`, `--mode plain|scheduled|robust`, `--requests`,
 //! `--workers`, `--queue-cap`, `--total-warps` and `--seed`.
 //!
@@ -180,7 +181,20 @@ fn config(args: &Args, mix_name: &str, variant: Variant, shards: usize) -> Serve
     if let Some(k) = args.hot_keys {
         mix.hot_keys = k;
     }
-    let queue_cap = if args.queue_cap > 0 { args.queue_cap } else { args.requests as usize + 8 };
+    // The blocking mix keeps its bursty preset arrivals and a bounded
+    // queue: overflow is the point — admission parks on the capacity
+    // condition instead of rejecting.
+    let blocking = mix_name == "blocking";
+    if blocking {
+        mix.mean_interarrival = MixConfig::blocking().mean_interarrival;
+    }
+    let queue_cap = if args.queue_cap > 0 {
+        args.queue_cap
+    } else if blocking {
+        ServeConfig::default().queue_capacity
+    } else {
+        args.requests as usize + 8
+    };
     ServeConfig {
         shards,
         workers: args.workers,
@@ -191,6 +205,7 @@ fn config(args: &Args, mix_name: &str, variant: Variant, shards: usize) -> Serve
         accounts: args.accounts,
         batch_warps: (args.total_warps / shards as u32).max(1),
         queue_capacity: queue_cap,
+        blocking,
         ..ServeConfig::default()
     }
 }

@@ -1,5 +1,6 @@
 //! Error types for simulator construction and kernel execution.
 
+use crate::memory::Addr;
 use std::error::Error;
 use std::fmt;
 
@@ -23,6 +24,12 @@ pub struct WarpProgress {
     /// Cycles elapsed since the warp last made progress (since launch if
     /// it never did).
     pub cycles_since_progress: u64,
+    /// When the warp is parked (see [`WarpCtx::park`](crate::WarpCtx::park)),
+    /// the device addresses it is waiting on; empty for a running warp. Distinguishes "all warps
+    /// parked forever" (a wakeup that can never arrive — a true deadlock)
+    /// from livelock and budget exhaustion, and names the addresses whose
+    /// writers went missing.
+    pub parked_addrs: Vec<Addr>,
 }
 
 impl fmt::Display for WarpProgress {
@@ -36,7 +43,18 @@ impl fmt::Display for WarpProgress {
             self.instructions_since_progress,
             self.progress_marks,
             self.cycles_since_progress
-        )
+        )?;
+        if !self.parked_addrs.is_empty() {
+            write!(f, ", parked on [")?;
+            for (i, a) in self.parked_addrs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:#x}", a.0)?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
     }
 }
 
@@ -152,6 +170,7 @@ mod tests {
             instructions_since_progress: 100,
             progress_marks: 3,
             cycles_since_progress: 9000,
+            parked_addrs: Vec::new(),
         }
     }
 
@@ -189,6 +208,7 @@ mod tests {
         let line = w.to_string();
         assert!(line.contains("warp 1/2"));
         assert!(line.contains("stalled 9000 cycles"));
+        assert!(!line.contains("parked"), "running warp must not print a park note");
         assert!(!SimError::BadLaunch("x".into()).is_progress_failure());
         assert!(SimError::OutOfMemory { requested: 1 }.unfinished_warps().is_empty());
     }
@@ -204,6 +224,14 @@ mod tests {
         assert!(dead.contains("deadlock"));
         assert!(live.contains("livelock"));
         assert!(budget.contains("budget"));
+    }
+
+    #[test]
+    fn parked_warp_names_its_addresses() {
+        let mut w = sample_warp();
+        w.parked_addrs = vec![Addr(16), Addr(255)];
+        let line = w.to_string();
+        assert!(line.contains("parked on [0x10 0xff]"), "{line}");
     }
 
     #[test]

@@ -25,10 +25,10 @@ use crate::schedule::{PolicyHandle, RunnableWarp, StepEffect, StepRecord};
 use crate::stats::SimStats;
 use crate::timing::TimingModel;
 use crate::trace::{SimEvent, SimEventKind, TraceSink};
-use crate::warp::WarpCtx;
+use crate::warp::{ParkSignal, WarpCtx};
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -245,6 +245,10 @@ pub(crate) struct SimState {
     /// The effect of the instruction currently being executed, taken by the
     /// event loop after each poll and reported to the schedule policy.
     pub(crate) last_effect: Option<StepEffect>,
+    /// Wakes for parked warps (progress-board slot indices), enqueued by
+    /// [`WakeHandle`](crate::WakeHandle)s and drained by the event loop
+    /// before every scheduling decision. Fresh per launch.
+    pub(crate) wake_queue: Rc<RefCell<Vec<usize>>>,
 }
 
 impl SimState {
@@ -268,7 +272,7 @@ pub(crate) struct ProgressBoard {
     pub(crate) last_mutation_cycle: u64,
 }
 
-#[derive(Copy, Clone, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct WarpProgressEntry {
     pub(crate) block: u32,
     pub(crate) warp_in_block: u32,
@@ -277,6 +281,10 @@ pub(crate) struct WarpProgressEntry {
     pub(crate) progress_marks: u64,
     pub(crate) last_progress_cycle: u64,
     pub(crate) retired: bool,
+    /// Whether the warp is currently descheduled on the parked set.
+    pub(crate) parked: bool,
+    /// The device addresses a parked warp is waiting on (diagnostics).
+    pub(crate) parked_addrs: Vec<Addr>,
 }
 
 impl ProgressBoard {
@@ -310,6 +318,7 @@ impl ProgressBoard {
                 instructions_since_progress: w.instructions - w.instructions_at_progress,
                 progress_marks: w.progress_marks,
                 cycles_since_progress: now.saturating_sub(w.last_progress_cycle),
+                parked_addrs: w.parked_addrs.clone(),
             })
             .collect()
     }
@@ -369,6 +378,7 @@ impl Sim {
             trace: config.trace.clone(),
             observe_effects: config.schedule.is_some(),
             last_effect: None,
+            wake_queue: Rc::new(RefCell::new(Vec::new())),
         };
         Sim {
             state: Rc::new(RefCell::new(state)),
@@ -508,6 +518,9 @@ impl Sim {
             st.trace = self.config.trace.clone();
             st.observe_effects = self.config.schedule.is_some();
             st.last_effect = None;
+            // Fresh wake queue per launch: wake handles are scoped to the
+            // launch whose warps created them.
+            st.wake_queue = Rc::new(RefCell::new(Vec::new()));
         }
 
         let wpb = grid.warps_per_block();
@@ -555,14 +568,29 @@ impl Sim {
                         launch_mask,
                     };
                     let pending = Rc::new(Cell::new(0u64));
+                    let park = Rc::new(Cell::new(ParkSignal::None));
                     let pslot = {
                         let st = &mut *self.state.borrow_mut();
                         st.emit(b, w, SimEventKind::WarpStart);
                         st.progress.register(b, w, now)
                     };
-                    let ctx = WarpCtx::new(Rc::clone(&self.state), id, Rc::clone(&pending), pslot);
+                    let ctx = WarpCtx::new(
+                        Rc::clone(&self.state),
+                        id,
+                        Rc::clone(&pending),
+                        Rc::clone(&park),
+                        pslot,
+                    );
                     let fut: Pin<Box<dyn Future<Output = ()>>> = Box::pin(kernel(ctx));
-                    scheduler.spawn(fut, pending, b, w, pslot, now);
+                    let entry = WarpSlot {
+                        fut,
+                        pending_cost: pending,
+                        pending_park: park,
+                        block: b,
+                        warp_in_block: w,
+                        pslot,
+                    };
+                    scheduler.spawn(entry, now);
                 }
             }
         };
@@ -580,7 +608,57 @@ impl Sim {
         let mut cx = Context::from_waker(&waker);
         let mut last_cycle = 0u64;
 
-        while let Some((ready, slot)) = scheduler.pop() {
+        loop {
+            // Deliver wakes enqueued by WakeHandles (commit-side notify)
+            // before every scheduling decision; wakes for warps that are
+            // not parked are consumed as no-ops, making wake/park races
+            // safe by construction.
+            let pending_wakes = {
+                let st = self.state.borrow();
+                let taken = std::mem::take(&mut *st.wake_queue.borrow_mut());
+                taken
+            };
+            for pslot in pending_wakes {
+                scheduler.unpark(pslot, ParkSignal::Woken, last_cycle);
+            }
+            // A finite park budget expiring no later than the next
+            // runnable warp's ready time fires first — a busy run queue
+            // must not starve timeouts until it drains.
+            if let Some((deadline, pslot)) = scheduler.earliest_parked() {
+                if deadline != u64::MAX && scheduler.next_ready().is_some_and(|r| deadline <= r) {
+                    scheduler.unpark(pslot, ParkSignal::TimedOut, deadline.max(last_cycle));
+                    continue;
+                }
+            }
+            let Some((ready, slot)) = scheduler.pop() else {
+                match scheduler.earliest_parked() {
+                    // Every live warp is parked and at least one has a
+                    // finite budget: advance the clock straight to the
+                    // nearest deadline (the interval costs the parked
+                    // warps nothing) and resume that warp with a timeout.
+                    Some((deadline, pslot)) if deadline != u64::MAX => {
+                        let wake_at = deadline.max(last_cycle);
+                        self.check_progress(wake_at)?;
+                        self.state.borrow_mut().now = wake_at;
+                        last_cycle = wake_at;
+                        scheduler.unpark(pslot, ParkSignal::TimedOut, wake_at);
+                        continue;
+                    }
+                    // Every live warp is parked forever: the wakes they
+                    // wait for can no longer arrive (only warps produce
+                    // wakes). Report the deadlock immediately — with the
+                    // watched addresses in the per-warp diagnostics —
+                    // instead of burning the watchdog budget.
+                    Some(_) => {
+                        let st = self.state.borrow();
+                        return Err(SimError::Deadlock {
+                            cycle: last_cycle,
+                            unfinished: st.progress.unfinished(last_cycle),
+                        });
+                    }
+                    None => break,
+                }
+            };
             let now = ready;
             self.check_progress(now)?;
             self.state.borrow_mut().now = now;
@@ -600,13 +678,20 @@ impl Sim {
             match poll {
                 Poll::Pending => {
                     let cost = scheduler.take_pending_cost(slot);
-                    let jitter = {
-                        let st = &mut *self.state.borrow_mut();
-                        let j = st.fault.jitter();
-                        st.stats.injected_jitter_cycles += j;
-                        j
-                    };
-                    scheduler.requeue(slot, now + cost + jitter);
+                    if let Some(deadline) = scheduler.take_park_request(slot) {
+                        // The instruction was a park: deschedule instead of
+                        // requeueing. Its cost is dropped — a parked warp
+                        // burns zero cycles by definition.
+                        scheduler.park(slot, deadline);
+                    } else {
+                        let jitter = {
+                            let st = &mut *self.state.borrow_mut();
+                            let j = st.fault.jitter();
+                            st.stats.injected_jitter_cycles += j;
+                            j
+                        };
+                        scheduler.requeue(slot, now + cost + jitter);
+                    }
                 }
                 Poll::Ready(()) => {
                     let (block, pslot) = scheduler.retire(slot);
@@ -687,6 +772,7 @@ impl Sim {
 struct WarpSlot {
     fut: Pin<Box<dyn Future<Output = ()>>>,
     pending_cost: Rc<Cell<u64>>,
+    pending_park: Rc<Cell<ParkSignal>>,
     block: u32,
     warp_in_block: u32,
     pslot: usize,
@@ -708,6 +794,11 @@ struct Scheduler {
     // Monotonic clock for controlled mode: picking a warp whose ready cycle
     // lies before an already-issued instruction must not rewind time.
     ctl_now: u64,
+    // Warps descheduled by [`WarpCtx::park`], keyed by progress-board slot
+    // (the identity WakeHandles carry), holding (deadline, scheduler slot).
+    // A parked warp is in neither the heap nor `ctl_queue`: it consumes no
+    // scheduling decisions and burns no cycles until unparked.
+    parked: BTreeMap<usize, (u64, usize)>,
 }
 
 impl Scheduler {
@@ -722,19 +813,11 @@ impl Scheduler {
             policy,
             ctl_queue: Vec::new(),
             ctl_now: 0,
+            parked: BTreeMap::new(),
         }
     }
 
-    fn spawn(
-        &mut self,
-        fut: Pin<Box<dyn Future<Output = ()>>>,
-        pending_cost: Rc<Cell<u64>>,
-        block: u32,
-        warp_in_block: u32,
-        pslot: usize,
-        ready: u64,
-    ) {
-        let entry = WarpSlot { fut, pending_cost, block, warp_in_block, pslot };
+    fn spawn(&mut self, entry: WarpSlot, ready: u64) {
         let slot = match self.free.pop() {
             Some(i) => {
                 self.slots[i] = Some(entry);
@@ -767,6 +850,16 @@ impl Scheduler {
             return self.pop_controlled(&policy);
         }
         self.heap.pop().map(|Reverse((ready, _, slot))| (ready, slot))
+    }
+
+    /// Ready time of the next runnable warp, if any. `None` under an
+    /// external schedule policy: controlled time is artificial, so park
+    /// budgets there only fire through the all-parked path.
+    fn next_ready(&self) -> Option<u64> {
+        if self.policy.is_some() {
+            return None;
+        }
+        self.heap.peek().map(|Reverse((ready, _, _))| *ready)
     }
 
     /// One scheduling decision under external control: present the queued
@@ -813,6 +906,42 @@ impl Scheduler {
     fn take_pending_cost(&mut self, slot: usize) -> u64 {
         let entry = self.slots[slot].as_ref().expect("retired warp");
         entry.pending_cost.take()
+    }
+
+    /// Consumes a park request armed by the warp's last instruction, if
+    /// any, returning its deadline.
+    fn take_park_request(&mut self, slot: usize) -> Option<u64> {
+        let entry = self.slots[slot].as_ref().expect("retired warp");
+        match entry.pending_park.get() {
+            ParkSignal::Request { deadline } => {
+                entry.pending_park.set(ParkSignal::None);
+                Some(deadline)
+            }
+            _ => None,
+        }
+    }
+
+    /// Moves a pending warp onto the parked set instead of requeueing it.
+    fn park(&mut self, slot: usize, deadline: u64) {
+        let pslot = self.slots[slot].as_ref().expect("parking retired warp").pslot;
+        self.parked.insert(pslot, (deadline, slot));
+    }
+
+    /// Makes a parked warp runnable again at `ready`, storing `signal` for
+    /// its suspended `park` call to read. Waking a warp that is not parked
+    /// (a wake/park race, or a duplicate wake) is a no-op.
+    fn unpark(&mut self, pslot: usize, signal: ParkSignal, ready: u64) {
+        if let Some((_, slot)) = self.parked.remove(&pslot) {
+            let entry = self.slots[slot].as_ref().expect("parked warp has a slot");
+            entry.pending_park.set(signal);
+            self.push(slot, ready);
+        }
+    }
+
+    /// The parked warp with the nearest deadline (ties by pslot, so the
+    /// order is deterministic), if any warp is parked.
+    fn earliest_parked(&self) -> Option<(u64, usize)> {
+        self.parked.iter().map(|(&pslot, &(deadline, _))| (deadline, pslot)).min()
     }
 
     fn retire(&mut self, slot: usize) -> (u32, usize) {
@@ -1144,6 +1273,142 @@ mod tests {
         assert_eq!(id.thread_id(31), 2 * 96 + 63);
         assert_eq!(grid.warps_per_block(), 3);
         assert_eq!(grid.total_threads(), 288);
+    }
+
+    #[test]
+    fn parked_warp_woken_by_handle() {
+        let mut sim = small_sim();
+        let handoff: Rc<RefCell<Option<crate::WakeHandle>>> = Rc::default();
+        let outcome: Rc<Cell<Option<crate::ParkOutcome>>> = Rc::default();
+        let (h2, o2) = (Rc::clone(&handoff), Rc::clone(&outcome));
+        let report = sim
+            .launch(LaunchConfig::new(1, 64), move |ctx| {
+                let handoff = Rc::clone(&h2);
+                let outcome = Rc::clone(&o2);
+                async move {
+                    if ctx.id().warp_in_block == 0 {
+                        // Publish the handle, then park forever: only the
+                        // sibling warp's wake can resume us.
+                        *handoff.borrow_mut() = Some(ctx.wake_handle());
+                        let got = ctx.park(ctx.id().launch_mask, &[Addr(7)], u64::MAX).await;
+                        outcome.set(Some(got));
+                        ctx.mark_progress();
+                    } else {
+                        ctx.idle(500).await;
+                        handoff.borrow_mut().take().expect("warp 0 parked first").wake();
+                    }
+                }
+            })
+            .unwrap();
+        assert_eq!(outcome.get(), Some(crate::ParkOutcome::Woken));
+        assert_eq!(report.stats.parks, 1);
+        assert_eq!(report.stats.wakes, 1);
+        // The parked warp burned no cycles of its own: the run is bounded
+        // by the waker's 500-cycle idle plus small instruction costs.
+        assert!(report.cycles < 1000, "cycles={}", report.cycles);
+    }
+
+    #[test]
+    fn park_budget_expires_as_timeout() {
+        let mut sim = small_sim();
+        let outcome: Rc<Cell<Option<crate::ParkOutcome>>> = Rc::default();
+        let o2 = Rc::clone(&outcome);
+        let report = sim
+            .launch(LaunchConfig::new(1, 32), move |ctx| {
+                let outcome = Rc::clone(&o2);
+                async move {
+                    let got = ctx.park(ctx.id().launch_mask, &[], 10_000).await;
+                    outcome.set(Some(got));
+                    ctx.mark_progress();
+                }
+            })
+            .unwrap();
+        assert_eq!(outcome.get(), Some(crate::ParkOutcome::TimedOut));
+        // The clock jumped straight to the deadline — the parked interval
+        // is not simulated step by step.
+        assert!(report.cycles >= 10_000, "cycles={}", report.cycles);
+        assert!(report.cycles < 11_000, "cycles={}", report.cycles);
+    }
+
+    #[test]
+    fn all_parked_forever_is_immediate_deadlock_with_addrs() {
+        // Default watchdog is ~10^12 cycles: an immediate report proves the
+        // executor detected the all-parked state rather than burning budget.
+        let mut sim = small_sim();
+        let err = sim
+            .launch(LaunchConfig::new(1, 64), move |ctx| async move {
+                let watched = [Addr(0x10), Addr(0xff)];
+                ctx.park(ctx.id().launch_mask, &watched, u64::MAX).await;
+            })
+            .unwrap_err();
+        match &err {
+            SimError::Deadlock { cycle, unfinished } => {
+                assert!(*cycle < 1_000, "immediate, got cycle {cycle}");
+                assert_eq!(unfinished.len(), 2);
+                for w in unfinished {
+                    assert_eq!(w.parked_addrs, vec![Addr(0x10), Addr(0xff)]);
+                    assert!(w.to_string().contains("parked on [0x10 0xff]"));
+                }
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wake_before_park_is_a_noop() {
+        // A wake delivered while the target is still runnable is consumed
+        // and dropped; the warp then parks and must rely on its budget.
+        let mut sim = small_sim();
+        let handoff: Rc<RefCell<Option<crate::WakeHandle>>> = Rc::default();
+        let outcome: Rc<Cell<Option<crate::ParkOutcome>>> = Rc::default();
+        let (h2, o2) = (Rc::clone(&handoff), Rc::clone(&outcome));
+        sim.launch(LaunchConfig::new(1, 64), move |ctx| {
+            let handoff = Rc::clone(&h2);
+            let outcome = Rc::clone(&o2);
+            async move {
+                if ctx.id().warp_in_block == 0 {
+                    *handoff.borrow_mut() = Some(ctx.wake_handle());
+                    // Stay runnable long enough for the early wake to be
+                    // drained as a no-op, then park.
+                    ctx.idle(1_000).await;
+                    let got = ctx.park(ctx.id().launch_mask, &[], 5_000).await;
+                    outcome.set(Some(got));
+                    ctx.mark_progress();
+                } else {
+                    // Fire immediately, long before warp 0 parks.
+                    handoff.borrow_mut().take().expect("published first").wake();
+                }
+            }
+        })
+        .unwrap();
+        assert_eq!(outcome.get(), Some(crate::ParkOutcome::TimedOut));
+    }
+
+    #[test]
+    fn park_wake_is_deterministic() {
+        let run = || {
+            let mut sim = small_sim();
+            let handoff: Rc<RefCell<Option<crate::WakeHandle>>> = Rc::default();
+            let h2 = Rc::clone(&handoff);
+            sim.launch(LaunchConfig::new(2, 64), move |ctx| {
+                let handoff = Rc::clone(&h2);
+                async move {
+                    if ctx.id().block == 0 && ctx.id().warp_in_block == 0 {
+                        *handoff.borrow_mut() = Some(ctx.wake_handle());
+                        ctx.park(ctx.id().launch_mask, &[Addr(1)], 50_000).await;
+                        ctx.mark_progress();
+                    } else {
+                        ctx.idle(200).await;
+                        if let Some(h) = handoff.borrow_mut().take() {
+                            h.wake();
+                        }
+                    }
+                }
+            })
+            .unwrap()
+            .cycles
+        };
+        assert_eq!(run(), run());
     }
 
     /// Picks a fixed runnable index each decision and logs every step.

@@ -68,4 +68,4 @@ pub use schedule::{PolicyHandle, RunnableWarp, SchedulePolicy, StepEffect, StepR
 pub use stats::SimStats;
 pub use timing::TimingModel;
 pub use trace::{trace_sink, MemOp, SimEvent, SimEventKind, TraceBuffer, TraceSink};
-pub use warp::{LaneAddrs, LaneVals, WarpCtx};
+pub use warp::{LaneAddrs, LaneVals, ParkOutcome, WakeHandle, WarpCtx};

@@ -42,6 +42,12 @@ pub struct SimStats {
     pub spurious_cas_failures: u64,
     /// Extra latency cycles injected by the fault plan's jitter.
     pub injected_jitter_cycles: u64,
+    /// Times a warp parked itself on the waker registry path
+    /// (`WarpCtx::park`). While parked a warp burns no cycles.
+    pub parks: u64,
+    /// Times a parked warp was made runnable again (explicit wakes plus
+    /// park-budget timeouts).
+    pub wakes: u64,
 }
 
 impl SimStats {
@@ -111,6 +117,8 @@ impl SimStats {
         self.blocks_completed += other.blocks_completed;
         self.spurious_cas_failures += other.spurious_cas_failures;
         self.injected_jitter_cycles += other.injected_jitter_cycles;
+        self.parks += other.parks;
+        self.wakes += other.wakes;
     }
 
     /// Serializes the counters plus derived metrics into `w` as a JSON
@@ -134,6 +142,8 @@ impl SimStats {
         w.field_u64("blocks_completed", self.blocks_completed);
         w.field_u64("spurious_cas_failures", self.spurious_cas_failures);
         w.field_u64("injected_jitter_cycles", self.injected_jitter_cycles);
+        w.field_u64("parks", self.parks);
+        w.field_u64("wakes", self.wakes);
         w.field_f64("simt_efficiency", self.simt_efficiency());
         w.field_f64("l2_hit_rate", self.l2_hit_rate());
         w.field_f64("coalescing_efficiency", self.coalescing_efficiency());

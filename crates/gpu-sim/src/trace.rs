@@ -73,6 +73,19 @@ pub enum SimEventKind {
         /// Length of the idle span in cycles.
         cycles: u64,
     },
+    /// The warp descheduled itself onto the parked set (see
+    /// [`WarpCtx::park`](crate::WarpCtx::park)): it burns no cycles until
+    /// a wake or its park budget expires.
+    Park {
+        /// Number of device addresses the warp is waiting on.
+        watched: u32,
+    },
+    /// The warp left the parked set and became runnable again.
+    Wake {
+        /// Whether the wake was a park-budget timeout rather than an
+        /// explicit wake from a committer.
+        timed_out: bool,
+    },
 }
 
 /// One cycle-timestamped simulator event.

@@ -28,6 +28,58 @@ pub type LaneVals = [u32; WARP_SIZE];
 /// Per-lane addresses for one warp instruction.
 pub type LaneAddrs = [Addr; WARP_SIZE];
 
+/// Park/wake handshake between a warp and the event loop, carried in a
+/// shared cell exactly like `pending_cost`: [`WarpCtx::park`] writes
+/// `Request`, the executor moves the warp onto the parked set, and the
+/// eventual unpark writes `Woken`/`TimedOut` before requeueing.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) enum ParkSignal {
+    /// No park in flight.
+    #[default]
+    None,
+    /// The warp asked to park until `deadline` (`u64::MAX` = no timeout).
+    Request {
+        /// Absolute cycle at which the park times out.
+        deadline: u64,
+    },
+    /// The executor woke the warp because a [`WakeHandle`] fired.
+    Woken,
+    /// The executor woke the warp because its park budget expired.
+    TimedOut,
+}
+
+/// Why a parked warp resumed (the return value of [`WarpCtx::park`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ParkOutcome {
+    /// A [`WakeHandle`] for this warp fired (a committer touched a watched
+    /// address, or an injected spurious wake).
+    Woken,
+    /// The park budget expired with no wake: the caller must re-check its
+    /// condition (a timeout is indistinguishable from a spurious wake).
+    TimedOut,
+}
+
+/// A host-side handle that makes one parked warp runnable again.
+///
+/// Obtained from [`WarpCtx::wake_handle`] *by the warp that will park* and
+/// handed to whoever watches for the wake condition (e.g. an address-keyed
+/// waker registry). Firing it is idempotent and cheap; waking a warp that
+/// is not parked is a no-op at the executor (the wake is consumed and
+/// dropped), so wake/park races are safe by construction.
+#[derive(Clone, Debug)]
+pub struct WakeHandle {
+    queue: Rc<RefCell<Vec<usize>>>,
+    pslot: usize,
+}
+
+impl WakeHandle {
+    /// Enqueues a wake for the associated warp. Delivered by the event
+    /// loop before its next scheduling decision.
+    pub fn wake(&self) {
+        self.queue.borrow_mut().push(self.pslot);
+    }
+}
+
 /// Handle through which a warp issues instructions to the simulator.
 ///
 /// Obtained as the argument of the kernel closure passed to
@@ -38,6 +90,7 @@ pub struct WarpCtx {
     st: Rc<RefCell<SimState>>,
     id: WarpId,
     pending_cost: Rc<Cell<u64>>,
+    pending_park: Rc<Cell<ParkSignal>>,
     /// Index of this warp's entry on the launch's progress board.
     pslot: usize,
 }
@@ -59,9 +112,10 @@ impl WarpCtx {
         st: Rc<RefCell<SimState>>,
         id: WarpId,
         pending_cost: Rc<Cell<u64>>,
+        pending_park: Rc<Cell<ParkSignal>>,
         pslot: usize,
     ) -> Self {
-        WarpCtx { st, id, pending_cost, pslot }
+        WarpCtx { st, id, pending_cost, pending_park, pslot }
     }
 
     /// This warp's identity (block, warp index, launch mask, thread ids).
@@ -424,6 +478,95 @@ impl WarpCtx {
         self.note_instruction(mask);
         let cost = self.st.borrow().timing.local_access * ops as u64;
         self.charge(cost).await;
+    }
+
+    /// A handle that makes *this* warp runnable again after it parks.
+    /// Create it before parking and hand it to the wake-condition watcher.
+    pub fn wake_handle(&self) -> WakeHandle {
+        WakeHandle { queue: Rc::clone(&self.st.borrow().wake_queue), pslot: self.pslot }
+    }
+
+    /// Deschedules this warp until a [`WakeHandle`] fires or
+    /// `budget_cycles` elapse (`u64::MAX` = wait forever). While parked
+    /// the warp burns **zero** cycles — it leaves the run queue entirely,
+    /// unlike an [`idle`](Self::idle) backoff spin.
+    ///
+    /// `watched` names the device addresses whose writers the warp is
+    /// waiting on; it is pure diagnostics (reported per-warp by
+    /// [`SimError::Deadlock`](crate::SimError::Deadlock) when every live
+    /// warp is parked forever, which the executor detects *immediately*
+    /// rather than burning the watchdog budget).
+    ///
+    /// Wake/park races are resolved by the event loop: wakes enqueued
+    /// while the warp is still runnable are consumed as no-ops, so callers
+    /// must check their wake condition once more *after* the instruction
+    /// that registers their interest and before calling `park` (the
+    /// check and the park request execute in one synchronous region —
+    /// the executor only switches warps at awaits — so no wake can slip
+    /// between them unobserved).
+    pub async fn park(&self, mask: LaneMask, watched: &[Addr], budget_cycles: u64) -> ParkOutcome {
+        self.note_instruction(mask);
+        let deadline = {
+            let st = &mut *self.st.borrow_mut();
+            let e = &mut st.progress.warps[self.pslot];
+            e.parked = true;
+            e.parked_addrs = watched.to_vec();
+            st.stats.parks += 1;
+            st.emit(
+                self.id.block,
+                self.id.warp_in_block,
+                crate::trace::SimEventKind::Park { watched: watched.len() as u32 },
+            );
+            if st.observe_effects {
+                st.last_effect = Some(StepEffect::Local);
+            }
+            if budget_cycles == u64::MAX {
+                u64::MAX
+            } else {
+                st.now.saturating_add(budget_cycles.max(1))
+            }
+        };
+        self.pending_park.set(ParkSignal::Request { deadline });
+        let signal = ParkWait { cell: Rc::clone(&self.pending_park), polled: false }.await;
+        let outcome = match signal {
+            ParkSignal::TimedOut => ParkOutcome::TimedOut,
+            // `Woken` is the expected resume; treat anything unexpected as
+            // a wake so the caller re-checks its condition (conservative).
+            _ => ParkOutcome::Woken,
+        };
+        {
+            let st = &mut *self.st.borrow_mut();
+            let e = &mut st.progress.warps[self.pslot];
+            e.parked = false;
+            e.parked_addrs = Vec::new();
+            st.stats.wakes += 1;
+            st.emit(
+                self.id.block,
+                self.id.warp_in_block,
+                crate::trace::SimEventKind::Wake { timed_out: outcome == ParkOutcome::TimedOut },
+            );
+        }
+        outcome
+    }
+}
+
+/// The suspension point of [`WarpCtx::park`]: yields once with the park
+/// request armed, then reads the outcome the executor stored in the cell.
+struct ParkWait {
+    cell: Rc<Cell<ParkSignal>>,
+    polled: bool,
+}
+
+impl Future for ParkWait {
+    type Output = ParkSignal;
+
+    fn poll(mut self: Pin<&mut Self>, _: &mut Context<'_>) -> Poll<ParkSignal> {
+        if self.polled {
+            Poll::Ready(self.cell.replace(ParkSignal::None))
+        } else {
+            self.polled = true;
+            Poll::Pending
+        }
     }
 }
 

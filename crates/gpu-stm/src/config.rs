@@ -29,6 +29,19 @@ pub struct StmConfig {
     /// lookup (Algorithm 3 line 22). Disabling falls back to a full
     /// write-set scan, charged accordingly.
     pub write_set_bloom: bool,
+    /// Maximum read-set addresses one parking lane may register in the
+    /// waker registry (`gpu_stm::park`). A `retry()` whose validated read
+    /// set exceeds this aborts the park and falls back to abort-respin
+    /// rather than flooding the registry. Must be non-zero.
+    pub max_parked_per_warp: u32,
+    /// Cycles a parked transaction waits before waking itself to revalidate
+    /// (`u64::MAX` = trust the registry and wait forever). A finite budget
+    /// bounds the damage of a lost wakeup at the cost of spurious wakes.
+    pub park_budget_cycles: u64,
+    /// Fault injection: per-mille probability (0–1000) that a park is given
+    /// an artificially short budget, forcing a spurious wake that must
+    /// revalidate and re-park. Exercises the waker loop; 0 disables.
+    pub spurious_wake_rate: u32,
 }
 
 impl StmConfig {
@@ -59,6 +72,9 @@ impl StmConfig {
             locklog_buckets: 16.min(n_locks.max(1)),
             lock_read_set: true,
             write_set_bloom: true,
+            max_parked_per_warp: 32,
+            park_budget_cycles: u64::MAX,
+            spurious_wake_rate: 0,
         };
         cfg.validate()?;
         Ok(cfg)
@@ -86,6 +102,20 @@ impl StmConfig {
             return Err(format!(
                 "locklog_buckets ({}) must not exceed n_locks ({})",
                 self.locklog_buckets, self.n_locks
+            ));
+        }
+        if self.max_parked_per_warp == 0 {
+            return Err("max_parked_per_warp must be non-zero".to_string());
+        }
+        if self.park_budget_cycles == 0 {
+            return Err(
+                "park_budget_cycles must be non-zero (use u64::MAX to wait forever)".to_string()
+            );
+        }
+        if self.spurious_wake_rate > 1000 {
+            return Err(format!(
+                "spurious_wake_rate is per-mille and must be at most 1000, got {}",
+                self.spurious_wake_rate
             ));
         }
         Ok(())
@@ -160,5 +190,32 @@ mod tests {
         let mut bad = good;
         bad.locklog_buckets = good.n_locks * 2;
         assert!(bad.validate().unwrap_err().contains("exceed"));
+    }
+
+    #[test]
+    fn park_knob_defaults() {
+        let c = StmConfig::default();
+        assert_eq!(c.max_parked_per_warp, 32);
+        assert_eq!(c.park_budget_cycles, u64::MAX);
+        assert_eq!(c.spurious_wake_rate, 0);
+    }
+
+    #[test]
+    fn validate_catches_bad_park_knobs() {
+        let good = StmConfig::new(1 << 8);
+
+        let mut bad = good;
+        bad.max_parked_per_warp = 0;
+        assert!(bad.validate().unwrap_err().contains("max_parked_per_warp"));
+
+        let mut bad = good;
+        bad.park_budget_cycles = 0;
+        assert!(bad.validate().unwrap_err().contains("park_budget_cycles"));
+
+        let mut bad = good;
+        bad.spurious_wake_rate = 1001;
+        assert!(bad.validate().unwrap_err().contains("per-mille"));
+        bad.spurious_wake_rate = 1000;
+        assert!(bad.validate().is_ok(), "1000 per-mille (always) is a legal rate");
     }
 }

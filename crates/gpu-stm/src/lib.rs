@@ -64,6 +64,7 @@ mod api;
 mod config;
 pub mod history;
 pub mod locklog;
+pub mod park;
 pub mod profile;
 pub mod robust;
 pub mod scheduler;
@@ -81,6 +82,7 @@ pub use config::{Locking, StmConfig, Validation};
 pub use history::{
     recorder, recorder_with_hook, Access, CommitHook, CommittedTx, History, Recorder,
 };
+pub use park::{Blocking, BlockingMutation, TxOutcome, WakerRegistry};
 pub use profile::ContentionProfile;
 pub use robust::{Robust, RobustConfig};
 pub use scheduler::{Scheduled, SchedulerCheckpoint, SchedulerConfig};

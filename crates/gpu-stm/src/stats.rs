@@ -71,10 +71,16 @@ pub enum Phase {
     Commit = 5,
     /// Work belonging to attempts that eventually aborted.
     Aborted = 6,
+    /// Wall-clock spent descheduled on the parked set by a blocking
+    /// `retry()` (see `gpu_stm::park`). Unlike every other phase this is
+    /// *waiting*, not work: a healthy blocking workload shows large
+    /// `Parked` and near-zero `Aborted` where the abort-respin baseline
+    /// shows the reverse.
+    Parked = 7,
 }
 
 /// Number of [`Phase`] categories.
-pub const NUM_PHASES: usize = 7;
+pub const NUM_PHASES: usize = 8;
 
 /// Cycles attributed to each phase. Fractions arise because warp-level
 /// time is shared across the lanes that were active.
@@ -166,6 +172,7 @@ pub const PHASES: [Phase; NUM_PHASES] = [
     Phase::Locking,
     Phase::Commit,
     Phase::Aborted,
+    Phase::Parked,
 ];
 
 /// Short label for a phase (column headers in the harness output).
@@ -178,6 +185,7 @@ pub fn phase_label(p: Phase) -> &'static str {
         Phase::Locking => "locks",
         Phase::Commit => "commit",
         Phase::Aborted => "aborted",
+        Phase::Parked => "parked",
     }
 }
 
@@ -221,6 +229,15 @@ pub struct TxStats {
     pub escalations: u64,
     /// Commits that completed while holding the fallback lock.
     pub fallback_commits: u64,
+    /// Times a retrying transaction registered its read set and parked
+    /// (the blocking `retry()` path; see `gpu_stm::park`).
+    pub parks: u64,
+    /// Times a parked transaction was woken by an intersecting commit or
+    /// a park-budget timeout.
+    pub wakes: u64,
+    /// Wakes whose revalidation found the read set unchanged (injected
+    /// spurious wakes and budget timeouts that re-parked).
+    pub spurious_wakes: u64,
     /// Per-phase time attribution.
     pub breakdown: Breakdown,
 }
@@ -264,6 +281,9 @@ impl TxStats {
             max_consec_aborts,
             escalations,
             fallback_commits,
+            parks,
+            wakes,
+            spurious_wakes,
             ref breakdown,
         } = *self;
         let mut out = vec![
@@ -282,6 +302,9 @@ impl TxStats {
             max_consec_aborts,
             escalations,
             fallback_commits,
+            parks,
+            wakes,
+            spurious_wakes,
         ];
         out.extend(breakdown.to_bits());
         out
@@ -290,11 +313,11 @@ impl TxStats {
     /// Reconstructs counters from [`encode`](Self::encode) output;
     /// `None` if the word count does not match this crate's layout.
     pub fn decode(words: &[u64]) -> Option<TxStats> {
-        if words.len() != 15 + NUM_PHASES {
+        if words.len() != 18 + NUM_PHASES {
             return None;
         }
         let mut bits = [0u64; NUM_PHASES];
-        bits.copy_from_slice(&words[15..]);
+        bits.copy_from_slice(&words[18..]);
         Some(TxStats {
             commits: words[0],
             read_only_commits: words[1],
@@ -311,6 +334,9 @@ impl TxStats {
             max_consec_aborts: words[12],
             escalations: words[13],
             fallback_commits: words[14],
+            parks: words[15],
+            wakes: words[16],
+            spurious_wakes: words[17],
             breakdown: Breakdown::from_bits(bits),
         })
     }
@@ -346,6 +372,9 @@ impl TxStats {
         w.field_u64("max_consec_aborts", self.max_consec_aborts);
         w.field_u64("escalations", self.escalations);
         w.field_u64("fallback_commits", self.fallback_commits);
+        w.field_u64("parks", self.parks);
+        w.field_u64("wakes", self.wakes);
+        w.field_u64("spurious_wakes", self.spurious_wakes);
         w.field_f64("abort_rate", self.abort_rate());
         w.key("breakdown");
         self.breakdown.write_json(w);

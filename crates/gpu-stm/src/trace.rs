@@ -108,6 +108,23 @@ pub enum TxEventKind {
         /// The new limit (warps allowed to run transactions).
         limit: u32,
     },
+    /// `lanes` retrying lane-transactions registered on `watched` read-set
+    /// addresses and parked the warp (the blocking `retry()` path).
+    Park {
+        /// Lanes whose transactions parked.
+        lanes: u32,
+        /// Distinct read-set addresses registered in the waker registry.
+        watched: u32,
+    },
+    /// A parked warp resumed because a commit's write set intersected its
+    /// registration (or its park budget expired).
+    Wake {
+        /// Whether the wake was a budget timeout rather than a commit.
+        timed_out: bool,
+    },
+    /// A fault-injected wake fired with no intersecting commit: the warp
+    /// must revalidate and re-park (tests waker-loop robustness).
+    SpuriousWake,
 }
 
 /// One cycle-timestamped transaction-lifecycle event.
@@ -294,6 +311,24 @@ fn write_sim_event(w: &mut JsonWriter, e: &SimEvent) {
             w.field_u64("dur", cycles);
             w.end_object();
         }
+        SimEventKind::Park { watched } => {
+            write_event_head(w, "park", "i", e.cycle, e.block, e.warp, "sim");
+            w.field_str("s", "t");
+            w.key("args");
+            w.begin_object();
+            w.field_u64("watched", watched as u64);
+            w.end_object();
+            w.end_object();
+        }
+        SimEventKind::Wake { timed_out } => {
+            write_event_head(w, "wake", "i", e.cycle, e.block, e.warp, "sim");
+            w.field_str("s", "t");
+            w.key("args");
+            w.begin_object();
+            w.field_u64("timed_out", timed_out as u64);
+            w.end_object();
+            w.end_object();
+        }
     }
 }
 
@@ -394,6 +429,30 @@ fn write_tx_event(w: &mut JsonWriter, e: &TxEvent) {
             w.begin_object();
             w.field_u64("limit", limit as u64);
             w.end_object();
+            w.end_object();
+        }
+        TxEventKind::Park { lanes, watched } => {
+            write_event_head(w, "tx-park", "i", e.cycle, e.block, e.warp, "stm");
+            w.field_str("s", "t");
+            w.key("args");
+            w.begin_object();
+            w.field_u64("lanes", lanes as u64);
+            w.field_u64("watched", watched as u64);
+            w.end_object();
+            w.end_object();
+        }
+        TxEventKind::Wake { timed_out } => {
+            write_event_head(w, "tx-wake", "i", e.cycle, e.block, e.warp, "stm");
+            w.field_str("s", "t");
+            w.key("args");
+            w.begin_object();
+            w.field_u64("timed_out", timed_out as u64);
+            w.end_object();
+            w.end_object();
+        }
+        TxEventKind::SpuriousWake => {
+            write_event_head(w, "tx-spurious-wake", "i", e.cycle, e.block, e.warp, "stm");
+            w.field_str("s", "t");
             w.end_object();
         }
     }

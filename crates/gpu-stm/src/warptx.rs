@@ -40,6 +40,12 @@ pub struct WarpTx {
     /// [`Robust`](crate::Robust) wrapper maintains it (zeroing on commit)
     /// and escalates starving lanes to the serialized fallback path.
     pub consec_aborts: [u32; WARP_SIZE],
+    /// Lanes that called `retry()` this attempt: instead of committing,
+    /// they want to block until an address of their read-set is
+    /// overwritten (see [`Blocking`](crate::park::Blocking)). Cleared by
+    /// [`reset_lane`](Self::reset_lane) and consumed by
+    /// `commit_or_park` / `or_else`.
+    pub retrying: LaneMask,
 
     cur_phase: Phase,
     phase_start: u64,
@@ -61,6 +67,7 @@ impl WarpTx {
             acquired: [0; WARP_SIZE],
             backoff: 0,
             consec_aborts: [0; WARP_SIZE],
+            retrying: LaneMask::EMPTY,
             cur_phase: Phase::Native,
             phase_start: 0,
             attempt: [0.0; NUM_PHASES],
@@ -76,6 +83,7 @@ impl WarpTx {
         self.opaque |= LaneMask::lane(lane);
         self.pass_tbv[lane] = true;
         self.acquired[lane] = 0;
+        self.retrying = self.retrying.without(lane);
     }
 
     /// Marks `lane` inconsistent: it must abort (its reads no longer form
@@ -101,25 +109,28 @@ impl WarpTx {
     }
 
     /// Flushes the attempt buffer into `breakdown` at the end of a commit
-    /// call. Native time is attributed directly; transactional time is
-    /// split between committed phases and the `Aborted` bucket in
-    /// proportion to how many lanes committed vs aborted.
+    /// call. Native and `Parked` time are attributed directly — parked
+    /// cycles are *waiting*, never wasted work, so they must not land in
+    /// the `Aborted` bucket. Transactional time is split between committed
+    /// phases and the `Aborted` bucket in proportion to how many lanes
+    /// committed vs aborted.
     pub fn flush_attempt(&mut self, breakdown: &mut Breakdown, committed: u32, aborted: u32) {
         let before = breakdown.total();
         let native = std::mem::replace(&mut self.attempt[Phase::Native as usize], 0.0);
         breakdown.add(Phase::Native, native);
+        let parked = std::mem::replace(&mut self.attempt[Phase::Parked as usize], 0.0);
+        breakdown.add(Phase::Parked, parked);
         let total_lanes = committed + aborted;
         if total_lanes == 0 {
             // Nothing resolved; keep accumulating for the next flush.
-            self.attempt[Phase::Native as usize] = 0.0;
-            Self::check_conservation(breakdown, before, native);
+            Self::check_conservation(breakdown, before, native + parked);
             return;
         }
         let cf = committed as f64 / total_lanes as f64;
         let af = aborted as f64 / total_lanes as f64;
         let mut tx_total = 0.0;
         for (i, slot) in self.attempt.iter_mut().enumerate() {
-            if i == Phase::Native as usize {
+            if i == Phase::Native as usize || i == Phase::Parked as usize {
                 continue;
             }
             let v = std::mem::replace(slot, 0.0);
@@ -127,7 +138,7 @@ impl WarpTx {
             breakdown.add_index(i, v * cf);
         }
         breakdown.add(Phase::Aborted, tx_total * af);
-        Self::check_conservation(breakdown, before, native + tx_total);
+        Self::check_conservation(breakdown, before, native + parked + tx_total);
     }
 
     /// Debug-build cross-check: a flush must grow the breakdown's total by

@@ -850,6 +850,8 @@ impl ShardEngine {
             blocks_completed,
             spurious_cas_failures,
             injected_jitter_cycles,
+            parks,
+            wakes,
         } = ck.stats;
         for v in [
             instructions,
@@ -868,6 +870,8 @@ impl ShardEngine {
             blocks_completed,
             spurious_cas_failures,
             injected_jitter_cycles,
+            parks,
+            wakes,
         ] {
             e.u64(v);
         }
@@ -976,7 +980,7 @@ impl ShardEngine {
                 stamps.push(d.u64()?);
             }
             let tick = d.u64()?;
-            let mut sim_stats = [0u64; 16];
+            let mut sim_stats = [0u64; 18];
             for v in sim_stats.iter_mut() {
                 *v = d.u64()?;
             }
@@ -1046,7 +1050,7 @@ impl ShardEngine {
             let last_seal = if d.u8()? == 1 { Some(dec_seal(&mut d)?) } else { None };
             d.done()?;
 
-            let [instructions, loads, stores, atomics, fences, mem_transactions, uncoalesced_transactions, l2_hits, l2_misses, divergent_instructions, active_lanes, lane_slots, idle_cycles, blocks_completed, spurious_cas_failures, injected_jitter_cycles] =
+            let [instructions, loads, stores, atomics, fences, mem_transactions, uncoalesced_transactions, l2_hits, l2_misses, divergent_instructions, active_lanes, lane_slots, idle_cycles, blocks_completed, spurious_cas_failures, injected_jitter_cycles, parks, wakes] =
                 sim_stats;
             let ck = SimCheckpoint {
                 memory,
@@ -1068,6 +1072,8 @@ impl ShardEngine {
                     blocks_completed,
                     spurious_cas_failures,
                     injected_jitter_cycles,
+                    parks,
+                    wakes,
                 },
                 cycles,
                 launches,

@@ -65,6 +65,15 @@ pub struct ObsConfig {
     pub storm_open: u32,
     /// Consecutive calm batches before the storm incident closes.
     pub storm_close: u32,
+    /// Parked-admission depth at or above which a round counts toward a
+    /// park storm (blocking admission only; see `ServeConfig::blocking`).
+    pub park_open_depth: u64,
+    /// Consecutive rounds at or above [`Self::park_open_depth`] before a
+    /// [`IncidentCause::ParkStorm`] incident opens.
+    pub park_storm_open: u32,
+    /// Consecutive rounds below the depth threshold before the park
+    /// storm incident closes.
+    pub park_storm_close: u32,
 }
 
 impl Default for ObsConfig {
@@ -75,6 +84,9 @@ impl Default for ObsConfig {
             flight_events: 0,
             storm_open: 2,
             storm_close: 2,
+            park_open_depth: 1,
+            park_storm_open: 2,
+            park_storm_close: 2,
         }
     }
 }
@@ -121,6 +133,10 @@ pub enum IncidentCause {
     ReplicaDivergence,
     /// The tm-check oracle reported a consistency violation at drain.
     CheckViolation,
+    /// Blocking admission held parked requests at or above the
+    /// [`ObsConfig::park_open_depth`] threshold for
+    /// [`ObsConfig::park_storm_open`] consecutive rounds.
+    ParkStorm,
 }
 
 impl IncidentCause {
@@ -131,6 +147,7 @@ impl IncidentCause {
             IncidentCause::CrashRecovery => "crash_recovery",
             IncidentCause::ReplicaDivergence => "replica_divergence",
             IncidentCause::CheckViolation => "check_violation",
+            IncidentCause::ParkStorm => "park_storm",
         }
     }
 
@@ -140,6 +157,7 @@ impl IncidentCause {
             IncidentCause::CrashRecovery => 2,
             IncidentCause::ReplicaDivergence => 3,
             IncidentCause::CheckViolation => 4,
+            IncidentCause::ParkStorm => 5,
         }
     }
 }
@@ -490,6 +508,8 @@ pub struct ShardSnapshot {
     pub aborts: WinCounter,
     /// Admission rejections.
     pub rejected: WinCounter,
+    /// Requests parked by blocking admission (park events, not depth).
+    pub parked: WinCounter,
     /// Dispatched batches.
     pub batches: WinCounter,
     /// Batches during which the STM reported an abort storm.
@@ -498,6 +518,8 @@ pub struct ShardSnapshot {
     pub abort_permille: u32,
     /// Queue depth gauge at snapshot time.
     pub queue_depth: u64,
+    /// Parked-admission depth gauge at snapshot time (blocking mode).
+    pub parked_depth: u64,
     /// Admission cost estimate gauge (cycles per entry).
     pub cost_per_entry: u64,
     /// Whether the last folded batch reported a storm.
@@ -521,6 +543,7 @@ impl ShardSnapshot {
             ("commits", &self.commits),
             ("aborts", &self.aborts),
             ("rejected", &self.rejected),
+            ("parked", &self.parked),
             ("batches", &self.batches),
             ("storm_rounds", &self.storm_rounds),
         ] {
@@ -532,6 +555,7 @@ impl ShardSnapshot {
         }
         w.field_u64("abort_permille", self.abort_permille as u64);
         w.field_u64("queue_depth", self.queue_depth);
+        w.field_u64("parked_depth", self.parked_depth);
         w.field_u64("cost_per_entry", self.cost_per_entry);
         w.field_bool("storm", self.storm);
         w.key("batch_cycles");
@@ -608,6 +632,9 @@ impl MetricsSnapshot {
         counter(&mut out, "tm_commits_total", "Committed transactions.", &|s| s.commits.total);
         counter(&mut out, "tm_aborts_total", "Aborted transaction attempts.", &|s| s.aborts.total);
         counter(&mut out, "tm_rejected_total", "Admission rejections.", &|s| s.rejected.total);
+        counter(&mut out, "tm_parked_total", "Requests parked by blocking admission.", &|s| {
+            s.parked.total
+        });
         counter(&mut out, "tm_batches_total", "Dispatched batches.", &|s| s.batches.total);
         counter(&mut out, "tm_storm_rounds_total", "Batches under abort storm.", &|s| {
             s.storm_rounds.total
@@ -630,6 +657,9 @@ impl MetricsSnapshot {
             s.abort_permille as u64
         });
         gauge(&mut out, "tm_queue_depth", "Shard queue depth.", &|s| s.queue_depth);
+        gauge(&mut out, "tm_parked_depth", "Requests currently parked on the shard.", &|s| {
+            s.parked_depth
+        });
         gauge(&mut out, "tm_cost_per_entry", "Admission cost estimate (cycles).", &|s| {
             s.cost_per_entry
         });
@@ -716,23 +746,30 @@ struct ShardObs {
     commits: WinCounter,
     aborts: WinCounter,
     rejected: WinCounter,
+    parked: WinCounter,
     batches: WinCounter,
     storm_rounds: WinCounter,
     batch_cycles: Hist,
     retry_after: Hist,
     queue_depth: u64,
+    parked_depth: u64,
     cost_per_entry: u64,
     storm: bool,
     frames: VecDeque<FlightFrame>,
     storm_streak: u32,
     calm_streak: u32,
     storming: bool,
+    park_streak: u32,
+    park_calm_streak: u32,
+    park_storming: bool,
     recovering: bool,
     replica_serving: bool,
     degraded: bool,
     /// Index into the epoch-visible incident list of the open storm
     /// incident, if any.
     storm_incident: Option<usize>,
+    /// Index of the open park-storm incident, if any.
+    park_incident: Option<usize>,
     /// Index of the open crash-recovery incident, if any.
     crash_incident: Option<usize>,
 }
@@ -743,21 +780,27 @@ impl ShardObs {
             commits: WinCounter::default(),
             aborts: WinCounter::default(),
             rejected: WinCounter::default(),
+            parked: WinCounter::default(),
             batches: WinCounter::default(),
             storm_rounds: WinCounter::default(),
             batch_cycles: Hist::new(&BATCH_CYCLE_BOUNDS),
             retry_after: Hist::new(&RETRY_AFTER_BOUNDS),
             queue_depth: 0,
+            parked_depth: 0,
             cost_per_entry: 0,
             storm: false,
             frames: VecDeque::with_capacity(cfg.flight_epochs),
             storm_streak: 0,
             calm_streak: 0,
             storming: false,
+            park_streak: 0,
+            park_calm_streak: 0,
+            park_storming: false,
             recovering: false,
             replica_serving: false,
             degraded: false,
             storm_incident: None,
+            park_incident: None,
             crash_incident: None,
         }
     }
@@ -769,7 +812,7 @@ impl ShardObs {
             HealthState::ReplicaServing
         } else if self.recovering {
             HealthState::Recovering
-        } else if self.storming {
+        } else if self.storming || self.park_storming {
             HealthState::Storming
         } else {
             HealthState::Healthy
@@ -785,6 +828,7 @@ impl ShardObs {
         self.commits.roll();
         self.aborts.roll();
         self.rejected.roll();
+        self.parked.roll();
         self.batches.roll();
         self.storm_rounds.roll();
     }
@@ -863,6 +907,65 @@ impl ObsState {
         let s = &mut self.shards[shard];
         s.queue_depth = queue_depth;
         s.cost_per_entry = cost_per_entry;
+    }
+
+    /// Records one request parking at blocking admission (a park event;
+    /// depth is tracked separately by [`Self::on_park_depth`]).
+    pub fn on_park(&mut self, shard: usize) {
+        self.shards[shard].parked.add(1);
+    }
+
+    /// Updates the parked-depth gauge for one coordinator round and
+    /// drives the park-storm state machine: `park_storm_open`
+    /// consecutive rounds at or above `park_open_depth` open a
+    /// [`IncidentCause::ParkStorm`] incident, `park_storm_close` calm
+    /// rounds close it.
+    pub fn on_park_depth(&mut self, shard: usize, depth: u64, round: u64, epoch: u64) {
+        let (open_depth, park_open, park_close) =
+            (self.cfg.park_open_depth, self.cfg.park_storm_open, self.cfg.park_storm_close);
+        let s = &mut self.shards[shard];
+        s.parked_depth = depth;
+        if depth >= open_depth.max(1) {
+            s.park_streak += 1;
+            s.park_calm_streak = 0;
+        } else {
+            s.park_calm_streak += 1;
+            s.park_streak = 0;
+        }
+        let opens = !s.park_storming && s.park_streak >= park_open;
+        let closes = s.park_storming && s.park_calm_streak >= park_close;
+        if opens {
+            s.park_storming = true;
+            let parked_total = s.parked.total;
+            let mut f = Fnv::new();
+            f.u64(shard as u64);
+            f.u64(IncidentCause::ParkStorm.ordinal());
+            f.u64(epoch);
+            f.u64(round);
+            f.u64(depth);
+            f.u64(parked_total);
+            let bundle = self.cut_bundle(shard, IncidentCause::ParkStorm, round, epoch, 0, 0);
+            let name = bundle.name.clone();
+            self.bundles.push(bundle);
+            self.shards[shard].park_incident = Some(self.incidents.len());
+            self.incidents.push(Incident {
+                shard: shard as u32,
+                cause: IncidentCause::ParkStorm,
+                open_epoch: epoch,
+                open_round: round,
+                close_epoch: None,
+                close_round: None,
+                evidence_fnv: f.0,
+                bundle: Some(name),
+                witness: None,
+            });
+        } else if closes {
+            s.park_storming = false;
+            if let Some(i) = s.park_incident.take() {
+                self.incidents[i].close_epoch = Some(epoch);
+                self.incidents[i].close_round = Some(round);
+            }
+        }
     }
 
     /// Folds one batch report: counters, histograms, a flight frame, and
@@ -1103,10 +1206,12 @@ impl ObsState {
                     commits: s.commits,
                     aborts: s.aborts,
                     rejected: s.rejected,
+                    parked: s.parked,
                     batches: s.batches,
                     storm_rounds: s.storm_rounds,
                     abort_permille: s.abort_permille(),
                     queue_depth: s.queue_depth,
+                    parked_depth: s.parked_depth,
                     cost_per_entry: s.cost_per_entry,
                     storm: s.storm,
                     batch_cycles: s.batch_cycles.clone(),
@@ -1214,6 +1319,48 @@ mod tests {
         assert_eq!(obs.snapshot(5000).shards[0].health, HealthState::Healthy);
         assert_eq!(obs.bundles.len(), 1);
         assert_eq!(obs.bundles[0].cause, IncidentCause::AbortStorm);
+    }
+
+    #[test]
+    fn park_storm_hysteresis_opens_and_closes_one_incident() {
+        let mut obs = state();
+        let mut round = 0u64;
+        let mut tick = |obs: &mut ObsState, depth: u64| {
+            round += 1;
+            obs.on_park_depth(0, depth, round, round * 1000);
+        };
+        tick(&mut obs, 3);
+        assert_eq!(obs.incidents.len(), 0, "one deep round is not an incident");
+        tick(&mut obs, 2);
+        assert_eq!(obs.incidents.len(), 1);
+        assert_eq!(obs.incidents[0].cause, IncidentCause::ParkStorm);
+        assert_eq!(obs.snapshot(2000).shards[0].health, HealthState::Storming);
+        assert_eq!(obs.snapshot(2000).shards[0].parked_depth, 2);
+        tick(&mut obs, 5);
+        assert_eq!(obs.incidents.len(), 1, "no duplicate incident while open");
+        tick(&mut obs, 0);
+        assert!(obs.incidents[0].close_epoch.is_none(), "one calm round does not close");
+        tick(&mut obs, 0);
+        assert_eq!(obs.incidents[0].close_epoch, Some(5000));
+        assert_eq!(obs.snapshot(5000).shards[0].health, HealthState::Healthy);
+        assert_eq!(obs.bundles.len(), 1);
+        assert_eq!(obs.bundles[0].cause, IncidentCause::ParkStorm);
+    }
+
+    #[test]
+    fn parked_counters_enter_snapshot_and_scrape() {
+        let mut obs = state();
+        obs.on_park(1);
+        obs.on_park(1);
+        obs.on_park_depth(1, 2, 1, 100);
+        let snap = obs.snapshot(100);
+        assert_eq!(snap.shards[1].parked.total, 2);
+        assert_eq!(snap.shards[1].parked_depth, 2);
+        assert!(snap.to_json().contains("\"parked\""));
+        assert!(snap.to_json().contains("\"parked_depth\":2"));
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("tm_parked_total"));
+        assert!(prom.contains("tm_parked_depth"));
     }
 
     #[test]

@@ -165,6 +165,11 @@ pub struct ShardReport {
     /// Requests rejected at admission because this shard's queue was
     /// full.
     pub rejected: u64,
+    /// Requests parked by blocking admission when this shard's queue
+    /// was full (park events; every one is eventually admitted).
+    pub parked: u64,
+    /// Peak number of requests simultaneously parked on this shard.
+    pub parked_depth_peak: u64,
     /// Peak admission-queue occupancy.
     pub queue_peak: u64,
     /// Rounds this shard reported an abort storm.
@@ -220,6 +225,12 @@ pub struct ServeReport {
     pub admitted: u64,
     /// Requests rejected with [`ServeError::Overloaded`].
     pub rejected: u64,
+    /// Requests parked by blocking admission instead of being rejected
+    /// (every parked request is eventually admitted, so after drain
+    /// `admitted` includes all of them).
+    pub parked: u64,
+    /// Peak number of simultaneously parked requests across the run.
+    pub parked_peak: u64,
     /// Requests completed (always equals `admitted` after drain).
     pub completed: u64,
     /// Completed requests whose business outcome failed (insufficient
@@ -319,6 +330,8 @@ impl ServeReport {
         w.field_u64("offered", self.offered);
         w.field_u64("admitted", self.admitted);
         w.field_u64("rejected", self.rejected);
+        w.field_u64("parked", self.parked);
+        w.field_u64("parked_peak", self.parked_peak);
         w.field_u64("completed", self.completed);
         w.field_u64("business_failed", self.business_failed);
         w.field_u64("cross_shard", self.cross_shard);
@@ -363,6 +376,8 @@ impl ServeReport {
             w.field_u64("balance_sum", s.balance_sum);
             w.field_u64("txl_sum", s.txl_sum);
             w.field_u64("rejected", s.rejected);
+            w.field_u64("parked", s.parked);
+            w.field_u64("parked_depth_peak", s.parked_depth_peak);
             w.field_u64("queue_peak", s.queue_peak);
             w.field_u64("storm_rounds", s.storm_rounds);
             w.field_u64("retry_hint_peak", s.retry_hint_peak);
@@ -409,6 +424,8 @@ mod tests {
             offered: 10,
             admitted: 9,
             rejected: 1,
+            parked: 0,
+            parked_peak: 0,
             completed: 9,
             business_failed: 2,
             cross_shard: 3,

@@ -143,12 +143,31 @@ impl MixConfig {
         }
     }
 
-    /// Parses a mix by name (`bank`, `ht`, `mixed`).
+    /// Saturating burst traffic for blocking admission: arrivals far
+    /// faster than service, so bounded shard queues overflow and — with
+    /// `ServeConfig::blocking` on — admission parks on the capacity
+    /// condition instead of rejecting with `Overloaded`.
+    pub fn blocking() -> Self {
+        MixConfig {
+            requests: 512,
+            mean_interarrival: 2,
+            bank_pct: 60,
+            ht_pct: 30,
+            ht_read_pct: 30,
+            locality_pct: 80,
+            hot_pct: 30,
+            hot_keys: 16,
+            amount_max: 8,
+        }
+    }
+
+    /// Parses a mix by name (`bank`, `ht`, `mixed`, `blocking`).
     pub fn parse(name: &str) -> Option<MixConfig> {
         match name.to_ascii_lowercase().as_str() {
             "bank" => Some(MixConfig::bank()),
             "ht" | "hashtable" => Some(MixConfig::hashtable()),
             "mixed" => Some(MixConfig::mixed()),
+            "blocking" => Some(MixConfig::blocking()),
             _ => None,
         }
     }

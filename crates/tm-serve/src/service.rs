@@ -65,6 +65,15 @@ pub struct ServeConfig {
     pub batch_warps: u32,
     /// Bound on each shard's admission queue.
     pub queue_capacity: usize,
+    /// Blocking admission: a request that would be rejected with
+    /// [`ServeError::Overloaded`] parks in a coordinator-side FIFO
+    /// instead and is re-offered each round until queue capacity
+    /// frees — the serving-layer analogue of `gpu_stm::park`'s
+    /// `retry()` (clients wait on the capacity condition rather than
+    /// polling with retry-after hints). Parked depth is exported as a
+    /// per-shard gauge and sustained depth opens a
+    /// [`crate::obs::IncidentCause::ParkStorm`] incident.
+    pub blocking: bool,
     /// Initial balance per owned account.
     pub initial_balance: u32,
     /// Credit ceiling for cross-shard prepare-credit votes.
@@ -131,6 +140,7 @@ impl Default for ServeConfig {
             txl_words: 64,
             batch_warps: 2,
             queue_capacity: 64,
+            blocking: false,
             initial_balance: 1000,
             credit_cap: u32::MAX,
             n_locks: 1 << 12,
@@ -834,6 +844,14 @@ impl Service {
         let mut storm_rounds = vec![0u64; shards];
         let mut queue_peak = vec![0usize; shards];
         let mut rejected = vec![0u64; shards];
+        // Blocking admission: requests waiting, in arrival order, for
+        // queue capacity, each tagged with the shard that last refused
+        // it (for depth attribution).
+        let mut parked: VecDeque<(Request, usize)> = VecDeque::new();
+        let mut parks = vec![0u64; shards];
+        let mut parked_depth_peak = vec![0u64; shards];
+        let mut parked_total = 0u64;
+        let mut parked_peak = 0u64;
         let mut hint_peak = vec![0u64; shards];
         let mut commits_batched = vec![0u64; shards];
         let mut aborts_batched = vec![0u64; shards];
@@ -905,10 +923,19 @@ impl Service {
                 }
             }
 
-            // 1. Admit everything that has arrived by the current epoch.
+            // 1. Re-offer parked requests (they arrived first, so they
+            //    go ahead of the round's new arrivals), then admit
+            //    everything that has arrived by the current epoch. With
+            //    blocking admission, an `Overloaded` outcome parks the
+            //    request at the back of the wait FIFO instead of
+            //    rejecting it.
+            let mut offers: Vec<(Request, bool)> =
+                parked.drain(..).map(|(r, _)| (r, true)).collect();
             while next_arr < requests.len() && requests[next_arr].arrival <= epoch {
-                let r = requests[next_arr];
+                offers.push((requests[next_arr], false));
                 next_arr += 1;
+            }
+            for (r, was_parked) in offers {
                 match adm.try_admit(&r, &cost, &storm, &down) {
                     Ok(class) => {
                         admitted += 1;
@@ -936,6 +963,14 @@ impl Service {
                             );
                         }
                     }
+                    Err(ServeError::Overloaded { shard, .. }) if cfg.blocking => {
+                        if !was_parked {
+                            parks[shard] += 1;
+                            parked_total += 1;
+                            obs.on_park(shard);
+                        }
+                        parked.push_back((r, shard));
+                    }
                     Err(e) => {
                         match e {
                             ServeError::Overloaded { shard, retry_after, .. } => {
@@ -958,6 +993,15 @@ impl Service {
             for (peak, queue) in queue_peak.iter_mut().zip(&adm.queues) {
                 *peak = (*peak).max(queue.len());
             }
+            parked_peak = parked_peak.max(parked.len() as u64);
+            let mut parked_depth = vec![0u64; shards];
+            for &(_, s) in &parked {
+                parked_depth[s] += 1;
+            }
+            for s in 0..shards {
+                parked_depth_peak[s] = parked_depth_peak[s].max(parked_depth[s]);
+                obs.on_park_depth(s, parked_depth[s], rounds, epoch);
+            }
 
             // 2. Seal one batch per shard. Down shards hold their
             //    queues; a prefilled shard's batch for this round is
@@ -977,7 +1021,11 @@ impl Service {
                 if recovering.iter().any(|r| r.is_some()) {
                     continue; // burn a round of the recovery window
                 }
-                if next_arr >= requests.len() && inflight.is_empty() && adm.idle() {
+                if next_arr >= requests.len()
+                    && inflight.is_empty()
+                    && adm.idle()
+                    && parked.is_empty()
+                {
                     break; // drained
                 }
                 if next_arr < requests.len() {
@@ -1277,6 +1325,8 @@ impl Service {
                 balance_sum: sum.balance_sum,
                 txl_sum: sum.txl_sum,
                 rejected: rejected[s],
+                parked: parks[s],
+                parked_depth_peak: parked_depth_peak[s],
                 queue_peak: queue_peak[s] as u64,
                 storm_rounds: storm_rounds[s],
                 retry_hint_peak: hint_peak[s],
@@ -1300,6 +1350,8 @@ impl Service {
             offered,
             admitted,
             rejected: rejected_total,
+            parked: parked_total,
+            parked_peak,
             completed: completed.len() as u64,
             business_failed,
             cross_shard: cross_admitted,

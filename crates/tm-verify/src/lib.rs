@@ -124,6 +124,7 @@ pub fn finding_to_sched(litmus: &Litmus, finding: &Finding, schedule: &Schedule)
                 m.skip_validation, m.unsorted_locks, m.late_writeback
             ),
         ),
+        ("blocking".to_string(), format!("lost_wakeup={}", litmus.blocking.lost_wakeup)),
         ("violation".to_string(), finding.violation.kind.to_string()),
         ("preemptions".to_string(), finding.preemptions.to_string()),
     ];

@@ -15,13 +15,20 @@
 //! - **stripes** — a TXL kernel whose threads increment disjoint stripes;
 //!   the TXL footprint analysis proves the disjointness, letting the
 //!   explorer demote all data traffic to invisible.
+//! - **queue** — the blocking-transactions wakeup litmus: one producer
+//!   feeds a counter that consumers drain with `retry()`/`or_else`
+//!   blocking ([`gpu_stm::Blocking`]). Explored schedules cover
+//!   park/commit races, wake-before-park, and multi-waiter single-wake;
+//!   a lost wakeup surfaces as an all-parked deadlock.
 
 use crate::controller::FootprintFilter;
 use crate::explore::{Fnv, ModelOutcome, ModelViolation, ViolationKind};
 use gpu_sim::{
     race_sink, Addr, LaneMask, LaunchConfig, PolicyHandle, Sim, SimConfig, SimError, WarpCtx,
 };
-use gpu_stm::{recorder, LockStm, Mutation, Recorder, Stm, StmConfig, StmShared};
+use gpu_stm::{
+    recorder, Blocking, BlockingMutation, LockStm, Mutation, Recorder, Stm, StmConfig, StmShared,
+};
 use std::rc::Rc;
 use workloads::{dispatch, RunError, StmRunner, Variant};
 
@@ -67,11 +74,15 @@ pub enum Workload {
     Hashtable,
     /// TXL kernel over provably-disjoint stripes (footprint-prunable).
     Stripes,
+    /// Blocking wakeup litmus: producer/consumers over a counter with
+    /// `retry()`/`or_else` parking (lock-based variants only).
+    Queue,
 }
 
 impl Workload {
     /// All litmus workloads.
-    pub const ALL: [Workload; 3] = [Workload::Bank, Workload::Hashtable, Workload::Stripes];
+    pub const ALL: [Workload; 4] =
+        [Workload::Bank, Workload::Hashtable, Workload::Stripes, Workload::Queue];
 
     /// Stable CLI name.
     pub fn name(self) -> &'static str {
@@ -79,6 +90,7 @@ impl Workload {
             Workload::Bank => "bank",
             Workload::Hashtable => "hashtable",
             Workload::Stripes => "stripes",
+            Workload::Queue => "queue",
         }
     }
 
@@ -107,12 +119,21 @@ pub struct Litmus {
     pub warps_per_block: u32,
     /// Seeded correctness mutation (all-off = the real runtime).
     pub mutation: Mutation,
+    /// Seeded blocking-subsystem mutation (queue litmus only).
+    pub blocking: BlockingMutation,
 }
 
 impl Litmus {
     /// A litmus with the given geometry and no mutation.
     pub fn new(workload: Workload, variant: Variant, blocks: u32, warps_per_block: u32) -> Self {
-        Litmus { workload, variant, blocks, warps_per_block, mutation: Mutation::default() }
+        Litmus {
+            workload,
+            variant,
+            blocks,
+            warps_per_block,
+            mutation: Mutation::default(),
+            blocking: BlockingMutation::default(),
+        }
     }
 
     /// Total actors (one per warp; stripes: one per TXL thread).
@@ -136,6 +157,8 @@ impl Litmus {
             Workload::Bank => self.actors().max(2),
             Workload::Hashtable => (2 * self.actors()).next_power_of_two().max(8),
             Workload::Stripes => 4 * self.actors(),
+            // available-count, done flag, one claim counter per consumer.
+            Workload::Queue => 2 + self.actors().saturating_sub(1).max(1),
         }
     }
 
@@ -168,7 +191,12 @@ pub fn run_once(l: &Litmus, policy: Option<PolicyHandle>) -> ModelOutcome {
     let rec = recorder();
     let stm_cfg = StmConfig::new(N_LOCKS);
 
-    let result: Result<(), RunError> = if l.mutation.any() {
+    let result: Result<(), RunError> = if l.workload == Workload::Queue {
+        // The queue litmus always builds its own Blocking<LockStm>: the
+        // wrapper needs to own the runtime (and &mut Sim for its registry
+        // anchors), which the generic dispatch cannot provide.
+        run_queue_blocking(l, &mut sim, stm_cfg, rec.clone(), data, stagger)
+    } else if l.mutation.any() {
         run_mutated(l, &mut sim, stm_cfg, rec.clone(), data, stagger)
     } else {
         dispatch(
@@ -198,7 +226,15 @@ pub fn run_once(l: &Litmus, policy: Option<PolicyHandle>) -> ModelOutcome {
                 SimError::Livelock { .. } => ViolationKind::Livelock,
                 _ => ViolationKind::Sim,
             };
-            violations.push(ModelViolation { kind, message: e.to_string() });
+            // Fold the per-warp progress lines into the message: for a
+            // blocked run the warp state (including any parked watch
+            // addresses) is the actionable part of the diagnosis.
+            let mut message = e.to_string();
+            for w in e.unfinished_warps() {
+                message.push_str("; ");
+                message.push_str(&w.to_string());
+            }
+            violations.push(ModelViolation { kind, message });
             // The run is partial: history/final-state checks would report
             // spurious mismatches, so only the progress failure counts.
         }
@@ -307,6 +343,117 @@ fn run_mutated(
     run_workload(l, sim, Rc::new(stm), data, stagger)
 }
 
+/// The blocking wakeup litmus. Actor 0 produces `actors - 1` items by
+/// incrementing `data[0]` one commit at a time, then raises the done
+/// flag `data[1]`. Every other actor is a consumer: it claims items
+/// (decrementing `data[0]`, bumping its own claim counter) and, on
+/// finding the counter empty, calls `retry()` — falling through to an
+/// `or_else` alternative that exits once the done flag is up. A consumer
+/// parked on `{avail, done}` is woken either by a push or by the final
+/// done-flag commit; losing that last wakeup strands it forever, which
+/// the executor reports as an all-parked deadlock.
+///
+/// Under the default (staggered) scheduler the producer finishes before
+/// any consumer starts, so consumers drain without parking and seeded
+/// blocking mutants stay latent — parking only happens in controlled
+/// (explored) interleavings, exactly where the checker is looking.
+fn run_queue_blocking(
+    l: &Litmus,
+    sim: &mut Sim,
+    stm_cfg: StmConfig,
+    rec: Recorder,
+    data: Addr,
+    stagger: u64,
+) -> Result<(), RunError> {
+    let shared = StmShared::init(sim, &stm_cfg).map_err(RunError::Sim)?;
+    let inner = match l.variant {
+        Variant::TbvSorting => LockStm::tbv_sorting(shared, stm_cfg),
+        Variant::HvSorting => LockStm::hv_sorting(shared, stm_cfg),
+        Variant::HvBackoff => LockStm::hv_backoff(shared, stm_cfg),
+        Variant::TbvBackoff => LockStm::tbv_backoff(shared, stm_cfg),
+        _ => {
+            return Err(RunError::Unsupported(
+                "the blocking queue litmus requires a per-thread lock-based STM variant",
+            ))
+        }
+    }
+    .with_mutation(l.mutation)
+    .with_recorder(rec);
+    let stm = Blocking::new(sim, inner, &stm_cfg).map_err(RunError::Sim)?.with_mutation(l.blocking);
+
+    let items = l.actors().saturating_sub(1).max(1);
+    let avail = data;
+    let done = data.offset(1);
+    let claims = data.offset(2);
+    let wpb = l.warps_per_block;
+    let kstm = stm.clone();
+    sim.launch(l.grid(), move |ctx: WarpCtx| {
+        let stm = kstm.clone();
+        async move {
+            let id = ctx.id();
+            let actor = id.block * wpb + id.warp_in_block;
+            ctx.idle(u64::from(actor) * stagger + 1).await;
+            let m = LaneMask::lane(0);
+            let mut w = stm.new_warp();
+            ctx.set_speculative(true);
+            if actor == 0 {
+                // Producer: one item per commit, then the done flag.
+                for _ in 0..items {
+                    loop {
+                        let active = stm.begin(&mut w, &ctx, m).await;
+                        let a = stm.read_one(&mut w, &ctx, 0, avail).await;
+                        if stm.opaque(&w).any() {
+                            stm.write_one(&mut w, &ctx, 0, avail, a.wrapping_add(1)).await;
+                        }
+                        if stm.commit(&mut w, &ctx, active).await.any() {
+                            break;
+                        }
+                    }
+                }
+                loop {
+                    let active = stm.begin(&mut w, &ctx, m).await;
+                    stm.write_one(&mut w, &ctx, 0, done, 1).await;
+                    if stm.commit(&mut w, &ctx, active).await.any() {
+                        break;
+                    }
+                }
+            } else {
+                let my_claims = claims.offset(actor - 1);
+                loop {
+                    let active = stm.begin(&mut w, &ctx, m).await;
+                    let a = stm.read_one(&mut w, &ctx, 0, avail).await;
+                    let mut finished = false;
+                    if stm.opaque(&w).any() {
+                        if a > 0 {
+                            stm.write_one(&mut w, &ctx, 0, avail, a - 1).await;
+                            let k = stm.read_one(&mut w, &ctx, 0, my_claims).await;
+                            if stm.opaque(&w).any() {
+                                stm.write_one(&mut w, &ctx, 0, my_claims, k.wrapping_add(1)).await;
+                            }
+                        } else {
+                            // Empty: block until a push — unless the done
+                            // flag says no push will ever come.
+                            stm.retry(&mut w, m);
+                            let d = stm.read_one(&mut w, &ctx, 0, done).await;
+                            if stm.opaque(&w).any() && d == 1 {
+                                stm.or_else(&mut w, m);
+                                finished = true;
+                            }
+                        }
+                    }
+                    let o = stm.commit_or_park(&mut w, &ctx, active).await;
+                    if o.committed.any() && finished {
+                        break;
+                    }
+                }
+            }
+            ctx.set_speculative(false);
+        }
+    })
+    .map(|_| ())
+    .map_err(RunError::Sim)
+}
+
 struct LitmusRunner {
     litmus: Litmus,
     data: Addr,
@@ -332,6 +479,8 @@ fn run_workload<S: Stm + 'static>(
         Workload::Bank => run_bank(l, sim, stm, data, stagger),
         Workload::Hashtable => run_hashtable(l, sim, stm, data, stagger),
         Workload::Stripes => run_stripes(l, sim, stm, data),
+        // Handled by `run_queue_blocking` before dispatch ever runs.
+        Workload::Queue => unreachable!("queue litmus bypasses the generic dispatch"),
     }
 }
 
@@ -491,6 +640,22 @@ fn check_invariant(l: &Litmus, sim: &Sim, data: Addr) -> Option<String> {
                 }
             }
             None
+        }
+        Workload::Queue => {
+            let items = l.actors().saturating_sub(1).max(1);
+            let claimed: u32 = words[2..].iter().fold(0, |s, &v| s.wrapping_add(v));
+            if words[0] != 0 {
+                Some(format!("{} items left unclaimed (avail={})", words[0], words[0]))
+            } else if words[1] != 1 {
+                Some(format!("done flag is {}, expected 1", words[1]))
+            } else if claimed != items {
+                Some(format!(
+                    "consumers claimed {claimed} items, expected {items} (claims {:?})",
+                    &words[2..]
+                ))
+            } else {
+                None
+            }
         }
     }
 }

@@ -3,7 +3,7 @@
 //! latent under the default schedule — is killed with a minimized,
 //! replayable `.sched` witness.
 
-use gpu_stm::Mutation;
+use gpu_stm::{BlockingMutation, Mutation};
 use tm_verify::{
     minimize_finding, parse, replay, run_once, verify, Litmus, VerifyConfig, ViolationKind,
     Workload,
@@ -79,6 +79,109 @@ fn cross_block_bank_is_clean_at_bound_1() {
     for v in Variant::ALL {
         assert_clean(Workload::Bank, v, 2, 1, 1);
     }
+}
+
+#[test]
+fn queue_wakeups_are_clean_for_lock_variants_at_bound_2() {
+    // The blocking wakeup litmus: producer and consumer racing park
+    // against commit. Bound-2 exploration covers park/commit races and
+    // wake-before-park (the ticket re-check path) for every lock variant.
+    for v in [Variant::TbvSorting, Variant::HvSorting, Variant::HvBackoff, Variant::TbvBackoff] {
+        assert_clean(Workload::Queue, v, 1, 2, 2);
+    }
+}
+
+#[test]
+fn queue_multi_waiter_single_wake_is_clean_at_bound_2() {
+    // Two consumers parked on the same counter, one item pushed: the
+    // notify wakes both, exactly one claims, the loser re-parks and is
+    // released by the done flag. ~14k schedules, so one variant carries
+    // the multi-waiter matrix leg.
+    let cfg = VerifyConfig {
+        litmus: Litmus::new(Workload::Queue, Variant::HvSorting, 1, 3),
+        max_preemptions: 2,
+        max_schedules: 20_000,
+        stop_on_finding: false,
+    };
+    let r = verify(&cfg);
+    assert!(r.unsupported.is_none());
+    assert!(r.is_clean(), "{:?}", r.findings.first().map(|f| &f.violation));
+    assert!(!r.stats.cap_hit, "multi-waiter exploration did not converge");
+}
+
+#[test]
+fn queue_litmus_rejects_non_lock_variants() {
+    let cfg = VerifyConfig {
+        litmus: Litmus::new(Workload::Queue, Variant::Cgl, 1, 2),
+        max_preemptions: 1,
+        max_schedules: 10,
+        stop_on_finding: false,
+    };
+    assert!(verify(&cfg).unsupported.is_some());
+}
+
+#[test]
+fn lost_wakeup_mutant_is_latent_under_the_default_schedule() {
+    let mut l = Litmus::new(Workload::Queue, Variant::HvSorting, 1, 3);
+    l.blocking = BlockingMutation { lost_wakeup: true };
+    let out = run_once(&l, None);
+    assert!(
+        out.violations.is_empty(),
+        "lost_wakeup: expected the mutant to stay latent under the default \
+         (staggered) schedule, got {:?}",
+        out.violations
+    );
+}
+
+#[test]
+fn lost_wakeup_mutant_is_killed_with_a_minimized_replayable_witness() {
+    // Producer + one consumer: the smallest shape with a lost-wakeup
+    // window (the done-flag commit racing the consumer's registration).
+    let mut l = Litmus::new(Workload::Queue, Variant::HvSorting, 1, 2);
+    l.blocking = BlockingMutation { lost_wakeup: true };
+    let cfg =
+        VerifyConfig { litmus: l, max_preemptions: 2, max_schedules: 5000, stop_on_finding: true };
+    let r = verify(&cfg);
+    let f = r.findings.first().expect("lost_wakeup: not killed");
+    assert!(
+        ViolationKind::Deadlock.matches(f.violation.kind),
+        "lost_wakeup: killed by {} rather than a progress failure: {}",
+        f.violation.kind,
+        f.violation.message
+    );
+    assert!(
+        f.violation.message.contains("parked"),
+        "deadlock diagnostics should name the parked warp: {}",
+        f.violation.message
+    );
+
+    // Shrink, serialize, re-parse, replay: the full repro pipeline.
+    let min = minimize_finding(&l, f);
+    assert!(min.choices.len() <= f.schedule.choices.len());
+    assert!(
+        min.choices.len() <= 4,
+        "minimized lost-wakeup witness still has {} forced choices",
+        min.choices.len()
+    );
+    let text = tm_verify::finding_to_sched(&l, f, &min);
+    let (parsed, meta) = parse(&text).expect("well-formed .sched");
+    assert_eq!(parsed, min);
+    assert!(meta.iter().any(|(k, v)| k == "workload" && v == "queue"), "{meta:?}");
+    assert!(meta.iter().any(|(k, v)| k == "blocking" && v == "lost_wakeup=true"), "{meta:?}");
+    let out = replay(&l, &parsed);
+    assert!(
+        out.violations.iter().any(|v| ViolationKind::Deadlock.matches(v.kind)),
+        "minimized lost-wakeup witness does not reproduce; got {:?}",
+        out.violations
+    );
+}
+
+#[test]
+fn clean_queue_passes_the_same_hunt_that_kills_lost_wakeup() {
+    let l = Litmus::new(Workload::Queue, Variant::HvSorting, 1, 2);
+    let cfg =
+        VerifyConfig { litmus: l, max_preemptions: 2, max_schedules: 5000, stop_on_finding: true };
+    assert!(verify(&cfg).is_clean());
 }
 
 /// The three seeded mutants, the checker kind expected to catch each, and

@@ -78,6 +78,9 @@ fn live_stmt(stmt: &Stmt, mut live: Slots) -> Slots {
                 current = next;
             }
         }
+        // `retry` neither uses nor defines locals (the abandoned
+        // attempt's register state is restored from the checkpoint).
+        Stmt::Retry { .. } => live,
         Stmt::Atomic { body, .. } => live_block(body, live),
     }
 }
@@ -98,7 +101,7 @@ fn may_def_block(stmts: &[Stmt]) -> Slots {
             Stmt::Let { slot, .. } | Stmt::Assign { slot, .. } => {
                 out.insert(*slot);
             }
-            Stmt::Store { .. } => {}
+            Stmt::Store { .. } | Stmt::Retry { .. } => {}
             Stmt::If { then_blk, else_blk, .. } => {
                 out.extend(may_def_block(then_blk));
                 out.extend(may_def_block(else_blk));
@@ -118,7 +121,7 @@ fn must_def_block(stmts: &[Stmt]) -> Slots {
             Stmt::Let { slot, .. } | Stmt::Assign { slot, .. } => {
                 out.insert(*slot);
             }
-            Stmt::Store { .. } => {}
+            Stmt::Store { .. } | Stmt::Retry { .. } => {}
             Stmt::If { then_blk, else_blk, .. } => {
                 let t = must_def_block(then_blk);
                 let e = must_def_block(else_blk);

@@ -151,6 +151,15 @@ pub enum Stmt {
         /// Source bytes of the statement.
         span: Span,
     },
+    /// `retry;` — abandon the current transaction attempt and block the
+    /// lane until some location it has read is overwritten by another
+    /// commit (the composable-blocking primitive; lowered by the
+    /// interpreter to abort-and-respin, the semantics `gpu_stm::park`
+    /// makes cheap). Only legal inside `atomic { .. }`.
+    Retry {
+        /// Source bytes of the statement.
+        span: Span,
+    },
     /// `atomic { .. }` — a transaction. `checkpoint` is the set of local
     /// slots the instrumentation pass determined must be saved/restored
     /// across retries (the paper's compiler-determined register
@@ -174,6 +183,7 @@ impl Stmt {
             | Stmt::Store { span, .. }
             | Stmt::If { span, .. }
             | Stmt::While { span, .. }
+            | Stmt::Retry { span }
             | Stmt::Atomic { span, .. } => *span,
         }
     }

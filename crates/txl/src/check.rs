@@ -16,7 +16,8 @@ use std::collections::HashMap;
 /// # Errors
 ///
 /// [`TxlError::Check`] on undeclared names, duplicate parameters, local
-/// names shadowing array parameters, or nested `atomic` blocks.
+/// names shadowing array parameters, nested `atomic` blocks, or `retry`
+/// outside an `atomic` block.
 pub fn check_program(program: &mut Program) -> Result<(), TxlError> {
     for kernel in &mut program.kernels {
         check_kernel(kernel)?;
@@ -117,6 +118,12 @@ impl Checker<'_> {
             Stmt::While { cond, body, .. } => {
                 self.expr(cond)?;
                 self.block(body)
+            }
+            Stmt::Retry { .. } => {
+                if !self.in_atomic {
+                    return self.err("`retry` outside an `atomic` block".to_string());
+                }
+                Ok(())
             }
             Stmt::Atomic { body, .. } => {
                 if self.in_atomic {

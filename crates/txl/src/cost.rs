@@ -488,7 +488,7 @@ fn assigned_slots(stmts: &[Stmt], out: &mut BTreeSet<usize>) {
             Stmt::Let { slot, .. } | Stmt::Assign { slot, .. } => {
                 out.insert(*slot);
             }
-            Stmt::Store { .. } => {}
+            Stmt::Store { .. } | Stmt::Retry { .. } => {}
             Stmt::If { then_blk, else_blk, .. } => {
                 assigned_slots(then_blk, out);
                 assigned_slots(else_blk, out);
@@ -693,7 +693,7 @@ impl<'k> Counter<'k> {
                 Stmt::Let { slot, init, .. } | Stmt::Assign { slot, value: init, .. } => {
                     env[*slot] = self.eval(init, env);
                 }
-                Stmt::Store { .. } => {}
+                Stmt::Store { .. } | Stmt::Retry { .. } => {}
                 Stmt::If { then_blk, else_blk, .. } => {
                     let mut then_env = env.clone();
                     self.flow_block(then_blk, &mut then_env);
@@ -757,6 +757,10 @@ impl<'k> Counter<'k> {
                         *iv = iv.join(then_env[slot]);
                     }
                 }
+                // `retry` performs no array accesses of its own; the
+                // attempt's reads are already counted on the path that
+                // reached it.
+                Stmt::Retry { .. } => {}
                 Stmt::While { cond, body, .. } => {
                     let trip = trip_bound(cond, body, env, self.tid, self.nthreads);
                     // Reach the loop invariant, then count the body once

@@ -193,6 +193,10 @@ pub fn plan(src: &str, program: &Program, diag: &Diagnostic, cfg: &LintConfig) -
         // Contention findings are configuration advice (variant / stripe
         // choice), not source defects — there is no sound source rewrite.
         Rule::StaticallyHotStripe | Rule::ReadOnlyWriteCost => None,
+        // An unwakeable `retry` is a logic error: the intended wake
+        // condition exists only in the author's head, so no mechanical
+        // rewrite can supply the missing read. Reported as residual.
+        Rule::UnwakeableRetry => None,
     }
 }
 
@@ -318,7 +322,7 @@ fn plan_tl001(src: &str, kernel: &Kernel, diag: &Diagnostic) -> Option<Patch> {
                     host(then_blk, target).or_else(|| host(else_blk, target)).or(Some(None))
                 }
                 Stmt::While { body, .. } => host(body, target).or(Some(None)),
-                Stmt::Atomic { .. } => Some(None),
+                Stmt::Retry { .. } | Stmt::Atomic { .. } => Some(None),
             };
         }
         None
@@ -674,6 +678,7 @@ fn stmt_first_params(s: &Stmt, out: &mut Vec<usize>) {
                 stmt_first_params(s, out);
             }
         }
+        Stmt::Retry { .. } => {}
     }
 }
 
@@ -689,6 +694,8 @@ fn independent(s: &Stmt, t: &Stmt) -> bool {
         loc_read: BTreeSet<usize>,
         loc_write: BTreeSet<usize>,
         rand: bool,
+        /// `retry` ends the attempt: it never commutes with anything.
+        retry: bool,
     }
     fn expr(e: &Expr, fx: &mut Effects) {
         match e {
@@ -743,12 +750,13 @@ fn independent(s: &Stmt, t: &Stmt) -> bool {
                     stmt(s, fx);
                 }
             }
+            Stmt::Retry { .. } => fx.retry = true,
         }
     }
     let (mut a, mut b) = (Effects::default(), Effects::default());
     stmt(s, &mut a);
     stmt(t, &mut b);
-    if a.rand && b.rand {
+    if (a.rand && b.rand) || a.retry || b.retry {
         return false;
     }
     let arr_conflict =

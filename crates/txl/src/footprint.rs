@@ -331,6 +331,9 @@ impl<'k> Analyzer<'k> {
                     *iv = iv.join(then_env[slot]);
                 }
             }
+            // `retry` touches no arrays; the respun attempt re-runs the
+            // same body, so its footprint is already the block's.
+            Stmt::Retry { .. } => {}
             Stmt::While { cond, body, .. } => {
                 // Bounded fixpoint: re-interpret the body until locals
                 // stabilise, widening whatever still grows.

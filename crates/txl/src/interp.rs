@@ -55,6 +55,8 @@ struct St<S: Stm> {
     nthreads: u32,
     in_atomic: bool,
     tx_live: LaneMask,
+    /// Lanes that executed `retry;` in the current transaction attempt.
+    retrying: LaneMask,
 }
 
 impl<S: Stm> St<S> {
@@ -255,6 +257,17 @@ fn exec_stmt<'a, S: Stm>(st: &'a mut St<S>, stmt: &'a Stmt, mask: LaneMask) -> F
                     exec_block(st, body, active).await?;
                 }
             }
+            Stmt::Retry { .. } => {
+                // The lane abandons this attempt: it leaves the
+                // transaction's live set (skipping the rest of the block,
+                // like a doomed lane) and is excluded from commit so the
+                // atomic loop respins it — `retry` lowered to
+                // abort-and-respin, the same fallback the `Blocking`
+                // wrapper uses when parking is unavailable.
+                st.ctx.alu(mask).await;
+                st.retrying |= mask;
+                st.tx_live &= !mask;
+            }
             Stmt::Atomic { body, checkpoint, .. } => {
                 let mut pending = mask;
                 // Everything from begin to commit (including STM metadata
@@ -272,16 +285,25 @@ fn exec_stmt<'a, S: Stm>(st: &'a mut St<S>, stmt: &'a Stmt, mask: LaneMask) -> F
                         checkpoint.iter().map(|s| (*s, st.locals[*s])).collect();
                     st.in_atomic = true;
                     st.tx_live = active;
+                    st.retrying = LaneMask::EMPTY;
                     let result = exec_block(st, body, active).await;
                     st.in_atomic = false;
                     result?;
-                    let committed = stm.commit(&mut st.w, &st.ctx, active).await;
-                    let failed = active & !committed;
-                    if failed.any() {
-                        // Restore: the aborted attempt's register effects
-                        // must not be observable.
+                    // `retry;` lanes abandon the attempt: discard their
+                    // buffered speculative state and keep them pending so
+                    // they respin once peers have committed.
+                    let retrying = st.retrying & active;
+                    st.retrying = LaneMask::EMPTY;
+                    for l in retrying.iter() {
+                        st.w.reset_lane(l);
+                    }
+                    let committed = stm.commit(&mut st.w, &st.ctx, active & !retrying).await;
+                    let undone = (active & !committed) | retrying;
+                    if undone.any() {
+                        // Restore: neither an aborted nor an abandoned
+                        // attempt's register effects may be observable.
                         for (slot, vals) in &saved {
-                            for l in failed.iter() {
+                            for l in undone.iter() {
                                 st.locals[*slot][l] = vals[l];
                             }
                         }
@@ -352,6 +374,7 @@ pub fn launch<S: Stm + 'static>(
                 nthreads,
                 in_atomic: false,
                 tx_live: LaneMask::FULL,
+                retrying: LaneMask::EMPTY,
                 ctx: ctx.clone(),
             };
             let mask = ctx.id().launch_mask;

@@ -18,6 +18,7 @@
 //! | TL003 | [`Rule::UnboundedWriteSet`] | ownership-table overflow |
 //! | TL004 | [`Rule::DivergentAtomic`] | transaction under divergent mask |
 //! | TL005 | [`Rule::ConflictingFootprintOrder`] | overlapping footprints, inverted order |
+//! | TL008 | [`Rule::UnwakeableRetry`] | `retry` with an empty read set |
 //!
 //! The static verdicts are cross-checked against the simulator's dynamic
 //! happens-before race detector (`gpu_sim::race`) by the fixture and
@@ -73,6 +74,13 @@ pub enum Rule {
     /// should be routed to a read-only fast path. Off unless
     /// [`LintConfig::flag_read_only`] is set.
     ReadOnlyWriteCost,
+    /// TL008: a `retry` reachable without any transactional array read
+    /// before it, so its read set — the wake condition's watch set — is
+    /// statically empty. Nothing another commit writes can change the
+    /// lane's decision: under parking it is unwakeable (the `Blocking`
+    /// runtime falls back to abort-respin) and under abort-respin it
+    /// spins until the watchdog fires.
+    UnwakeableRetry,
 }
 
 impl Rule {
@@ -86,6 +94,7 @@ impl Rule {
             Rule::ConflictingFootprintOrder => "TL005",
             Rule::StaticallyHotStripe => "TL006",
             Rule::ReadOnlyWriteCost => "TL007",
+            Rule::UnwakeableRetry => "TL008",
         }
     }
 
@@ -103,6 +112,7 @@ impl Rule {
                 "statically-hot stripe: conflict-graph degree above threshold"
             }
             Rule::ReadOnlyWriteCost => "read-only transaction paying write-set cost",
+            Rule::UnwakeableRetry => "retry with a statically empty read set (unwakeable)",
         }
     }
 
@@ -116,6 +126,7 @@ impl Rule {
             Rule::ConflictingFootprintOrder => "Sections 2.2, 3.1 (lock-order inversion)",
             Rule::StaticallyHotStripe => "Sections 2.2, 4.2 (conflicts cap concurrency)",
             Rule::ReadOnlyWriteCost => "Section 3.1 (lazy versioning write-sets)",
+            Rule::UnwakeableRetry => "Section 3.2.2 (validated read sets as watch sets)",
         }
     }
 }
@@ -127,7 +138,7 @@ impl fmt::Display for Rule {
 }
 
 /// All rules, in ID order.
-pub const RULES: [Rule; 7] = [
+pub const RULES: [Rule; 8] = [
     Rule::NonAtomicSharedAccess,
     Rule::UnsortedLockAcquisition,
     Rule::UnboundedWriteSet,
@@ -135,6 +146,7 @@ pub const RULES: [Rule; 7] = [
     Rule::ConflictingFootprintOrder,
     Rule::StaticallyHotStripe,
     Rule::ReadOnlyWriteCost,
+    Rule::UnwakeableRetry,
 ];
 
 /// Configuration for the lint pass.
@@ -213,6 +225,7 @@ pub fn lint_program(program: &Program, cfg: &LintConfig) -> Vec<Diagnostic> {
         unbounded_write_set(kernel, cfg, &mut diags);
         divergent_atomic(kernel, &mut diags);
         conflicting_footprint_order(kernel, &mut diags);
+        unwakeable_retry(kernel, &mut diags);
         if let Some(profile) = &profile {
             contention_rules(kernel, profile, cfg, &mut diags);
         }
@@ -339,6 +352,7 @@ pub(crate) fn block_accesses(stmts: &[Stmt], out: &mut Vec<(usize, Span)>) {
                 block_accesses(body, out);
             }
             Stmt::Atomic { body, .. } => block_accesses(body, out),
+            Stmt::Retry { .. } => {}
         }
     }
 }
@@ -380,7 +394,7 @@ fn non_atomic_shared(kernel: &Kernel, out: &mut Vec<Diagnostic>) {
         for s in stmts {
             let mut acc = Vec::new();
             match s {
-                Stmt::Atomic { .. } => continue,
+                Stmt::Atomic { .. } | Stmt::Retry { .. } => continue,
                 Stmt::Let { init, .. } | Stmt::Assign { value: init, .. } => {
                     expr_accesses(init, &mut acc);
                 }
@@ -561,7 +575,7 @@ pub(crate) fn store_bound(stmts: &[Stmt]) -> Option<u32> {
                 }
             }
             Stmt::Atomic { body, .. } => store_bound(body),
-            Stmt::Let { .. } | Stmt::Assign { .. } => Some(0),
+            Stmt::Let { .. } | Stmt::Assign { .. } | Stmt::Retry { .. } => Some(0),
         };
         total = total.saturating_add(b?);
     }
@@ -635,7 +649,7 @@ fn taint_slots(kernel: &Kernel) -> BTreeSet<usize> {
                         *changed = true;
                     }
                 }
-                Stmt::Store { .. } => {}
+                Stmt::Store { .. } | Stmt::Retry { .. } => {}
                 Stmt::If { then_blk, else_blk, .. } => {
                     pass(then_blk, tainted, changed);
                     pass(else_blk, tainted, changed);
@@ -755,6 +769,85 @@ fn conflicting_footprint_order(kernel: &Kernel, out: &mut Vec<Diagnostic>) {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------- TL008
+
+/// Whether evaluating `e` performs at least one array read.
+fn expr_has_read(e: &Expr) -> bool {
+    match e {
+        Expr::Int(_) | Expr::Tid | Expr::NThreads | Expr::Var { .. } => false,
+        Expr::Index { .. } => true,
+        Expr::Bin { lhs, rhs, .. } => expr_has_read(lhs) || expr_has_read(rhs),
+        Expr::Not(e) | Expr::Rand(e) => expr_has_read(e),
+    }
+}
+
+fn unwakeable_retry(kernel: &Kernel, out: &mut Vec<Diagnostic>) {
+    // A parked lane's wake condition is its validated read set: a
+    // `retry` reachable with no transactional array read before it on
+    // any path has a statically empty watch set — no commit anywhere
+    // can change what the lane observed, so it can never be woken.
+    // Walks each atomic body tracking "a read may precede this point";
+    // branch exits merge with OR (a read on *some* path to a later
+    // retry makes it potentially wakeable, so only the definite case
+    // is flagged).
+    fn walk(stmts: &[Stmt], mut seen: bool, kernel: &Kernel, out: &mut Vec<Diagnostic>) -> bool {
+        for s in stmts {
+            match s {
+                Stmt::Retry { span } => {
+                    if !seen {
+                        out.push(diag(
+                            kernel,
+                            Rule::UnwakeableRetry,
+                            *span,
+                            "`retry` with a statically empty read set: no array read \
+                             precedes it in this transaction, so no commit can ever \
+                             change its decision — a parked lane would never be woken \
+                             and a respinning lane spins until the watchdog fires"
+                                .to_string(),
+                        ));
+                    }
+                }
+                Stmt::Let { init, .. } | Stmt::Assign { value: init, .. } => {
+                    seen |= expr_has_read(init);
+                }
+                Stmt::Store { index, value, .. } => {
+                    seen |= expr_has_read(index) || expr_has_read(value);
+                }
+                Stmt::If { cond, then_blk, else_blk, .. } => {
+                    seen |= expr_has_read(cond);
+                    let t = walk(then_blk, seen, kernel, out);
+                    let e = walk(else_blk, seen, kernel, out);
+                    seen = t | e;
+                }
+                Stmt::While { cond, body, .. } => {
+                    seen |= expr_has_read(cond);
+                    seen = walk(body, seen, kernel, out);
+                }
+                Stmt::Atomic { body, .. } => {
+                    seen = walk(body, seen, kernel, out);
+                }
+            }
+        }
+        seen
+    }
+    fn find_atomics(stmts: &[Stmt], kernel: &Kernel, out: &mut Vec<Diagnostic>) {
+        for s in stmts {
+            match s {
+                Stmt::Atomic { body, .. } => {
+                    walk(body, false, kernel, out);
+                }
+                Stmt::If { then_blk, else_blk, .. } => {
+                    find_atomics(then_blk, kernel, out);
+                    find_atomics(else_blk, kernel, out);
+                }
+                Stmt::While { body, .. } => find_atomics(body, kernel, out),
+                _ => {}
+            }
+        }
+    }
+    find_atomics(&kernel.body, kernel, out);
 }
 
 #[cfg(test)]
@@ -941,7 +1034,7 @@ mod tests {
     fn rule_catalog_is_stable() {
         assert_eq!(
             RULES.map(Rule::id),
-            ["TL001", "TL002", "TL003", "TL004", "TL005", "TL006", "TL007"]
+            ["TL001", "TL002", "TL003", "TL004", "TL005", "TL006", "TL007", "TL008"]
         );
         for r in RULES {
             assert!(!r.title().is_empty());

@@ -198,6 +198,11 @@ impl Parser {
                 let body = self.block()?;
                 Ok(Stmt::Atomic { body, checkpoint: Vec::new(), span: start.to(self.prev_span()) })
             }
+            Some(Tok::Retry) => {
+                self.pos += 1;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Retry { span: start.to(self.prev_span()) })
+            }
             Some(Tok::Ident(_)) => {
                 let name = self.ident()?;
                 match self.peek() {

@@ -22,6 +22,8 @@ pub enum Tok {
     While,
     /// `atomic`
     Atomic,
+    /// `retry`
+    Retry,
     /// `array`
     Array,
     /// `(`
@@ -97,6 +99,7 @@ impl fmt::Display for Tok {
                     Tok::Else => "else",
                     Tok::While => "while",
                     Tok::Atomic => "atomic",
+                    Tok::Retry => "retry",
                     Tok::Array => "array",
                     Tok::LParen => "(",
                     Tok::RParen => ")",
@@ -235,6 +238,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, TxlError> {
                     "else" => Tok::Else,
                     "while" => Tok::While,
                     "atomic" => Tok::Atomic,
+                    "retry" => Tok::Retry,
                     "array" => Tok::Array,
                     _ => Tok::Ident(word.to_string()),
                 };

@@ -49,6 +49,20 @@ fn every_bug_fixture_repairs_to_its_committed_twin() {
 }
 
 #[test]
+fn unwakeable_retry_is_residual_with_source_untouched() {
+    // TL008 has no sound rewrite (the missing read is the author's
+    // intent): `txl fix` must converge with the source untouched and
+    // the finding reported residual, not silently dropped.
+    let src = fixture("unwakeable_retry_bug.txl");
+    let r = fix_source(&src, &cfg()).unwrap();
+    assert!(r.converged, "no-rewrite findings must still converge");
+    assert!(r.applied.is_empty(), "no patch may be applied for TL008");
+    assert_eq!(r.fixed, src, "the source must be byte-identical");
+    assert_eq!(r.residual.len(), 1, "{:?}", r.residual);
+    assert_eq!(r.residual[0].rule.id(), "TL008");
+}
+
+#[test]
 fn every_twin_lints_clean_of_its_repaired_rule() {
     for (_, twin, rule) in PAIRS {
         let src = fixture(twin);

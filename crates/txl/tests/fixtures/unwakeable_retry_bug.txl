@@ -1,0 +1,6 @@
+kernel drain(q: array) {
+    atomic {
+        retry;
+        q[0] = 0;
+    }
+}

@@ -1,0 +1,9 @@
+kernel drain(q: array) {
+    atomic {
+        let n = q[0];
+        if n == 0 {
+            retry;
+        }
+        q[0] = n - 1;
+    }
+}

@@ -14,6 +14,8 @@ const DIVERGENT_BUG: &str = include_str!("fixtures/divergent_atomic_bug.txl");
 const DIVERGENT_CLEAN: &str = include_str!("fixtures/divergent_atomic_clean.txl");
 const FOOTPRINT_BUG: &str = include_str!("fixtures/footprint_order_bug.txl");
 const FOOTPRINT_CLEAN: &str = include_str!("fixtures/footprint_order_clean.txl");
+const RETRY_BUG: &str = include_str!("fixtures/unwakeable_retry_bug.txl");
+const RETRY_CLEAN: &str = include_str!("fixtures/unwakeable_retry_clean.txl");
 
 fn lint(src: &str) -> Vec<txl::Diagnostic> {
     lint_source(src, &LintConfig::default()).unwrap()
@@ -71,6 +73,16 @@ fn footprint_order_bug_is_flagged_at_the_second_atomic() {
 }
 
 #[test]
+fn unwakeable_retry_bug_is_flagged_at_the_retry() {
+    let d = lint(RETRY_BUG);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].rule, Rule::UnwakeableRetry);
+    assert_eq!(d[0].rule.id(), "TL008");
+    assert_eq!(d[0].span.snippet(RETRY_BUG), "retry;");
+    assert_eq!(d[0].line, 3);
+}
+
+#[test]
 fn clean_twins_lint_clean() {
     for (name, src) in [
         ("weak_isolation_clean", WEAK_ISO_CLEAN),
@@ -78,6 +90,7 @@ fn clean_twins_lint_clean() {
         ("overflow_writeset_clean", OVERFLOW_CLEAN),
         ("divergent_atomic_clean", DIVERGENT_CLEAN),
         ("footprint_order_clean", FOOTPRINT_CLEAN),
+        ("unwakeable_retry_clean", RETRY_CLEAN),
     ] {
         let d = lint(src);
         assert!(d.is_empty(), "{name}: {d:?}");

@@ -382,3 +382,107 @@ fn non_transactional_accesses_work() {
         assert_eq!(s.read(a.offset(t)), t * 2 + 1);
     }
 }
+
+/// `retry;` lowers to abort-and-respin: a lane whose precondition is
+/// false abandons the attempt (its buffered writes and register effects
+/// discarded) and re-runs once a peer's commit has made the condition
+/// true. The producer and the consumers share one warp, so the wake
+/// chain runs entirely through committed memory.
+#[test]
+fn retry_respins_until_a_peer_commit_flips_the_flag() {
+    let src = r#"
+        kernel handoff(flag: array, out: array) {
+            atomic {
+                if tid() == 0 {
+                    flag[0] = 1;
+                } else {
+                    let f = flag[0];
+                    if f == 0 {
+                        retry;
+                    }
+                    out[tid()] = f + 1;
+                }
+            }
+        }
+    "#;
+    let program = compile(src).unwrap();
+    let kernel = program.kernel("handoff").unwrap();
+    let grid = LaunchConfig::new(1, 4);
+
+    let run = |which: u32| {
+        let mut s = sim();
+        let (shared, cfg) = stm_setup(&mut s, 1 << 6);
+        let flag = s.alloc(1).unwrap();
+        let out = s.alloc(4).unwrap();
+        let bindings = [ArrayBinding::new("flag", flag, 1), ArrayBinding::new("out", out, 4)];
+        match which {
+            0 => {
+                let stm = Rc::new(LockStm::hv_sorting(shared, cfg));
+                launch(&mut s, &stm, kernel, grid, 7, &bindings).unwrap();
+            }
+            1 => {
+                let stm = Rc::new(NorecStm::new(shared, cfg));
+                launch(&mut s, &stm, kernel, grid, 7, &bindings).unwrap();
+            }
+            _ => {
+                let stm = Rc::new(CglStm::init(&mut s).unwrap());
+                launch(&mut s, &stm, kernel, grid, 7, &bindings).unwrap();
+            }
+        }
+        assert_eq!(s.read(flag), 1, "runtime {which}: producer commit lost");
+        for t in 1..4u32 {
+            assert_eq!(s.read(out.offset(t)), 2, "runtime {which}: lane {t} never woke");
+        }
+    };
+    for which in 0..3 {
+        run(which);
+    }
+}
+
+/// A retrying lane's register effects are rolled back with the attempt:
+/// the local mutated before `retry` must not leak into the re-run.
+#[test]
+fn retry_restores_checkpointed_registers() {
+    let src = r#"
+        kernel once(flag: array, out: array) {
+            let acc = 0;
+            atomic {
+                acc = acc + 1;
+                if tid() == 0 {
+                    flag[0] = 1;
+                } else {
+                    if flag[0] == 0 {
+                        retry;
+                    }
+                }
+            }
+            out[tid()] = acc;
+        }
+    "#;
+    let program = compile(src).unwrap();
+    let mut s = sim();
+    let (shared, cfg) = stm_setup(&mut s, 1 << 6);
+    let flag = s.alloc(1).unwrap();
+    let out = s.alloc(2).unwrap();
+    let stm = Rc::new(LockStm::hv_sorting(shared, cfg));
+    launch(
+        &mut s,
+        &stm,
+        program.kernel("once").unwrap(),
+        LaunchConfig::new(1, 2),
+        3,
+        &[ArrayBinding::new("flag", flag, 1), ArrayBinding::new("out", out, 2)],
+    )
+    .unwrap();
+    // Each lane's committed attempt ran the increment exactly once,
+    // however many times lane 1 respun before the flag appeared.
+    assert_eq!(s.read(out), 1);
+    assert_eq!(s.read(out.offset(1)), 1);
+}
+
+/// `retry` outside an `atomic` block is a semantic error.
+#[test]
+fn retry_outside_atomic_is_rejected() {
+    let err = compile("kernel k(a: array) { retry; }").unwrap_err();
+    assert!(err.to_string().contains("`retry` outside an `atomic` block"), "{err}");
+}

@@ -14,6 +14,11 @@
 //! | LB (labyrinth) | [`labyrinth`] | long path-claim transactions |
 //! | KM (k-means) | [`kmeans`] | tiny hot shared data, high conflicts |
 //!
+//! Beyond the paper's six, [`queue`] adds two condition-synchronisation
+//! shapes (a bounded producer/consumer ring and a work-stealing deque)
+//! exercising the blocking `retry()`/`or_else` subsystem of
+//! [`gpu_stm::park`], with an abort-respin baseline knob.
+//!
 //! All workloads are deterministic given their seed, so cycle counts,
 //! commit/abort statistics and final memory are reproducible bit-for-bit.
 
@@ -26,6 +31,7 @@ pub mod ht;
 pub mod kmeans;
 pub mod labyrinth;
 mod outcome;
+pub mod queue;
 pub mod ra;
 mod variant;
 
